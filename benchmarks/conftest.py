@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artifact via its experiment
+module, prints the reproduced table/series, records the rows in the
+pytest-benchmark ``extra_info`` (so ``--benchmark-json`` captures the
+data), and asserts the paper's qualitative shape.
+
+``REPRO_TIME_SCALE`` (float, default 1.0) stretches the simulated
+measurement windows for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def reproduce(benchmark, run_fn, *args, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(run_fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["experiment_id"] = result.experiment_id
+    benchmark.extra_info["rows"] = json.loads(json.dumps(result.rows, default=str))
+    print()
+    print(result.table())
+    return result

@@ -1,0 +1,15 @@
+"""Ablation — FPGA datapath vs ARM offload (the LeapIO comparison, §III-B)."""
+
+from conftest import reproduce
+
+from repro.experiments import ablations
+
+
+def test_ablation_arm_offload(benchmark):
+    result = reproduce(benchmark, ablations.run_arm_offload)
+    arm = result.row_for(datapath="ARM offload (LeapIO-like)")
+    # paper: LeapIO reached only ~68% of a single native disk; the
+    # serialized ARM datapath should land in that region
+    assert 0.50 <= arm["vs_fpga"] <= 0.85
+    fpga = result.row_for(datapath="FPGA (BM-Store)")
+    assert fpga["kiops"] > arm["kiops"]

@@ -1,0 +1,17 @@
+"""Ablation — QoS isolation under an aggressor namespace (§IV-C)."""
+
+from conftest import reproduce
+
+from repro.experiments import ablations
+
+
+def test_ablation_qos(benchmark):
+    result = reproduce(benchmark, ablations.run_qos_isolation)
+    uncapped = result.row_for(qos_capped=False)
+    capped = result.row_for(qos_capped=True)
+    # the cap binds the aggressor near its configured 100K IOPS
+    assert capped["aggressor_kiops"] <= 115
+    assert uncapped["aggressor_kiops"] > capped["aggressor_kiops"] * 1.5
+    # and the victim's latency improves
+    assert capped["victim_lat_us"] < uncapped["victim_lat_us"]
+    assert capped["victim_kiops"] > uncapped["victim_kiops"]

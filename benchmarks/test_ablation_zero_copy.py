@@ -1,0 +1,16 @@
+"""Ablation — zero-copy DMA routing vs store-and-forward (DESIGN.md §6)."""
+
+from conftest import reproduce
+
+from repro.experiments import ablations
+
+
+def test_ablation_zero_copy(benchmark):
+    result = reproduce(benchmark, ablations.run_zero_copy)
+    on = result.row_for(zero_copy=True)
+    off = result.row_for(zero_copy=False)
+    # the paper's motivation for Fig. 4(b): a buffered engine caps the
+    # back end at the FPGA DRAM rate, losing most of four drives' bandwidth
+    assert off["bandwidth_gbps"] < 0.5 * on["bandwidth_gbps"]
+    # while zero-copy saturates all four drives
+    assert on["bandwidth_gbps"] >= 12.0

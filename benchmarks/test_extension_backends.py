@@ -1,0 +1,33 @@
+"""Extension benches: SATA tiers (§VI-A) and remote volumes (§VI-D)."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import extensions
+
+
+def test_extension_sata_tiers(benchmark):
+    result = reproduce(benchmark, extensions.run_sata_tiers)
+    rows = {row["backend"]: row for row in result.rows}
+    # the interface is identical; the tier ordering must hold at depth
+    assert rows["nvme"]["kiops"] > rows["sata-ssd"]["kiops"] > rows["hdd"]["kiops"]
+    assert rows["nvme"]["avg_lat_us"] < rows["sata-ssd"]["avg_lat_us"]
+    assert rows["sata-ssd"]["avg_lat_us"] < rows["hdd"]["avg_lat_us"]
+    # SATA SSD is interface-bound (~540 MB/s -> ~130K 4K IOPS)
+    assert rows["sata-ssd"]["kiops"] == pytest.approx(130, rel=0.12)
+    # HDD service is mechanical: milliseconds, triple-digit IOPS
+    assert rows["hdd"]["avg_lat_us"] > 10_000
+    assert rows["hdd"]["kiops"] < 1.0
+
+
+def test_extension_remote_tiers(benchmark):
+    result = reproduce(benchmark, extensions.run_remote_tiers)
+    rows = {row["backend"]: row for row in result.rows}
+    # 25 GbE is the ceiling for sequential reads
+    assert rows["25gbe"]["bandwidth_gbps"] == pytest.approx(3.05, rel=0.08)
+    # 100 GbE hands the bottleneck back to the media
+    assert rows["100gbe"]["bandwidth_gbps"] == pytest.approx(
+        rows["local"]["bandwidth_gbps"], rel=0.08
+    )
+    # network RTT shows in latency ordering
+    assert rows["local"]["avg_lat_ms"] <= rows["100gbe"]["avg_lat_ms"]

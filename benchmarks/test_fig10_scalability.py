@@ -1,0 +1,19 @@
+"""Fig. 10 — BM-Store total bandwidth vs number of SSDs."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import fig10
+
+
+def test_fig10_scalability(benchmark):
+    result = reproduce(benchmark, fig10.run)
+    rows = {row["ssds"]: row for row in result.rows}
+
+    # linear scaling: N drives deliver ~N x one drive
+    for n in (2, 3, 4):
+        assert rows[n]["scaling"] == pytest.approx(n, rel=0.06)
+    # 4 drives saturated near 4 x 3.23 GB/s
+    assert rows[4]["bandwidth_gbps"] == pytest.approx(12.9, rel=0.06)
+    # per-drive bandwidth does not degrade as drives are added
+    assert rows[4]["per_ssd_gbps"] == pytest.approx(rows[1]["per_ssd_gbps"], rel=0.06)

@@ -1,0 +1,22 @@
+"""Fig. 11 — multi-VM total bandwidth and fairness on 4 SSDs."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import fig11
+
+
+def test_fig11_multivm(benchmark):
+    result = reproduce(benchmark, fig11.run)
+    rows = {row["vms"]: row for row in result.rows}
+
+    # throughput scales with VM count until the 4-drive ceiling
+    assert rows[2]["total_gbps"] == pytest.approx(2 * rows[1]["total_gbps"], rel=0.12)
+    assert rows[4]["total_gbps"] > rows[2]["total_gbps"]
+    # paper: ~12.4 GB/s at 16 VMs (four P4510s saturated)
+    assert rows[16]["total_gbps"] == pytest.approx(12.4, rel=0.08)
+    # adding VMs past saturation neither gains nor collapses
+    assert rows[26]["total_gbps"] == pytest.approx(rows[16]["total_gbps"], rel=0.08)
+    # balanced allocation between VMs (Jain index ~ 1)
+    for count in (4, 8, 16, 26):
+        assert rows[count]["fairness"] >= 0.97, count

@@ -1,0 +1,14 @@
+"""Fig. 12 — tail-latency closeness of four concurrent VMs."""
+
+from conftest import reproduce
+
+from repro.experiments import fig12
+
+
+def test_fig12_tail_latency(benchmark):
+    result = reproduce(benchmark, fig12.run)
+    for row in result.rows:
+        # per-VM p99s lie close together (no starved VM)
+        assert row["p99_spread"] <= 0.20, row["case"]
+        # and medians are ordered sanely under the tails
+        assert all(p50 <= p99 for p50, p99 in zip(row["p50_us"], row["p99_us"]))

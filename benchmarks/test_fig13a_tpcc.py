@@ -1,0 +1,20 @@
+"""Fig. 13(a) — TPC-C on MySQL in a VM: normalized transactions."""
+
+from conftest import reproduce
+
+from repro.experiments import fig13a
+
+
+def test_fig13a_tpcc(benchmark):
+    result = reproduce(benchmark, fig13a.run)
+    rows = {row["scheme"]: row for row in result.rows}
+
+    # BM-Store reaches near-native (VFIO) transaction throughput
+    assert rows["bmstore"]["normalized"] >= 0.93
+    # and does not lose to SPDK vhost on the stable metrics.  (The
+    # paper reports up to +13.4% tpmC over SPDK; our scale-reduced
+    # TPC-C is more CPU/commit-bound than the 100-warehouse original,
+    # so the separation is smaller — see EXPERIMENTS.md.)
+    assert rows["bmstore"]["tps"] >= rows["spdk"]["tps"]
+    assert rows["bmstore"]["avg_txn_us"] <= rows["spdk"]["avg_txn_us"]
+    assert rows["bmstore"]["tpmc"] >= 0.95 * rows["spdk"]["tpmc"]

@@ -1,0 +1,18 @@
+"""Fig. 13(b) + Table VIII — Sysbench OLTP on MySQL in a VM."""
+
+from conftest import reproduce
+
+from repro.experiments import fig13b_table8
+
+
+def test_fig13b_table8_sysbench(benchmark):
+    result = reproduce(benchmark, fig13b_table8.run)
+    rows = {row["scheme"]: row for row in result.rows}
+
+    # Table VIII shape: BM-Store adds a few percent latency vs VFIO,
+    # SPDK adds noticeably more
+    assert rows["bmstore"]["lat_vs_vfio"] <= 1.08
+    assert rows["spdk"]["lat_vs_vfio"] > rows["bmstore"]["lat_vs_vfio"]
+    # Fig. 13(b): queries within a few percent of native, above SPDK
+    assert rows["bmstore"]["norm_queries"] >= 0.92
+    assert rows["bmstore"]["qps"] > rows["spdk"]["qps"]

@@ -1,0 +1,26 @@
+"""Fig. 14 — mixed YCSB(RocksDB) + Sysbench(MySQL) across VMs."""
+
+from conftest import reproduce
+
+from repro.experiments import fig14
+
+
+def test_fig14_mixed(benchmark):
+    result = reproduce(benchmark, fig14.run)
+    rows = {row["scheme"]: row for row in result.rows}
+
+    vfio_kv = rows["vfio"]["rocksdb_kops"]
+    bms_kv = rows["bmstore"]["rocksdb_kops"]
+    spdk_kv = rows["spdk"]["rocksdb_kops"]
+
+    # BM-Store near-native under the mix
+    assert sum(bms_kv) >= 0.90 * sum(vfio_kv)
+    # and at least as good as SPDK vhost
+    assert sum(bms_kv) >= sum(spdk_kv) * 0.98
+    # isolation: the two RocksDB VMs perform alike on BM-Store
+    assert min(bms_kv) / max(bms_kv) >= 0.85
+    # MySQL latency: BM-Store no worse than SPDK
+    assert (
+        sum(rows["bmstore"]["mysql_lat_ms"])
+        <= sum(rows["spdk"]["mysql_lat_ms"]) * 1.05
+    )

@@ -1,0 +1,22 @@
+"""Fig. 15 + Table IX — firmware hot-upgrade under I/O."""
+
+from conftest import reproduce
+
+from repro.experiments import fig15_table9
+
+
+def test_fig15_table9_hotupgrade(benchmark):
+    result = reproduce(benchmark, fig15_table9.run)
+    for row in result.rows:
+        # Table IX: total hot-upgrade time 6-9 s
+        assert 6.0 <= row["avg_upgrade_total_s"] <= 9.0, row["op"]
+        # BM-Store's own processing ~100 ms
+        assert 80 <= row["bmstore_processing_ms"] <= 150
+        # the pause is bounded by the upgrade and well under NVMe's 30 s
+        # I/O timeout — "tenants will not receive I/O errors"
+        assert row["avg_io_pause_s"] <= row["avg_upgrade_total_s"]
+        assert row["avg_io_pause_s"] < 30.0
+        assert row["errors"] == 0
+        assert row["ios"] > 0
+        # Fig. 15: the IOPS series visibly dips to zero during upgrades
+        assert row["paused_100ms_windows"] >= 2

@@ -1,0 +1,30 @@
+"""Fig. 9 + Table VII — single-VM: VFIO vs BM-Store vs SPDK vhost."""
+
+from conftest import reproduce
+
+from repro.experiments import fig9_table7
+
+
+def test_fig9_table7_vm(benchmark):
+    result = reproduce(benchmark, fig9_table7.run)
+    rows = {row["case"]: row for row in result.rows}
+
+    # paper: BM-Store at 95.6-102.7% of VFIO except rand-w-1 (81.2%)
+    for case in ("rand-r-1", "rand-r-128", "rand-w-16", "seq-r-256", "seq-w-256"):
+        assert 0.92 <= rows[case]["bmstore_vs_vfio"] <= 1.05, case
+    assert 0.72 <= rows["rand-w-1"]["bmstore_vs_vfio"] <= 0.92
+
+    # paper: SPDK vhost at 63-96% of VFIO, worst on seq-r-256
+    for case, row in rows.items():
+        assert row["spdk_vs_vfio"] <= 1.02, case
+    assert rows["seq-r-256"]["spdk_vs_vfio"] <= 0.75
+    # BM-Store beats SPDK decisively on the paper's headline case
+    headline = rows["seq-r-256"]["bmstore_kiops"] / rows["seq-r-256"]["spdk_kiops"]
+    assert headline >= 1.35  # paper: +62.9%
+
+    # deep-queue latency ordering (Table VII): BM-Store < SPDK.
+    # (seq-w-256 is excluded: the drive's 1.42 GB/s write bus is the
+    # bottleneck for every scheme in our model, so SPDK's CPU cost
+    # hides; the paper saw an extra 12% there — noted in EXPERIMENTS.md)
+    for case in ("rand-r-128", "rand-w-16", "seq-r-256"):
+        assert rows[case]["bmstore_lat_us"] < rows[case]["spdk_lat_us"], case

@@ -1,0 +1,30 @@
+"""Engine stage-latency breakdown — the §V-B ~3 us budget, itemized."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import latency_breakdown
+
+
+def test_latency_breakdown(benchmark):
+    result = reproduce(benchmark, latency_breakdown.run)
+    by_stage = {row["stage"]: row["mean_us"] for row in result.rows}
+
+    # the engine span is dominated by the back end (media time)
+    assert by_stage["backend (SSD + zero-copy DMA)"] > 50
+    # non-media engine stages are sub-microsecond to ~1.5 us each
+    for stage in ("fetch", "map+qos pipeline", "forward to adaptor",
+                  "CQE relay to host"):
+        assert 0.0 <= by_stage[stage] <= 2.5, stage
+    # stage sums reconstruct the measured span (nothing unaccounted)
+    stage_sum = sum(
+        by_stage[s] for s in (
+            "fetch", "map+qos pipeline", "forward to adaptor",
+            "backend (SSD + zero-copy DMA)", "CQE relay to host",
+        )
+    )
+    assert stage_sum == pytest.approx(
+        by_stage["engine span (doorbell->host CQE)"], rel=0.02
+    )
+    # the paper's headline: ~3 us extra vs the native disk
+    assert 1.5 <= by_stage["extra vs native"] <= 5.0

@@ -1,0 +1,26 @@
+"""Table I — feature matrix of local-storage schemes."""
+
+from conftest import reproduce
+
+from repro.experiments import table1
+
+
+def test_table1_features(benchmark):
+    result = reproduce(benchmark, table1.run)
+    rows = {row["scheme"]: row for row in result.rows}
+
+    # paper Table I, row by row
+    assert rows["BM-Store"] == {
+        "scheme": "BM-Store", "host_efficiency": "yes", "compatibility": "yes",
+        "transparency": "yes", "performance": "yes", "deployability": "yes",
+        "manageability": "yes",
+    }
+    assert rows["SPDK vhost"]["host_efficiency"] == "-"
+    assert rows["SPDK vhost"]["transparency"] == "-"
+    assert rows["SR-IOV"]["compatibility"] == "-"
+    assert rows["SR-IOV"]["transparency"] == "yes"
+    assert rows["LeapIO"]["performance"] == "-"
+    assert rows["LeapIO"]["deployability"] == "-"
+    assert rows["FVM"]["deployability"] == "-"
+    # only BM-Store is manageable out of band
+    assert [s for s, r in rows.items() if r["manageability"] == "yes"] == ["BM-Store"]

@@ -1,0 +1,32 @@
+"""Table II — FPGA resource utilization for 1/2/4/6 SSDs."""
+
+from conftest import reproduce
+
+from repro.core import FPGAResourceModel
+from repro.experiments import table2
+
+# the paper's exact cells: ssds -> (LUTs, registers, pct columns)
+PAPER = {
+    1: (216711, 226309, 41, 22),
+    2: (244711, 270309, 47, 26),
+    4: (300711, 358309, 58, 34),
+    6: (356711, 446309, 68, 43),
+}
+
+
+def test_table2_fpga_resources(benchmark):
+    result = reproduce(benchmark, table2.run)
+    model = FPGAResourceModel()
+    for ssds, (luts, regs, luts_pct, regs_pct) in PAPER.items():
+        cfg = model.configuration(ssds)
+        assert cfg.luts == luts
+        assert cfg.registers == regs
+        util = model.utilization(ssds)
+        assert round(util["luts"] * 100) == luts_pct
+        assert round(util["registers"] * 100) == regs_pct
+        assert cfg.clock_mhz == 250
+    # "BM-Store can support more SSDs with the remaining resources"
+    assert model.max_supported_ssds() >= 6
+    # 4 SSDs consume only about half the FPGA (the Fig. 10 remark)
+    util4 = model.utilization(4)
+    assert util4["luts"] <= 0.60

@@ -1,0 +1,24 @@
+"""Table VI — BM-Store across host OS / kernel versions."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import table6
+
+
+def test_table6_kernels(benchmark):
+    result = reproduce(benchmark, table6.run)
+    centos = [r for r in result.rows if r["os"].startswith("CentOS")]
+    fedora = [r for r in result.rows if r["os"].startswith("Fedora")]
+    assert len(centos) == 3 and len(fedora) == 2
+
+    # transparency: BM-Store runs on every kernel and performs stably
+    centos_iops = [r["kiops"] for r in centos]
+    assert max(centos_iops) / min(centos_iops) < 1.02
+    # paper shape: Fedora a few percent lower, noticeably lower latency gap
+    for f in fedora:
+        assert f["kiops"] < min(centos_iops)
+        assert f["kiops"] > 0.90 * min(centos_iops)
+    # IOPS land near the paper's 642K / ~605K split
+    assert centos_iops[0] == pytest.approx(642, rel=0.08)
+    assert fedora[0]["kiops"] == pytest.approx(603, rel=0.08)

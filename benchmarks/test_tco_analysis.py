@@ -1,0 +1,23 @@
+"""§VI-C — TCO analysis."""
+
+import pytest
+from conftest import reproduce
+
+from repro.experiments import tco_analysis
+
+
+def test_tco_analysis(benchmark):
+    result = reproduce(benchmark, tco_analysis.run)
+    rows = {row["scheme"]: row for row in result.rows}
+
+    # paper: 16 dedicated polling cores strand 128 GB + 2 SSDs
+    assert rows["SPDK vhost"]["sellable_instances"] == 14
+    assert rows["SPDK vhost"]["stranded_mem_gb"] == 128
+    assert rows["SPDK vhost"]["stranded_ssds"] == 2
+    # BM-Store sells the full server
+    assert rows["BM-Store"]["sellable_instances"] == 16
+    assert rows["BM-Store"]["stranded_ssds"] == 0
+    # headline numbers: +14.3% instances, >= 11.3% TCO reduction
+    assert rows["delta"]["sellable_instances"] == "+14.3%"
+    reduction = float(rows["delta"]["tco_per_instance"].strip("-%"))
+    assert reduction == pytest.approx(11.3, abs=0.3)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Fleet operations on a bare-metal host the vendor cannot log into.
+
+The paper's manageability story end to end, entirely out of band:
+
+* provision three tenants with different QoS classes
+* watch the per-tenant I/O monitor while they run
+* hot-upgrade an SSD's firmware under live tenant I/O (no errors)
+* hot-plug-replace a "failing" drive while the tenants' logical disks
+  keep their identities
+
+Run:  python3 examples/fleet_maintenance.py
+"""
+
+from repro.baselines import build_bmstore
+from repro.nvme import NVMeSSD
+from repro.sim.units import GIB, MS, sec
+
+TENANTS = [
+    ("gold", 5, None, None),           # uncapped
+    ("silver", 6, 200_000, 1500.0),    # 200K IOPS / 1.5 GB/s
+    ("bronze", 7, 50_000, 400.0),      # 50K IOPS / 400 MB/s
+]
+
+
+def main() -> None:
+    rig = build_bmstore(num_ssds=4)
+    sim, console = rig.sim, rig.console
+    log = lambda msg: print(f"[t={sim.now / 1e9:7.3f}s] {msg}")
+
+    # --- provision three QoS classes, all out of band ---------------------
+    def provision():
+        for name, fn, iops, mbps in TENANTS:
+            resp = yield console.create_namespace(
+                name, 128 * GIB, max_iops=iops, max_mbps=mbps,
+            )
+            assert resp.ok
+            resp = yield console.bind_namespace(name, fn=fn)
+            assert resp.ok
+            log(f"tenant {name!r} on VF {fn} "
+                f"(cap: {iops or 'unlimited'} IOPS / {mbps or 'unlimited'} MB/s)")
+
+    sim.run(sim.process(provision()))
+
+    # --- tenants run continuous 4K random reads ---------------------------
+    drivers = {
+        name: rig.baremetal_driver(rig.engine.sriov.function_by_id(fn))
+        for name, fn, _, _ in TENANTS
+    }
+    stats = {name: {"ios": 0, "errors": 0} for name, *_ in TENANTS}
+    stop = {"flag": False}
+
+    def tenant_io(name, driver, depth=16):
+        def worker(w):
+            lba = w * 131
+            while not stop["flag"]:
+                info = yield driver.read(lba % driver.num_blocks, 1)
+                stats[name]["ios"] += 1
+                if not info.ok:
+                    stats[name]["errors"] += 1
+                lba += 977
+        for w in range(depth):
+            sim.process(worker(w), name=f"{name}.{w}")
+
+    for name, *_ in TENANTS:
+        tenant_io(name, drivers[name])
+
+    # --- operations timeline ----------------------------------------------
+    def operations():
+        yield sim.timeout(50 * MS)
+        for name, fn, *_ in TENANTS:
+            resp = yield console.io_stats(fn)
+            log(f"monitor {name}: {resp.body['read_ops']} reads so far")
+
+        log("starting firmware hot-upgrade of SSD 0 under live I/O ...")
+        resp = yield console.hot_upgrade(0, version="FW-2026.07", activation_s=6.5)
+        body = resp.body
+        log(f"hot-upgrade done: total {body['total_s']:.2f}s, "
+            f"I/O paused {body['io_pause_s']:.2f}s, "
+            f"BM-Store processing {body['processing_ms']:.0f}ms")
+
+        yield sim.timeout(100 * MS)
+        log("SSD 3 reports as failing; staging replacement and hot-plugging ...")
+        replacement = NVMeSSD(sim, rig.engine.backend_fabric, rig.streams,
+                              name="spare-drive")
+        rig.controller.stage_replacement(3, replacement)
+        resp = yield console.hot_plug_replace(3)
+        log(f"hot-plug done: paused {resp.body['io_pause_ms']:.0f}ms, "
+            f"front-end identity preserved: {resp.body['front_end_preserved']}")
+
+        yield sim.timeout(100 * MS)
+        stop["flag"] = True
+
+    done = sim.process(operations(), name="ops")
+    sim.run(done)
+    sim.run(until=sim.now + sec(0.05))
+
+    print()
+    for name, *_ in TENANTS:
+        s = stats[name]
+        rate = s["ios"] / (sim.now / 1e9)
+        print(f"tenant {name:7}: {s['ios']:8d} I/Os (~{rate / 1000:6.0f} K IOPS "
+              f"avg incl. pauses), {s['errors']} errors")
+    print("\nNo tenant saw a single I/O error through a firmware upgrade "
+          "and a drive replacement — the paper's availability claim.")
+
+
+if __name__ == "__main__":
+    main()

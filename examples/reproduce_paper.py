@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the BM-Store paper.
+
+Prints each reproduced artifact as a text table.  The full sweep takes
+some minutes; ``--quick`` runs the cheap subset, ``--only fig8`` (or any
+id substring) selects specific experiments.
+
+Run:  python3 examples/reproduce_paper.py [--quick] [--only SUBSTR]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig1,
+    fig8_table5,
+    fig9_table7,
+    fig10,
+    fig11,
+    fig12,
+    fig13a,
+    fig13b_table8,
+    fig14,
+    fig15_table9,
+    latency_breakdown,
+    table1,
+    table2,
+    table6,
+    tco_analysis,
+)
+
+EXPERIMENTS = [
+    ("table1", table1.run, True),
+    ("table2", table2.run, True),
+    ("tco", tco_analysis.run, True),
+    ("fig1", fig1.run, False),
+    ("fig8+table5", fig8_table5.run, False),
+    ("table6", table6.run, False),
+    ("fig9+table7", fig9_table7.run, False),
+    ("fig10", fig10.run, False),
+    ("fig11", fig11.run, False),
+    ("fig12", fig12.run, False),
+    ("fig13a", fig13a.run, False),
+    ("fig13b+table8", fig13b_table8.run, False),
+    ("fig14", fig14.run, False),
+    ("fig15+table9", fig15_table9.run, False),
+    ("ablation-zerocopy", ablations.run_zero_copy, False),
+    ("ablation-qos", ablations.run_qos_isolation, False),
+    ("ablation-arm", ablations.run_arm_offload, False),
+    ("latency-breakdown", latency_breakdown.run, False),
+    ("ext-sata", extensions.run_sata_tiers, False),
+    ("ext-remote", extensions.run_remote_tiers, False),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="only the instant (analytic) artifacts")
+    parser.add_argument("--only", default=None,
+                        help="run experiments whose id contains this substring")
+    args = parser.parse_args(argv)
+
+    for exp_id, run, instant in EXPERIMENTS:
+        if args.quick and not instant:
+            continue
+        if args.only and args.only not in exp_id:
+            continue
+        start = time.time()
+        result = run()
+        print(result.table())
+        print(f"  ({time.time() - start:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""BM-Store (HPCA 2023) reproduction.
+
+A discrete-event-simulated rebuild of the paper's entire system: the
+FPGA BMS-Engine datapath, the ARM BMS-Controller management plane, the
+PCIe/NVMe/host substrates underneath, the comparison schemes around it,
+and the database workloads on top.  See README.md for the tour and
+DESIGN.md / EXPERIMENTS.md for the reproduction ledger.
+
+Quick start::
+
+    from repro.baselines import build_bmstore
+    rig = build_bmstore(num_ssds=4)
+    fn = rig.provision("disk0", 256 << 30)
+    driver = rig.baremetal_driver(fn)
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "BM-Store: A Transparent and High-performance Local Storage "
+    "Architecture for Bare-metal Clouds Enabling Large-scale Deployment "
+    "(HPCA 2023)"
+)
+
+__all__ = ["__version__", "__paper__"]

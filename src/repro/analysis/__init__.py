@@ -1,0 +1,6 @@
+"""Result analysis: latency statistics, fairness, TCO model."""
+
+from .metrics import LatencyStats, fairness_index, percentile
+from .report import ascii_bar_chart, render_markdown
+
+__all__ = ["LatencyStats", "fairness_index", "percentile", "ascii_bar_chart", "render_markdown"]

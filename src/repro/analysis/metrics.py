@@ -1,0 +1,68 @@
+"""Latency/throughput statistics for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["LatencyStats", "percentile", "fairness_index"]
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile on pre-sorted data (p in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    rank = max(1, math.ceil(p / 100 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample (nanoseconds)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+    p999_ns: float
+    min_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
+        data = sorted(samples)
+        if not data:
+            raise ValueError("no latency samples")
+        return cls(
+            count=len(data),
+            mean_ns=sum(data) / len(data),
+            p50_ns=percentile(data, 50),
+            p90_ns=percentile(data, 90),
+            p99_ns=percentile(data, 99),
+            p999_ns=percentile(data, 99.9),
+            min_ns=data[0],
+            max_ns=data[-1],
+        )
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1000.0
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1000.0
+
+
+def fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog."""
+    if not values:
+        raise ValueError("fairness of empty data")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,99 @@
+"""Report rendering: markdown reports and terminal bar charts.
+
+``python -m repro reproduce --output report.md`` collects every
+regenerated artifact into one document; the ASCII charts give the
+figure-shaped experiments (Figs. 1/10/11/15) a visual in plain
+terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["ascii_bar_chart", "render_markdown"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    if remainder > 0 and full < width:
+        bar += _BLOCKS[int(remainder * 8)]
+    return bar
+
+
+def ascii_bar_chart(
+    rows: Sequence[dict],
+    x_key: str,
+    y_key: str,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of ``y_key`` per ``x_key`` row."""
+    if not rows:
+        raise ValueError("no rows to chart")
+    values = []
+    for row in rows:
+        value = row.get(y_key)
+        if isinstance(value, (int, float)):
+            values.append(float(value))
+        else:
+            values.append(0.0)
+    peak = max(values) if max(values) > 0 else 1.0
+    label_w = max(len(str(row.get(x_key))) for row in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for row, value in zip(rows, values):
+        label = str(row.get(x_key)).ljust(label_w)
+        lines.append(f"  {label} |{_bar(value / peak, width).ljust(width)}| {value:,.3g}")
+    return "\n".join(lines)
+
+
+#: experiments whose rows chart naturally: id-prefix -> (x, y) keys
+_CHARTABLE = {
+    "fig1": ("cores", "bandwidth_gbps"),
+    "fig10": ("ssds", "bandwidth_gbps"),
+    "fig11": ("vms", "total_gbps"),
+    "ext-sata": ("backend", "kiops"),
+    "ext-remote": ("backend", "bandwidth_gbps"),
+}
+
+
+def render_markdown(results: Sequence[Any], header: str = "") -> str:
+    """One markdown document for a list of ExperimentResult objects."""
+    lines = ["# BM-Store reproduction report", ""]
+    if header:
+        lines += [header, ""]
+    for result in results:
+        lines.append(f"## [{result.experiment_id}] {result.title}")
+        lines.append("")
+        if result.rows:
+            keys = list(result.rows[0])
+            lines.append("| " + " | ".join(keys) + " |")
+            lines.append("|" + "---|" * len(keys))
+            for row in result.rows:
+                lines.append(
+                    "| " + " | ".join(_fmt(row.get(k)) for k in keys) + " |"
+                )
+        for exp_prefix, (x_key, y_key) in _CHARTABLE.items():
+            if result.experiment_id.startswith(exp_prefix) and result.rows:
+                lines.append("")
+                lines.append("```")
+                lines.append(ascii_bar_chart(result.rows, x_key, y_key))
+                lines.append("```")
+                break
+        for note in result.notes:
+            lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

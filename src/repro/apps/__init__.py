@@ -1,0 +1,6 @@
+"""Application substrates: the mini databases the paper's workloads drive."""
+
+from . import minikv, minisql
+from .blockfs import Extent, ExtentAllocator
+
+__all__ = ["minikv", "minisql", "Extent", "ExtentAllocator"]

@@ -1,0 +1,26 @@
+"""MiniKV: LSM-tree key-value store (the RocksDB stand-in for YCSB)."""
+
+from .bloom import BloomFilter
+from .db import MiniKV, MiniKVConfig, MiniKVStats
+from .encoding import TOMBSTONE, decode_records, encode_record, record_size
+from .memtable import MemTable
+from .recovery import KVRecoveryReport, crash_and_recover_kv
+from .sstable import SSTable, SSTableWriter
+from .wal import WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "MiniKV",
+    "MiniKVConfig",
+    "MiniKVStats",
+    "TOMBSTONE",
+    "decode_records",
+    "encode_record",
+    "record_size",
+    "MemTable",
+    "KVRecoveryReport",
+    "crash_and_recover_kv",
+    "SSTable",
+    "SSTableWriter",
+    "WriteAheadLog",
+]

@@ -1,0 +1,43 @@
+"""Bloom filter for SSTable key membership.
+
+One filter per table keeps point lookups from touching disk for tables
+that cannot contain the key — the standard LSM read-amplification
+control; its false-positive rate directly shapes YCSB read latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Classic k-hash bloom filter over a bit array."""
+
+    def __init__(self, expected_items: int, bits_per_key: int = 10):
+        self.num_bits = max(64, expected_items * bits_per_key)
+        self.num_hashes = max(1, int(bits_per_key * 0.69))  # ln2 * bits/key
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.items = 0
+
+    def _positions(self, key: bytes):
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.items += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)

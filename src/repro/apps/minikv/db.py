@@ -1,0 +1,315 @@
+"""MiniKV: a leveled LSM-tree key-value store (the RocksDB stand-in).
+
+The full write path — WAL group commit, memtable, flush to L0,
+leveled background compaction — and the full read path — memtable,
+L0 newest-first, leveled binary search, bloom filters, block reads —
+run against the simulated block device, so YCSB on MiniKV exercises the
+storage schemes with genuine LSM I/O patterns (log appends, sequential
+flushes, compaction read/write bursts, random point reads).
+
+All methods are process generators: drive them with ``yield from``
+inside a simulation process.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...host.block import BlockTarget
+from ...sim import Event, SimulationError, Simulator
+from ...sim.units import MIB
+from ..blockfs import ExtentAllocator
+from .encoding import TOMBSTONE, decode_records
+from .memtable import MemTable
+from .sstable import SSTable, SSTableWriter
+from .wal import WriteAheadLog
+
+__all__ = ["MiniKVConfig", "MiniKVStats", "MiniKV"]
+
+
+@dataclass(frozen=True)
+class MiniKVConfig:
+    """Tuning knobs of one MiniKV instance."""
+    memtable_bytes: int = 2 * MIB
+    l0_compaction_trigger: int = 4
+    level_size_multiplier: int = 8
+    max_levels: int = 5
+    target_table_bytes: int = 2 * MIB
+    wal_ring_blocks: int = 8192
+    #: carry real bytes through the device (integrity mode) or keep
+    #: authoritative copies in memory and charge timing only
+    carry_data: bool = False
+    sync_writes: bool = True
+    #: CPU time per client operation (memtable/index work)
+    op_cpu_ns: int = 2_000
+
+
+@dataclass
+class MiniKVStats:
+    """Operation, cache, flush, and compaction counters."""
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    scans: int = 0
+    hits: int = 0
+    misses: int = 0
+    block_reads: int = 0
+    bloom_skips: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    compacted_bytes: int = 0
+    write_stall_ns: int = 0
+
+
+class MiniKV:
+    """The database instance on one block device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: BlockTarget,
+        config: MiniKVConfig = MiniKVConfig(),
+        name: str = "minikv",
+    ):
+        self.sim = sim
+        self.device = device
+        self.config = config
+        self.name = name
+        self.stats = MiniKVStats()
+        self.allocator = ExtentAllocator(device, base_lba=config.wal_ring_blocks)
+        from ..blockfs import Extent
+
+        self.wal = WriteAheadLog(
+            sim, device, Extent(0, config.wal_ring_blocks), carry_data=config.carry_data
+        )
+        self.memtable = MemTable(config.memtable_bytes)
+        self.levels: list[list[SSTable]] = [[] for _ in range(config.max_levels)]
+        self._sequence = 0
+        self._next_table_id = 0
+        self._flush_lock: Optional[Event] = None
+        self._compacting = False
+        #: MANIFEST role: sequence number fully covered by SSTables —
+        #: WAL records at or below it are obsolete after a flush
+        self.flushed_through_seq = 0
+
+    # ------------------------------------------------------------ public API
+    def _op_cpu(self):
+        if self.config.op_cpu_ns:
+            yield self.sim.timeout(self.config.op_cpu_ns)
+
+    def put(self, key: bytes, value: bytes):
+        """Process generator: durable insert/update.
+
+        The tombstone sentinel is reserved for :meth:`delete`.
+        """
+        if value == TOMBSTONE:
+            raise ValueError("value collides with the reserved tombstone sentinel")
+        self.stats.puts += 1
+        yield from self._op_cpu()
+        yield from self._write(key, value)
+
+    def delete(self, key: bytes):
+        self.stats.deletes += 1
+        yield from self._write(key, TOMBSTONE)
+
+    def get(self, key: bytes):
+        """Process generator: returns the value or None."""
+        self.stats.gets += 1
+        yield from self._op_cpu()
+        hit = self.memtable.get(key)
+        if hit is not None:
+            value, _ = hit
+            return self._found(value)
+        # L0: newest table first (overlapping ranges)
+        for table in reversed(self.levels[0]):
+            value = yield from self._probe_table(table, key)
+            if value is not None:
+                return self._found(value)
+        # deeper levels: at most one candidate table per level
+        for level in self.levels[1:]:
+            table = self._level_candidate(level, key)
+            if table is None:
+                continue
+            value = yield from self._probe_table(table, key)
+            if value is not None:
+                return self._found(value)
+        self.stats.misses += 1
+        return None
+
+    def scan(self, start: bytes, end: bytes, limit: int = 100):
+        """Process generator: merged range scan, newest version wins."""
+        self.stats.scans += 1
+        merged: dict[bytes, tuple[bytes, int]] = {}
+        for key, value, seq in self.memtable.scan(start, end):
+            merged[key] = (value, seq)
+        for level_idx, level in enumerate(self.levels):
+            for table in level:
+                if not table.overlaps(start, end):
+                    continue
+                lo = table.block_for(start)
+                hi = table.block_for(end)
+                lo = 0 if lo is None else lo
+                hi = table.num_blocks - 1 if hi is None else hi
+                for block_idx in range(lo, hi + 1):
+                    blob = yield from self._read_block(table, block_idx)
+                    for key, value, seq in decode_records(blob):
+                        if start <= key < end:
+                            old = merged.get(key)
+                            if old is None or seq > old[1]:
+                                merged[key] = (value, seq)
+        out = [
+            (k, v) for k, (v, _) in sorted(merged.items()) if v != TOMBSTONE
+        ]
+        return out[:limit]
+
+    # --------------------------------------------------------------- writes
+    def _write(self, key: bytes, value: bytes):
+        self._sequence += 1
+        seq = self._sequence
+        self.wal.append(key, value, seq)
+        self.memtable.put(key, value, seq)
+        if self.config.sync_writes:
+            yield self.wal.sync()
+        if self.memtable.should_flush:
+            yield from self._flush_memtable()
+
+    def _flush_memtable(self):
+        """Write-stall flush: the triggering writer pays for it."""
+        if self._flush_lock is not None:
+            stall_start = self.sim.now
+            yield self._flush_lock
+            self.stats.write_stall_ns += self.sim.now - stall_start
+            return
+        self._flush_lock = self.sim.event(name=f"{self.name}.flush")
+        full, self.memtable = self.memtable, MemTable(self.config.memtable_bytes)
+        writer = self._writer(level=0, expected=len(full))
+        for key, value, seq in full.sorted_items():
+            writer.add(key, value, seq)
+        table = yield from writer.finish()
+        if table is not None:
+            self.levels[0].append(table)
+            self.stats.flushes += 1
+            self.flushed_through_seq = max(
+                self.flushed_through_seq,
+                max(seq for _, _, seq in full.sorted_items()),
+            )
+        lock, self._flush_lock = self._flush_lock, None
+        lock.succeed()
+        if len(self.levels[0]) >= self.config.l0_compaction_trigger and not self._compacting:
+            self._compacting = True
+            self.sim.process(self._compact_l0(), name=f"{self.name}.compact")
+
+    def _writer(self, level: int, expected: int) -> SSTableWriter:
+        self._next_table_id += 1
+        return SSTableWriter(
+            self.sim, self.device, self.allocator, self._next_table_id,
+            level, expected, carry_data=self.config.carry_data,
+        )
+
+    # ----------------------------------------------------------- compaction
+    def _compact_l0(self):
+        """Merge all of L0 with the overlapping part of L1."""
+        try:
+            sources = list(self.levels[0])
+            if not sources:
+                return
+            min_key = min(t.min_key for t in sources)
+            max_key = max(t.max_key for t in sources)
+            l1_overlap = [t for t in self.levels[1] if t.overlaps(min_key, max_key)]
+            inputs = sources + l1_overlap
+            merged: dict[bytes, tuple[bytes, int]] = {}
+            for table in inputs:
+                for block_idx in range(table.num_blocks):
+                    blob = yield from self._read_block(table, block_idx)
+                    for key, value, seq in decode_records(blob):
+                        old = merged.get(key)
+                        if old is None or seq > old[1]:
+                            merged[key] = (value, seq)
+                    self.stats.compacted_bytes += 4096
+            # write new L1 tables at the target size
+            new_tables: list[SSTable] = []
+            writer = None
+            written = 0
+            for key in sorted(merged):
+                value, seq = merged[key]
+                if value == TOMBSTONE:
+                    continue  # compaction drops deletions at the last level
+                if writer is None:
+                    writer = self._writer(level=1, expected=len(merged))
+                writer.add(key, value, seq)
+                written += len(key) + len(value) + 16
+                if written >= self.config.target_table_bytes:
+                    table = yield from writer.finish()
+                    if table:
+                        new_tables.append(table)
+                    writer = None
+                    written = 0
+            if writer is not None:
+                table = yield from writer.finish()
+                if table:
+                    new_tables.append(table)
+            # swap: remove inputs, insert outputs (sorted by key)
+            for table in sources:
+                self.levels[0].remove(table)
+                self.allocator.free(table.extent)
+            for table in l1_overlap:
+                self.levels[1].remove(table)
+                self.allocator.free(table.extent)
+            self.levels[1].extend(new_tables)
+            self.levels[1].sort(key=lambda t: t.min_key)
+            self.stats.compactions += 1
+        finally:
+            self._compacting = False
+        if len(self.levels[0]) >= self.config.l0_compaction_trigger:
+            self._compacting = True
+            self.sim.process(self._compact_l0(), name=f"{self.name}.compact")
+
+    # ---------------------------------------------------------------- reads
+    def _level_candidate(self, level: list[SSTable], key: bytes) -> Optional[SSTable]:
+        if not level:
+            return None
+        idx = bisect.bisect_right([t.min_key for t in level], key) - 1
+        if idx < 0:
+            return None
+        table = level[idx]
+        return table if table.min_key <= key <= table.max_key else None
+
+    def _probe_table(self, table: SSTable, key: bytes):
+        if not table.bloom.might_contain(key):
+            self.stats.bloom_skips += 1
+            return None
+        block_idx = table.block_for(key)
+        if block_idx is None:
+            return None
+        blob = yield from self._read_block(table, block_idx)
+        hit = table.get_from_block(blob, key)
+        return hit[0] if hit else None
+
+    def _read_block(self, table: SSTable, block_idx: int):
+        self.stats.block_reads += 1
+        info = yield self.device.read(
+            table.extent.lba + block_idx, 1, **self._read_kwargs()
+        )
+        if not info.ok:
+            raise SimulationError("SSTable block read failed")
+        if self.config.carry_data:
+            return info.data or b""
+        assert table.shadow_blocks is not None
+        return table.shadow_blocks[block_idx]
+
+    def _read_kwargs(self) -> dict:
+        return {"want_data": True} if self.config.carry_data else {}
+
+    def _found(self, value: bytes) -> Optional[bytes]:
+        if value == TOMBSTONE:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def level_table_counts(self) -> list[int]:
+        return [len(level) for level in self.levels]

@@ -1,0 +1,51 @@
+"""Record encoding for the LSM store: WAL records and SST blocks.
+
+Length-prefixed binary framing so records survive block packing and
+partial-block reads exactly like an on-disk format must.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+__all__ = [
+    "encode_record",
+    "decode_records",
+    "record_size",
+    "TOMBSTONE",
+]
+
+#: value sentinel for deletions
+TOMBSTONE = b"\x00__tombstone__\x00"
+
+_HEADER = struct.Struct("<IIQ")  # key_len, value_len, sequence
+
+
+def record_size(key: bytes, value: bytes) -> int:
+    """On-disk bytes one framed record occupies."""
+    return _HEADER.size + len(key) + len(value)
+
+
+def encode_record(key: bytes, value: bytes, sequence: int) -> bytes:
+    """One framed record: header + key + value."""
+    if not key:
+        raise ValueError("empty key")
+    return _HEADER.pack(len(key), len(value), sequence) + key + value
+
+
+def decode_records(blob: bytes) -> Iterator[tuple[bytes, bytes, int]]:
+    """Yield (key, value, sequence) until padding/garbage is reached."""
+    offset = 0
+    while offset + _HEADER.size <= len(blob):
+        key_len, value_len, sequence = _HEADER.unpack_from(blob, offset)
+        if key_len == 0:
+            return  # zero padding marks end-of-block
+        offset += _HEADER.size
+        if offset + key_len + value_len > len(blob):
+            return  # truncated tail (torn write)
+        key = blob[offset : offset + key_len]
+        offset += key_len
+        value = blob[offset : offset + value_len]
+        offset += value_len
+        yield key, value, sequence

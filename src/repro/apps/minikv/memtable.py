@@ -1,0 +1,50 @@
+"""In-memory write buffer of the LSM store."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .encoding import TOMBSTONE, record_size
+
+__all__ = ["MemTable"]
+
+
+class MemTable:
+    """Sorted-on-demand mutable table; sized by encoded bytes."""
+
+    def __init__(self, flush_threshold_bytes: int = 4 * 1024 * 1024):
+        self.flush_threshold = flush_threshold_bytes
+        self._data: dict[bytes, tuple[bytes, int]] = {}
+        self.bytes_used = 0
+
+    def put(self, key: bytes, value: bytes, sequence: int) -> None:
+        old = self._data.get(key)
+        if old is not None:
+            self.bytes_used -= record_size(key, old[0])
+        self._data[key] = (value, sequence)
+        self.bytes_used += record_size(key, value)
+
+    def delete(self, key: bytes, sequence: int) -> None:
+        self.put(key, TOMBSTONE, sequence)
+
+    def get(self, key: bytes) -> Optional[tuple[bytes, int]]:
+        """Returns (value, sequence); value may be the tombstone."""
+        return self._data.get(key)
+
+    @property
+    def should_flush(self) -> bool:
+        return self.bytes_used >= self.flush_threshold
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def sorted_items(self) -> Iterator[tuple[bytes, bytes, int]]:
+        for key in sorted(self._data):
+            value, sequence = self._data[key]
+            yield key, value, sequence
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes, int]]:
+        for key in sorted(self._data):
+            if start <= key < end:
+                value, sequence = self._data[key]
+                yield key, value, sequence

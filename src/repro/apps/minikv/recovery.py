@@ -1,0 +1,74 @@
+"""Crash recovery for MiniKV: MANIFEST restore + WAL replay.
+
+A crash loses the memtable and any WAL tail that was never synced.
+What survives on the device: every SSTable (immutable once written),
+the MANIFEST metadata (level layout + the sequence number flushes have
+covered), and the synced prefix of the WAL ring.  Recovery reopens the
+store from the manifest and replays durable WAL records newer than the
+flushed-through sequence into a fresh memtable — RocksDB's restart
+sequence.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ...sim.units import PAGE_SIZE
+from .db import MiniKV
+from .encoding import TOMBSTONE
+
+__all__ = ["KVRecoveryReport", "crash_and_recover_kv"]
+
+
+class KVRecoveryReport:
+    """What the LSM recovery pass restored and replayed."""
+    def __init__(self) -> None:
+        self.tables_restored = 0
+        self.wal_records_scanned = 0
+        self.wal_records_replayed = 0
+        self.wal_blocks_read = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<KVRecoveryReport tables={self.tables_restored} "
+            f"replayed={self.wal_records_replayed}/{self.wal_records_scanned}>"
+        )
+
+
+def crash_and_recover_kv(
+    crashed: MiniKV, report: Optional[KVRecoveryReport] = None
+):
+    """Process generator: returns the recovered :class:`MiniKV`."""
+    report = report if report is not None else KVRecoveryReport()
+
+    recovered = MiniKV(crashed.sim, crashed.device, crashed.config,
+                       name=f"{crashed.name}.recovered")
+    # MANIFEST restore: level layout and immutable tables survive
+    recovered.levels = [list(level) for level in crashed.levels]
+    recovered.allocator = copy.copy(crashed.allocator)
+    recovered._next_table_id = crashed._next_table_id
+    recovered.flushed_through_seq = crashed.flushed_through_seq
+    report.tables_restored = sum(len(level) for level in recovered.levels)
+
+    # WAL replay: read back the synced ring region (timed), then apply
+    # records beyond the flushed-through sequence to a fresh memtable
+    durable = list(crashed.wal.durable_records)
+    report.wal_records_scanned = len(durable)
+    blocks_to_scan = min(crashed.wal.synced_blocks, crashed.wal.extent.nblocks)
+    offset = 0
+    while offset < blocks_to_scan:
+        chunk = min(64, blocks_to_scan - offset)
+        yield crashed.device.read(crashed.wal.extent.lba + offset, chunk)
+        report.wal_blocks_read += chunk
+        offset += chunk
+
+    max_seq = crashed.flushed_through_seq
+    for key, value, seq in durable:
+        max_seq = max(max_seq, seq)
+        if seq <= crashed.flushed_through_seq:
+            continue  # already covered by a flushed SSTable
+        recovered.memtable.put(key, value, seq)
+        report.wal_records_replayed += 1
+    recovered._sequence = max_seq
+    return recovered

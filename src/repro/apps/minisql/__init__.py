@@ -1,0 +1,27 @@
+"""MiniSQL: transactional page engine (MySQL/InnoDB stand-in)."""
+
+from .buffer_pool import BufferPool, BufferPoolStats
+from .engine import MiniSQL, MiniSQLConfig, Transaction
+from .pages import PAGE_BLOCKS, PAGE_BYTES, Page, PageStore
+from .recovery import RecoveryReport, crash_and_recover
+from .redo import RedoLog, RedoRecord
+from .table import SortedKeyIndex, Table, TableSchema
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStats",
+    "MiniSQL",
+    "MiniSQLConfig",
+    "Transaction",
+    "PAGE_BLOCKS",
+    "PAGE_BYTES",
+    "Page",
+    "PageStore",
+    "RecoveryReport",
+    "crash_and_recover",
+    "RedoLog",
+    "RedoRecord",
+    "SortedKeyIndex",
+    "Table",
+    "TableSchema",
+]

@@ -1,0 +1,174 @@
+"""Tables with a clustered primary-key index.
+
+Rows live in pages; the primary index maps key -> (page_id, slot).
+Index nodes are modeled memory-resident (the hot-index approximation —
+InnoDB's non-leaf B-tree levels are effectively always cached), while
+every *row* access goes through the buffer pool and thus the device.
+Range access walks the ordered index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ...sim import SimulationError
+from .buffer_pool import BufferPool
+from .pages import PageStore
+
+__all__ = ["TableSchema", "Table", "SortedKeyIndex"]
+
+
+class SortedKeyIndex:
+    """Ordered map with items_from() iteration (bisect-backed)."""
+
+    def __init__(self) -> None:
+        self._keys: list = []
+        self._map: dict = {}
+
+    def put(self, key, value) -> None:
+        if key not in self._map:
+            bisect.insort(self._keys, key)
+        self._map[key] = value
+
+    def get(self, key):
+        return self._map.get(key)
+
+    def pop(self, key):
+        value = self._map.pop(key, None)
+        if value is not None:
+            idx = bisect.bisect_left(self._keys, key)
+            if idx < len(self._keys) and self._keys[idx] == key:
+                self._keys.pop(idx)
+        return value
+
+    def items_from(self, start_key) -> Iterator:
+        idx = bisect.bisect_left(self._keys, start_key)
+        for key in list(self._keys[idx:]):
+            value = self._map.get(key)
+            if value is not None:  # deleted by a concurrent transaction
+                yield key, value
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Column layout, key column, and page-packing parameters."""
+    name: str
+    key_column: str
+    columns: tuple[str, ...]
+    rows_per_page: int = 64
+    avg_row_bytes: int = 200
+
+    def validate(self, row: dict[str, Any]) -> None:
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise SimulationError(f"{self.name}: row missing columns {missing}")
+        if self.key_column not in row:
+            raise SimulationError(f"{self.name}: row missing key")
+
+
+class Table:
+    """One table in a tablespace."""
+
+    def __init__(self, schema: TableSchema, pool: BufferPool, store: PageStore):
+        self.schema = schema
+        self.pool = pool
+        self.store = store
+        self.index = SortedKeyIndex()
+        self._open_page: Optional[int] = None
+        self.row_count = 0
+
+    # ---------------------------------------------------------------- insert
+    def insert(self, row: dict[str, Any]):
+        """Process generator: place the row and index it (no logging —
+        the engine wraps this in a transaction)."""
+        self.schema.validate(row)
+        key = row[self.schema.key_column]
+        if self.index.get(key) is not None:
+            raise SimulationError(f"{self.schema.name}: duplicate key {key!r}")
+        if self._open_page is None:
+            self._open_page = self.store.allocate_page(owner=self.schema.name)
+        page = yield from self.pool.fetch(self._open_page)
+        try:
+            if page.slot_count >= self.schema.rows_per_page:
+                self.pool.unpin(page)
+                self._open_page = self.store.allocate_page(owner=self.schema.name)
+                page = yield from self.pool.fetch(self._open_page)
+            slot = page.slot_count
+            page.rows[slot] = dict(row)
+            page.dirty = True
+            self.index.put(key, (page.page_id, slot))
+            self.row_count += 1
+            return page
+        finally:
+            self.pool.unpin(page)
+
+    # ----------------------------------------------------------------- point
+    def select(self, key: Any):
+        """Process generator: the row dict or None."""
+        loc = self.index.get(key)
+        if loc is None:
+            return None
+        page_id, slot = loc
+        page = yield from self.pool.fetch(page_id)
+        try:
+            row = page.rows.get(slot)
+            return dict(row) if row is not None else None
+        finally:
+            self.pool.unpin(page)
+
+    def update(self, key: Any, changes: dict[str, Any]):
+        """Process generator: apply changes; returns (page, before) or
+        (None, None) — the before-image feeds the undo log."""
+        loc = self.index.get(key)
+        if loc is None:
+            return None, None
+        page_id, slot = loc
+        page = yield from self.pool.fetch(page_id)
+        try:
+            row = page.rows.get(slot)
+            if row is None:
+                return None, None
+            before = {col: row[col] for col in changes if col in row}
+            row.update(changes)
+            page.dirty = True
+            return page, before
+        finally:
+            self.pool.unpin(page)
+
+    def delete(self, key: Any):
+        """Process generator: remove the row; returns (page, before_row)
+        or (None, None)."""
+        loc = self.index.pop(key)
+        if loc is None:
+            return None, None
+        page_id, slot = loc
+        page = yield from self.pool.fetch(page_id)
+        try:
+            before = page.rows.pop(slot, None)
+            if before is not None:
+                page.dirty = True
+                self.row_count -= 1
+            return page, before
+        finally:
+            self.pool.unpin(page)
+
+    # ----------------------------------------------------------------- range
+    def select_range(self, start_key: Any, limit: int):
+        """Process generator: up to ``limit`` rows from start_key upward."""
+        rows = []
+        for key, (page_id, slot) in self.index.items_from(start_key):
+            if len(rows) >= limit:
+                break
+            page = yield from self.pool.fetch(page_id)
+            try:
+                row = page.rows.get(slot)
+                if row is not None:
+                    rows.append(dict(row))
+            finally:
+                self.pool.unpin(page)
+        return rows

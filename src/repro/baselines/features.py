@@ -1,0 +1,113 @@
+"""Feature matrix of local-storage schemes — paper Table I.
+
+Each scheme is described by the capabilities the paper compares:
+host efficiency, compatibility, transparency, performance,
+deployability, manageability — derived from structural properties
+(does it need host cores? custom drivers? special devices?) rather
+than hand-entered booleans, so the table is a *consequence* of the
+scheme models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SchemeProperties", "FEATURE_COLUMNS", "SCHEMES", "feature_matrix"]
+
+FEATURE_COLUMNS = (
+    "host_efficiency",
+    "compatibility",
+    "transparency",
+    "performance",
+    "deployability",
+    "manageability",
+)
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """Structural properties of one virtualization scheme."""
+
+    name: str
+    dedicated_host_cores: int  # polling/emulation cores required
+    requires_custom_driver: bool  # host/guest driver or QEMU changes
+    requires_special_device: bool  # e.g. SR-IOV-capable SSDs only
+    single_disk_throughput: float  # fraction of native (paper-reported)
+    architecture: str  # "software" | "p2p" | "direct-attached" | "device"
+    out_of_band_management: bool
+
+    # -- derived Table I columns -------------------------------------------
+    @property
+    def host_efficiency(self) -> bool:
+        return self.dedicated_host_cores == 0
+
+    @property
+    def compatibility(self) -> bool:
+        """Works with commodity NVMe drives from any vendor."""
+        return not self.requires_special_device
+
+    @property
+    def transparency(self) -> bool:
+        """No software installed in the tenant's host OS."""
+        return not self.requires_custom_driver
+
+    @property
+    def performance(self) -> bool:
+        """Near-native single-disk throughput (>= 80%)."""
+        return self.single_disk_throughput >= 0.80
+
+    @property
+    def deployability(self) -> bool:
+        """Deployable at scale on bare-metal instances.
+
+        Software schemes deploy trivially where the vendor controls the
+        host; P2P hardware schemes need host-side drivers, which
+        bare-metal tenants will not install.
+        """
+        return self.architecture != "p2p"
+
+    @property
+    def manageability(self) -> bool:
+        return self.out_of_band_management
+
+    def row(self) -> dict[str, bool]:
+        return {col: getattr(self, col) for col in FEATURE_COLUMNS}
+
+
+SCHEMES: dict[str, SchemeProperties] = {
+    "MDev-NVMe": SchemeProperties(
+        name="MDev-NVMe", dedicated_host_cores=1, requires_custom_driver=True,
+        requires_special_device=False, single_disk_throughput=0.95,
+        architecture="software", out_of_band_management=False,
+    ),
+    "SPDK vhost": SchemeProperties(
+        name="SPDK vhost", dedicated_host_cores=1, requires_custom_driver=True,
+        requires_special_device=False, single_disk_throughput=0.90,
+        architecture="software", out_of_band_management=False,
+    ),
+    "SR-IOV": SchemeProperties(
+        name="SR-IOV", dedicated_host_cores=0, requires_custom_driver=False,
+        requires_special_device=True, single_disk_throughput=0.98,
+        architecture="device", out_of_band_management=False,
+    ),
+    "LeapIO": SchemeProperties(
+        name="LeapIO", dedicated_host_cores=0, requires_custom_driver=True,
+        requires_special_device=False, single_disk_throughput=0.68,
+        architecture="p2p", out_of_band_management=False,
+    ),
+    "FVM": SchemeProperties(
+        name="FVM", dedicated_host_cores=0, requires_custom_driver=True,
+        requires_special_device=False, single_disk_throughput=0.97,
+        architecture="p2p", out_of_band_management=False,
+    ),
+    "BM-Store": SchemeProperties(
+        name="BM-Store", dedicated_host_cores=0, requires_custom_driver=False,
+        requires_special_device=False, single_disk_throughput=0.96,
+        architecture="direct-attached", out_of_band_management=True,
+    ),
+}
+
+
+def feature_matrix() -> dict[str, dict[str, bool]]:
+    """Table I: scheme -> {feature: supported}."""
+    return {name: scheme.row() for name, scheme in SCHEMES.items()}

@@ -1,0 +1,28 @@
+"""Native-disk baseline.
+
+The paper's bare-metal baseline is simply the host NVMe driver on the
+physical drive; :func:`repro.baselines.rigs.build_native` constructs
+it.  This module holds the scheme-level description used in reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NATIVE_SCHEME"]
+
+
+@dataclass(frozen=True)
+class _NativeScheme:
+    name: str = "Native Disk"
+    shareable: bool = False
+    virtualized: bool = False
+    dedicated_cores: int = 0
+    description: str = (
+        "Physical NVMe drive bound by the standard host driver; the "
+        "performance ceiling every virtualization scheme is measured "
+        "against."
+    )
+
+
+NATIVE_SCHEME = _NativeScheme()

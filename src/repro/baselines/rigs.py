@@ -1,0 +1,246 @@
+"""Rig builders: one-call construction of every storage scheme.
+
+Tests, benchmarks, and examples all build their worlds through these,
+so every experiment compares schemes on identical substrates (same
+host, same drives, same kernel profile, same random streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.controller import BMSController, ControllerTimings
+from ..core.engine import BMSEngine, EngineTimings
+from ..core.qos import QoSLimits
+from ..core.sriov_layer import FrontEndFunction
+from ..host.driver import NVMeDriver
+from ..host.environment import Host
+from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
+from ..host.vm import VirtualMachine, VMProfile
+from ..mgmt.console import RemoteConsole
+from ..nvme.flash import FlashProfile, P4510_PROFILE
+from ..nvme.ssd import NVMeSSD
+from ..sim import Simulator, StreamFactory
+from .spdk_vhost import SPDKConfig, SPDKVhostTarget, VhostBlockDevice
+from .vfio import VFIOAssignment
+
+__all__ = [
+    "NativeRig",
+    "BMStoreRig",
+    "VFIORig",
+    "SPDKRig",
+    "build_native",
+    "build_bmstore",
+    "build_vfio",
+    "build_spdk",
+]
+
+
+def _base_world(
+    seed: int, kernel: KernelProfile, num_cores: int = 48
+) -> tuple[Simulator, StreamFactory, Host]:
+    sim = Simulator()
+    streams = StreamFactory(root_seed=seed)
+    host = Host(sim, streams, kernel=kernel, num_cores=num_cores)
+    return sim, streams, host
+
+
+# ---------------------------------------------------------------- native
+@dataclass
+class NativeRig:
+    """Bare-metal: the host NVMe driver directly on physical drives."""
+
+    sim: Simulator
+    streams: StreamFactory
+    host: Host
+    ssds: list[NVMeSSD]
+    drivers: list[NVMeDriver]
+
+    def driver(self, index: int = 0) -> NVMeDriver:
+        return self.drivers[index]
+
+
+def build_native(
+    num_ssds: int = 1,
+    kernel: KernelProfile = DEFAULT_KERNEL,
+    seed: int = 7,
+    queue_depth: int = 1024,
+    num_io_queues: int = 4,
+    flash_profile: FlashProfile = P4510_PROFILE,
+) -> NativeRig:
+    """A bare-metal world: host + drives + bound drivers."""
+    sim, streams, host = _base_world(seed, kernel)
+    ssds = [
+        NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
+        for i in range(num_ssds)
+    ]
+    drivers = [
+        NVMeDriver(host, ssd, queue_depth=queue_depth,
+                   num_io_queues=num_io_queues, name=f"nvme{i}")
+        for i, ssd in enumerate(ssds)
+    ]
+    return NativeRig(sim, streams, host, ssds, drivers)
+
+
+# --------------------------------------------------------------- BM-Store
+@dataclass
+class BMStoreRig:
+    """The full BM-Store deployment: engine + controller + console."""
+
+    sim: Simulator
+    streams: StreamFactory
+    host: Host
+    engine: BMSEngine
+    controller: BMSController
+    console: RemoteConsole
+    ssds: list[NVMeSSD]
+    _next_vf: int = 5  # fn 1..4 are PFs; VMs get VFs from 5 up
+
+    def provision(
+        self,
+        key: str,
+        size_bytes: int,
+        fn_id: Optional[int] = None,
+        placement: Optional[list[int]] = None,
+        limits: Optional[QoSLimits] = None,
+    ) -> FrontEndFunction:
+        """Create a namespace and bind it to a front-end function."""
+        if fn_id is None:
+            fn_id = self._next_vf
+            self._next_vf += 1
+        self.engine.create_namespace(key, size_bytes, placement=placement, limits=limits)
+        return self.engine.bind_namespace(key, fn_id)
+
+    def baremetal_driver(
+        self,
+        fn: FrontEndFunction,
+        queue_depth: int = 1024,
+        num_io_queues: int = 4,
+    ) -> NVMeDriver:
+        return NVMeDriver(
+            self.host, fn, queue_depth=queue_depth,
+            num_io_queues=num_io_queues, name=f"bms.fn{fn.fn_id}",
+        )
+
+    def vm_driver(
+        self,
+        vm: VirtualMachine,
+        fn: FrontEndFunction,
+        queue_depth: int = 1024,
+    ) -> NVMeDriver:
+        return vm.bind_nvme(fn, queue_depth=queue_depth)
+
+
+def build_bmstore(
+    num_ssds: int = 4,
+    kernel: KernelProfile = DEFAULT_KERNEL,
+    seed: int = 7,
+    qos_enabled: bool = True,
+    zero_copy: bool = True,
+    timings: EngineTimings = EngineTimings(),
+    controller_timings: ControllerTimings = ControllerTimings(),
+    flash_profile: FlashProfile = P4510_PROFILE,
+) -> BMStoreRig:
+    """A full BM-Store world: host + engine/controller/console + drives."""
+    sim, streams, host = _base_world(seed, kernel)
+    engine = BMSEngine(
+        host, timings=timings, qos_enabled=qos_enabled, zero_copy=zero_copy
+    )
+    controller = BMSController(engine, timings=controller_timings)
+    console = RemoteConsole(host, engine.front_port.name)
+    ssds = []
+    for i in range(num_ssds):
+        ssd = NVMeSSD(
+            sim, engine.backend_fabric, streams, name=f"bssd{i}",
+            profile=flash_profile,
+        )
+        engine.attach_ssd(ssd)
+        ssds.append(ssd)
+    return BMStoreRig(sim, streams, host, engine, controller, console, ssds)
+
+
+# ------------------------------------------------------------------ VFIO
+@dataclass
+class VFIORig:
+    """Pass-through: whole drives assigned to VMs through the IOMMU."""
+
+    sim: Simulator
+    streams: StreamFactory
+    host: Host
+    ssds: list[NVMeSSD]
+    vms: list[VirtualMachine]
+    drivers: list[NVMeDriver]
+    assignment: VFIOAssignment
+
+    def driver(self, index: int = 0) -> NVMeDriver:
+        return self.drivers[index]
+
+
+def build_vfio(
+    num_vms: int = 1,
+    kernel: KernelProfile = DEFAULT_KERNEL,
+    guest_kernel: Optional[KernelProfile] = None,
+    vm_profile: VMProfile = VMProfile(),
+    seed: int = 7,
+    queue_depth: int = 1024,
+    flash_profile: FlashProfile = P4510_PROFILE,
+) -> VFIORig:
+    """Pass-through worlds: one whole drive per VM."""
+    sim, streams, host = _base_world(seed, kernel)
+    assignment = VFIOAssignment()
+    ssds, vms, drivers = [], [], []
+    for i in range(num_vms):
+        ssd = NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
+        vm = VirtualMachine(host, f"vm{i}", profile=vm_profile,
+                            guest_kernel=guest_kernel or kernel)
+        driver = assignment.assign(vm, ssd, queue_depth=queue_depth)
+        ssds.append(ssd)
+        vms.append(vm)
+        drivers.append(driver)
+    return VFIORig(sim, streams, host, ssds, vms, drivers, assignment)
+
+
+# ------------------------------------------------------------------ SPDK
+@dataclass
+class SPDKRig:
+    """SPDK vhost: polling cores + virtio disks for VMs."""
+
+    sim: Simulator
+    streams: StreamFactory
+    host: Host
+    ssds: list[NVMeSSD]
+    target: SPDKVhostTarget
+    vdevs: list[VhostBlockDevice]
+
+    def vdev(self, index: int = 0) -> VhostBlockDevice:
+        return self.vdevs[index]
+
+
+def build_spdk(
+    num_ssds: int = 1,
+    num_cores: int = 1,
+    num_vdevs: int = 1,
+    vdev_blocks: Optional[int] = None,
+    kernel: KernelProfile = DEFAULT_KERNEL,
+    seed: int = 7,
+    config: SPDKConfig = SPDKConfig(),
+    flash_profile: FlashProfile = P4510_PROFILE,
+) -> SPDKRig:
+    """An SPDK vhost world: polling cores + virtio vdevs."""
+    sim, streams, host = _base_world(seed, kernel)
+    ssds = [
+        NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
+        for i in range(num_ssds)
+    ]
+    target = SPDKVhostTarget(host, ssds, num_cores=num_cores, config=config)
+    vdevs = []
+    blocks = vdev_blocks or (256 * 1024**3 // 4096)
+    per_ssd_next: dict[int, int] = {}
+    for i in range(num_vdevs):
+        ssd_index = i % num_ssds
+        base = per_ssd_next.get(ssd_index, 0)
+        per_ssd_next[ssd_index] = base + blocks
+        vdevs.append(target.create_vdev(f"vd{i}", ssd_index, base, blocks))
+    target.start()
+    return SPDKRig(sim, streams, host, ssds, target, vdevs)

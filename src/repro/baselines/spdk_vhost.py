@@ -1,0 +1,302 @@
+"""SPDK vhost baseline: software storage virtualization on polling cores.
+
+The comparison target of the paper's Figs. 1, 9, 13, 14: a user-space
+vhost target that dedicates host CPU cores to poll virtio rings and
+NVMe completion queues.  Per-request CPU work (descriptor handling +
+data handling per byte) bounds throughput per core; dedicated cores are
+subtracted from what the host can sell (the TCO argument).
+
+Calibration (DESIGN.md §5): one core ≈ 262 K 4K IOPS and ≈ 2.0 GB/s of
+128K processing — reproducing the single-VM ratios of Fig. 9 — while a
+cross-core contention factor reproduces the "8 cores for 80% of four
+SSDs" shape of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..host.block import CompletionInfo
+from ..host.cpu import Core
+from ..host.environment import Host
+from ..host.memory import BufferPool
+from ..nvme.command import SQE
+from ..nvme.prp import build_prps
+from ..nvme.queues import CompletionQueue, SubmissionQueue
+from ..nvme.spec import IOOpcode, LBA_BYTES, StatusCode
+from ..nvme.ssd import NVMeSSD
+from ..sim import Event, Resource, SimulationError, Simulator
+
+__all__ = ["SPDKConfig", "VhostBlockDevice", "SPDKVhostTarget"]
+
+VHOST_QID = 7  # the SPDK user-space driver's own I/O queue id
+
+
+@dataclass(frozen=True)
+class SPDKConfig:
+    """CPU cost model of the vhost target."""
+
+    per_op_ns: int = 3100  # virtio descriptor + NVMe submission handling
+    #: requests are segmented at 4 KiB; a few segments ride the fast
+    #: descriptor path, the rest pay indirect-descriptor handling —
+    #: which is what makes 128K sequential I/O so expensive per core
+    segment_bytes: int = 4096
+    cheap_segments: int = 2
+    per_segment_ns: int = 2050
+    completion_ns: int = 600  # completion handling per I/O
+    poll_interval_ns: int = 500  # idle-loop granularity
+    contention_alpha: float = 0.08  # cross-core queue contention factor
+    batch: int = 32  # max requests picked up per ring visit
+    guest_submit_ns: int = 900  # guest virtio driver submission cost
+    #: serialized guest virtqueue lock section (uncontended/contended),
+    #: mirroring the guest NVMe queue lock of the passthrough schemes
+    guest_vq_lock_ns: int = 900
+    guest_vq_lock_contended_ns: int = 3150
+    guest_irq_ns: int = 2500  # interrupt injection into the guest
+
+
+@dataclass
+class _VirtioRequest:
+    opcode: int
+    lba: int
+    nblocks: int
+    payload: Optional[bytes]
+    want_data: bool
+    done: Event
+    start_ns: int
+    vdev: "VhostBlockDevice"
+
+
+class VhostBlockDevice:
+    """The virtio-blk disk a VM sees; backed by a slice of one SSD."""
+
+    def __init__(
+        self,
+        target: "SPDKVhostTarget",
+        name: str,
+        ssd_index: int,
+        lba_base: int,
+        num_blocks: int,
+    ):
+        self.target = target
+        self.sim = target.sim
+        self.name = name
+        self.ssd_index = ssd_index
+        self.lba_base = lba_base
+        self._num_blocks = num_blocks
+        self.ring: list[_VirtioRequest] = []
+        self.submitted = 0
+        self.completed = 0
+        self._vq_lock = Resource(self.sim, 1, name=f"{name}.vqlock")
+
+    # BlockTarget ------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def block_bytes(self) -> int:
+        return LBA_BYTES
+
+    def read(self, lba: int, nblocks: int, want_data: bool = False) -> Event:
+        return self._enqueue(int(IOOpcode.READ), lba, nblocks, None, want_data)
+
+    def write(self, lba: int, nblocks: int, payload: Optional[bytes] = None) -> Event:
+        return self._enqueue(int(IOOpcode.WRITE), lba, nblocks, payload, False)
+
+    def flush(self) -> Event:
+        return self._enqueue(int(IOOpcode.FLUSH), 0, 0, None, False)
+
+    def _enqueue(self, opcode, lba, nblocks, payload, want_data) -> Event:
+        done = self.sim.event(name=f"{self.name}.io")
+        start = self.sim.now
+        req = _VirtioRequest(opcode, lba, nblocks, payload, want_data, done, start, self)
+
+        def guest_submit():
+            cfg = self.target.config
+            yield self.sim.timeout(cfg.guest_submit_ns)
+            contended = self._vq_lock.in_use > 0 or self._vq_lock.queued > 0
+            yield self._vq_lock.acquire()
+            yield self.sim.timeout(
+                cfg.guest_vq_lock_contended_ns if contended else cfg.guest_vq_lock_ns
+            )
+            self._vq_lock.release()
+            self.ring.append(req)
+            self.submitted += 1
+
+        self.sim.process(guest_submit(), name=f"{self.name}.gsub")
+        return done
+
+
+class SPDKVhostTarget:
+    """The vhost process: N dedicated polling cores over M SSDs."""
+
+    def __init__(
+        self,
+        host: Host,
+        ssds: list[NVMeSSD],
+        num_cores: int = 1,
+        config: SPDKConfig = SPDKConfig(),
+        name: str = "vhost",
+    ):
+        if not ssds:
+            raise SimulationError("vhost needs at least one SSD")
+        self.sim: Simulator = host.sim
+        self.host = host
+        self.ssds = ssds
+        self.config = config
+        self.name = name
+        self.cores: list[Core] = host.cpu.dedicate(num_cores, owner=name)
+        self.vdevs: list[VhostBlockDevice] = []
+        self._pool = BufferPool(host.memory)
+        self._pending: dict[tuple[int, int], _InflightIO] = {}
+        self._next_cid = 0
+        self._qps = []
+        self._busy_ns = [0] * num_cores
+        self._started = False
+        for ssd in ssds:
+            mem = host.memory
+            depth = 1024
+            sq = SubmissionQueue(mem, mem.alloc(depth * 64), depth, sqid=VHOST_QID)
+            cq = CompletionQueue(mem, mem.alloc(depth * 16), depth, cqid=VHOST_QID)
+            qp = ssd.attach_queue_pair(VHOST_QID, sq, cq)
+            cq.irq_vector = None  # SPDK polls; no interrupts
+            self._qps.append(qp)
+
+    @property
+    def contention_factor(self) -> float:
+        return 1.0 + self.config.contention_alpha * (len(self.cores) - 1)
+
+    def create_vdev(
+        self, name: str, ssd_index: int, lba_base: int, num_blocks: int
+    ) -> VhostBlockDevice:
+        vdev = VhostBlockDevice(self, name, ssd_index, lba_base, num_blocks)
+        self.vdevs.append(vdev)
+        return vdev
+
+    def start(self) -> None:
+        """Launch one poll loop per dedicated core."""
+        if self._started:
+            return
+        self._started = True
+        for core_idx in range(len(self.cores)):
+            self.sim.process(self._poll_loop(core_idx), name=f"{self.name}.core{core_idx}")
+
+    # ------------------------------------------------------------- poll loop
+    def _assigned(self, core_idx: int, items: list) -> list:
+        """Round-robin start offset per core; every core serves every
+        ring (multi-queue work sharing), paying the cross-core
+        contention factor for it."""
+        if not items:
+            return []
+        offset = core_idx % len(items)
+        return items[offset:] + items[:offset]
+
+    def _poll_loop(self, core_idx: int):
+        """One dedicated core: CPU work is spent *inline*, so a request's
+        processing time is part of its latency and the core's throughput
+        is bounded by the per-op cost — both vhost realities."""
+        cfg = self.config
+        factor = self.contention_factor
+        while True:
+            did_work = False
+            # submissions: visit each assigned vdev ring
+            for vdev in self._assigned(core_idx, self.vdevs):
+                picked = 0
+                while vdev.ring and picked < cfg.batch:
+                    qp = self._qps[vdev.ssd_index]
+                    if qp.sq.is_full:
+                        break
+                    req = vdev.ring.pop(0)
+                    picked += 1
+                    did_work = True
+                    cpu = int(self._submit_cpu_ns(req) * factor)
+                    self._busy_ns[core_idx] += cpu
+                    yield self.sim.timeout(cpu)
+                    self._submit(req)
+            # completions: poll every SSD CQ (work-shared)
+            for ssd_index, qp in enumerate(self._qps):
+                reaped = 0
+                while reaped < cfg.batch:
+                    cqe = qp.cq.poll()
+                    if cqe is None:
+                        break
+                    reaped += 1
+                    did_work = True
+                    cpu = int(cfg.completion_ns * factor)
+                    self._busy_ns[core_idx] += cpu
+                    yield self.sim.timeout(cpu)
+                    self._complete(ssd_index, cqe)
+                if reaped:
+                    self.host.fabric.cpu_write(qp.cq_doorbell, 4)
+            if not did_work:
+                yield self.sim.timeout(cfg.poll_interval_ns)
+
+    def _submit_cpu_ns(self, req: _VirtioRequest) -> int:
+        cfg = self.config
+        length = req.nblocks * LBA_BYTES
+        segments = -(-length // cfg.segment_bytes)
+        slow_segments = max(0, segments - cfg.cheap_segments)
+        return cfg.per_op_ns + slow_segments * cfg.per_segment_ns
+
+    def _submit(self, req: _VirtioRequest) -> None:
+        """Translate + submit one request (CPU already charged)."""
+        length = req.nblocks * LBA_BYTES
+        qp = self._qps[req.vdev.ssd_index]
+        buf = 0
+        prp1 = prp2 = 0
+        if length:
+            buf = self._pool.get(length)
+            if req.payload is not None:
+                self.host.memory.mem_write(buf, length, req.payload)
+            prp1, prp2 = build_prps(self.host.memory, buf, length)
+        self._next_cid = (self._next_cid + 1) % 0xFFFF
+        cid = self._next_cid
+        sqe = SQE(
+            opcode=req.opcode, cid=cid, nsid=1,
+            slba=req.vdev.lba_base + req.lba, nlb=max(0, req.nblocks - 1),
+            prp1=prp1, prp2=prp2, payload=req.payload,
+            submit_time_ns=req.start_ns,
+        )
+        qp.sq.push(sqe)
+        self._pending[(req.vdev.ssd_index, cid)] = _InflightIO(req, buf, length)
+        self.host.fabric.cpu_write(qp.sq_doorbell, 4)
+
+    def _complete(self, ssd_index: int, cqe) -> None:
+        entry = self._pending.pop((ssd_index, cqe.cid), None)
+        if entry is None:
+            return
+        req = entry.request
+        req.vdev.completed += 1
+
+        def guest_side():
+            yield self.sim.timeout(self.config.guest_irq_ns)
+            ok = cqe.status == int(StatusCode.SUCCESS)
+            data = None
+            if req.want_data and entry.length:
+                data = self.host.memory.mem_read(entry.buf, entry.length)
+            if entry.buf:
+                self._pool.put(entry.buf, entry.length)
+            latency = self.sim.now - req.start_ns
+            req.done.succeed(CompletionInfo(ok, cqe.status, data, latency))
+
+        self.sim.process(guest_side(), name="vhost.girq")
+
+    # -------------------------------------------------------------- reporting
+    def cpu_utilization(self, since: int = 0) -> float:
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return sum(self._busy_ns) / (elapsed * len(self.cores))
+
+    @property
+    def dedicated_core_count(self) -> int:
+        return len(self.cores)
+
+
+@dataclass
+class _InflightIO:
+    request: _VirtioRequest
+    buf: int
+    length: int

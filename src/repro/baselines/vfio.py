@@ -1,0 +1,45 @@
+"""VFIO direct pass-through baseline.
+
+VFIO assigns the whole physical NVMe controller to one VM through the
+IOMMU: near-native performance, but the device cannot be shared — the
+paper's Table I "no sharing capability" row.  The VM's standard NVMe
+driver binds the device directly; only the VM-level interrupt-injection
+and lock costs apply (supplied by :class:`~repro.host.vm.VirtualMachine`).
+"""
+
+from __future__ import annotations
+
+from ..host.driver import NVMeDriver
+from ..host.vm import VirtualMachine
+from ..nvme.ssd import NVMeSSD
+from ..sim import SimulationError
+
+__all__ = ["VFIOAssignment"]
+
+
+class VFIOAssignment:
+    """Tracks exclusive device -> VM assignments (IOMMU groups)."""
+
+    def __init__(self) -> None:
+        self._assigned: dict[str, str] = {}
+
+    def assign(self, vm: VirtualMachine, ssd: NVMeSSD, **driver_kwargs) -> NVMeDriver:
+        """Pass ``ssd`` through to ``vm``; enforces exclusivity."""
+        owner = self._assigned.get(ssd.name)
+        if owner is not None:
+            raise SimulationError(
+                f"VFIO: {ssd.name} is already assigned to {owner}; "
+                "pass-through devices cannot be shared"
+            )
+        self._assigned[ssd.name] = vm.name
+        return vm.bind_nvme(ssd, **driver_kwargs)
+
+    def release(self, ssd: NVMeSSD) -> None:
+        self._assigned.pop(ssd.name, None)
+
+    def owner_of(self, ssd: NVMeSSD) -> str | None:
+        return self._assigned.get(ssd.name)
+
+    @property
+    def assignments(self) -> dict[str, str]:
+        return dict(self._assigned)

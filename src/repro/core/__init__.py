@@ -1,0 +1,73 @@
+"""BM-Store core: the BMS-Engine (FPGA datapath) and BMS-Controller (ARM).
+
+This package is the paper's primary contribution:
+
+* :class:`BMSEngine` — SR-IOV layer, target controller, LBA mapping,
+  QoS, DMA request routing (zero-copy global PRPs), host adaptor.
+* :class:`BMSController` — out-of-band management (MCTP/NVMe-MI),
+  I/O monitor, hot-upgrade, hot-plug.
+* :class:`FPGAResourceModel` — Table II resource accounting.
+"""
+
+from .axi import AXIBus
+from .controller import (
+    BMSController,
+    ControllerTimings,
+    HotPlugReport,
+    UpgradeReport,
+)
+from .dma_routing import (
+    ADDRESS_MASK,
+    FUNCTION_ID_BITS,
+    decode_global_prp,
+    encode_global_prp,
+    is_global_prp,
+)
+from .engine import BMSEngine, EngineNamespace, EngineTimings
+from .fpga_resources import ZU19EG_TOTALS, FPGAResourceModel, FPGAResources
+from .host_adaptor import BackendSlot, HostAdaptor
+from .lba_mapping import (
+    CHUNK_BYTES,
+    ENTRIES_PER_ROW,
+    ROWS,
+    MappingEntry,
+    MappingTable,
+)
+from .qos import QoSLimits, QoSModule
+from .sriov_layer import FN_BAR_BYTES, NUM_PFS, NUM_VFS, FrontEndFunction, SRIOVLayer
+from .target_controller import AdminRequest, TargetController
+
+__all__ = [
+    "AXIBus",
+    "BMSController",
+    "ControllerTimings",
+    "HotPlugReport",
+    "UpgradeReport",
+    "ADDRESS_MASK",
+    "FUNCTION_ID_BITS",
+    "decode_global_prp",
+    "encode_global_prp",
+    "is_global_prp",
+    "BMSEngine",
+    "EngineNamespace",
+    "EngineTimings",
+    "ZU19EG_TOTALS",
+    "FPGAResourceModel",
+    "FPGAResources",
+    "BackendSlot",
+    "HostAdaptor",
+    "CHUNK_BYTES",
+    "ENTRIES_PER_ROW",
+    "ROWS",
+    "MappingEntry",
+    "MappingTable",
+    "QoSLimits",
+    "QoSModule",
+    "FN_BAR_BYTES",
+    "NUM_PFS",
+    "NUM_VFS",
+    "FrontEndFunction",
+    "SRIOVLayer",
+    "AdminRequest",
+    "TargetController",
+]

@@ -1,0 +1,64 @@
+"""AXI register bus between the BMS-Engine (FPGA) and BMS-Controller (ARM).
+
+The engine publishes status/counter registers; the controller reads
+them (I/O monitor) and writes control registers (pause, resume,
+configuration strobes).  Register accesses carry a fixed bus latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim import Event, SimulationError, Simulator
+
+__all__ = ["AXIBus"]
+
+
+class AXIBus:
+    """A memory-mapped register file with timed accesses."""
+
+    def __init__(self, sim: Simulator, access_ns: int = 120, name: str = "axi"):
+        self.sim = sim
+        self.access_ns = access_ns
+        self.name = name
+        self._read_handlers: dict[int, Callable[[], int]] = {}
+        self._write_handlers: dict[int, Callable[[int], None]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def register_read(self, addr: int, handler: Callable[[], int]) -> None:
+        if addr in self._read_handlers:
+            raise SimulationError(f"{self.name}: read register {addr:#x} already bound")
+        self._read_handlers[addr] = handler
+
+    def register_write(self, addr: int, handler: Callable[[int], None]) -> None:
+        if addr in self._write_handlers:
+            raise SimulationError(f"{self.name}: write register {addr:#x} already bound")
+        self._write_handlers[addr] = handler
+
+    def read(self, addr: int) -> Event:
+        """Timed register read; event fires with the value."""
+        handler = self._read_handlers.get(addr)
+        if handler is None:
+            raise SimulationError(f"{self.name}: no read register at {addr:#x}")
+        self.reads += 1
+        ev = self.sim.event(name=f"{self.name}.rd")
+        self.sim.timeout(self.access_ns).callbacks.append(
+            lambda _e: ev.succeed(handler())
+        )
+        return ev
+
+    def write(self, addr: int, value: int) -> Event:
+        """Timed register write; event fires when applied."""
+        handler = self._write_handlers.get(addr)
+        if handler is None:
+            raise SimulationError(f"{self.name}: no write register at {addr:#x}")
+        self.writes += 1
+        ev = self.sim.event(name=f"{self.name}.wr")
+
+        def apply(_e) -> None:
+            handler(value)
+            ev.succeed()
+
+        self.sim.timeout(self.access_ns).callbacks.append(apply)
+        return ev

@@ -1,0 +1,69 @@
+"""DMA request routing for zero-copy — paper Fig. 4(b).
+
+The BMS-Engine bridges two separate PCIe domains (host-side and
+SSD-side) without buffering data.  It rewrites every host PRP entry
+into a *global PRP* before handing commands to the back-end SSDs:
+
+* bits [63:57] — PCIe PF/VF function id (7 bits)
+* bit  [56]    — PRP-list flag (1 bit)
+* bits [47:0]  — the original host physical address
+
+When a back-end SSD later issues a DMA TLP at a global address, the
+engine recovers the function id from the address, strips the tag, and
+forwards the request out of the matching front-end PF/VF into host
+memory — merging the two domains into one and letting the SSD move
+data directly to/from the host.
+"""
+
+from __future__ import annotations
+
+from ..sim import SimulationError
+
+__all__ = [
+    "FUNCTION_ID_BITS",
+    "FUNCTION_ID_SHIFT",
+    "LIST_FLAG_SHIFT",
+    "ADDRESS_MASK",
+    "encode_global_prp",
+    "decode_global_prp",
+    "is_global_prp",
+]
+
+FUNCTION_ID_BITS = 7
+FUNCTION_ID_SHIFT = 57
+LIST_FLAG_SHIFT = 56
+ADDRESS_MASK = (1 << 48) - 1
+_FN_MASK = (1 << FUNCTION_ID_BITS) - 1
+
+
+def encode_global_prp(function_id: int, host_addr: int, is_list: bool = False) -> int:
+    """Insert the function id + list flag into a host PRP entry.
+
+    ``function_id`` 0 is reserved so that untagged (engine-local)
+    addresses are distinguishable — the engine assigns front-end
+    functions ids 1..127.
+    """
+    if not 0 < function_id <= _FN_MASK:
+        raise SimulationError(
+            f"function id {function_id} outside 1..{_FN_MASK} (0 is reserved)"
+        )
+    if host_addr & ~ADDRESS_MASK:
+        raise SimulationError(f"host address {host_addr:#x} exceeds 48 bits")
+    return (
+        (function_id << FUNCTION_ID_SHIFT)
+        | ((1 if is_list else 0) << LIST_FLAG_SHIFT)
+        | host_addr
+    )
+
+
+def decode_global_prp(global_prp: int) -> tuple[int, int, bool]:
+    """Split a global PRP into (function_id, host_addr, is_list)."""
+    function_id = (global_prp >> FUNCTION_ID_SHIFT) & _FN_MASK
+    is_list = bool((global_prp >> LIST_FLAG_SHIFT) & 1)
+    host_addr = global_prp & ADDRESS_MASK
+    return function_id, host_addr, is_list
+
+
+def is_global_prp(addr: int) -> bool:
+    """True when the address carries a non-zero function-id tag."""
+    return ((addr >> FUNCTION_ID_SHIFT) & _FN_MASK) != 0

@@ -1,0 +1,587 @@
+"""BMS-Engine: the FPGA datapath of BM-Store.
+
+Implements the seven-step I/O path of paper Fig. 6:
+
+① host rings a front doorbell; the engine fetches the SQE via the PF/VF
+② LBA mapping translates host LBA -> (SSD, physical LBA); QoS gates
+③ the remapped command (with *global PRPs*) goes into the host
+   adaptor's SQ and the back-end SSD doorbell is rung
+④ the SSD fetches the command from the adaptor SQ
+⑤ the SSD's DMA TLPs hit the engine, which recovers the function id
+   from the global address and routes them to host memory (zero-copy)
+⑥ the SSD writes its CQE into the adaptor CQ
+⑦ the engine relays the CQE to the host CQ and raises MSI-X
+
+The engine owns two PCIe attachments: a front-end port on the *host*
+fabric (SR-IOV: 4 PF + 124 VF) and the root of its own *back-end*
+fabric where the SSDs live.  Chip memory holds the adaptor rings and
+the converted global PRP lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..host.environment import Host
+from ..host.memory import BufferPool, HostMemory, PAGE_SIZE
+from ..nvme.command import CQE, SQE
+from ..nvme.namespace import Namespace
+from ..nvme.prp import PRPList, pages_for
+from ..nvme.spec import CQE_BYTES, LBA_BYTES, SQE_BYTES, IOOpcode, StatusCode
+from ..nvme.ssd import NVMeSSD
+from ..pcie.fabric import PCIeFabric
+from ..sim import BandwidthLink, Event, Resource, SimulationError, Simulator
+from .axi import AXIBus
+from .dma_routing import decode_global_prp, encode_global_prp, is_global_prp
+from .host_adaptor import BackendSlot, HostAdaptor
+from .lba_mapping import CHUNK_BYTES, MappingEntry, MappingTable
+from .qos import QoSLimits, QoSModule
+from .sriov_layer import FrontEndFunction, SRIOVLayer
+from .target_controller import TargetController
+
+__all__ = ["EngineTimings", "EngineNamespace", "BMSEngine"]
+
+
+@dataclass(frozen=True)
+class EngineTimings:
+    """FPGA pipeline latencies (250 MHz design; DESIGN.md §5).
+
+    The sum over a small command lands the paper's ~3 us of extra
+    latency versus a native disk.
+    """
+
+    doorbell_ns: int = 200  # front BAR write -> fetch engine wakeup
+    pipeline_ns: int = 1500  # LBA map + QoS check + PRP rewrite stages
+    issue_ns: int = 20  # per-command pipeline issue slot (50 M cmd/s)
+    adaptor_push_ns: int = 100  # write into adaptor SQ (chip RAM)
+    cqe_relay_ns: int = 150  # adaptor CQ -> front CQ relay stage
+    cut_through_ns: int = 120  # per-TLP DMA routing latency (step ⑤)
+    monitor_sample_ns: int = 80  # I/O counter update path
+
+
+@dataclass
+class EngineNamespace:
+    """An engine-level namespace: size, placement, QoS, binding."""
+
+    key: str
+    namespace: Namespace
+    table: MappingTable
+    chunks: list[tuple[int, int]]  # (ssd_id, physical chunk index)
+    bound_fn: Optional[int] = None
+
+
+@dataclass
+class _FnStats:
+    read_ops: int = 0
+    write_ops: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    errors: int = 0
+
+
+class _BackendRootSpace:
+    """Root address space of the back-end domain: the DMA router.
+
+    Untagged addresses are engine chip memory (adaptor rings, PRP
+    lists); addresses carrying a function-id tag are global PRPs and
+    get routed out of the matching front-end function into host memory.
+    """
+
+    def __init__(self, engine: "BMSEngine"):
+        self.engine = engine
+
+    @property
+    def access_ns(self) -> int:
+        return self.engine.chip_memory.access_ns
+
+    def mem_write(self, addr: int, length: int, data) -> None:
+        if is_global_prp(addr):
+            self.engine._route_dma_write(addr, length, data)
+            return
+        self.engine.chip_memory.mem_write(addr, length, data)
+        self.engine.adaptor.notice_write(addr)
+
+    def mem_read(self, addr: int, length: int):
+        # only reached for local reads via the sync path
+        return self.engine.chip_memory.mem_read(addr, length)
+
+    def mem_read_async(self, addr: int, length: int) -> Event:
+        if is_global_prp(addr):
+            return self.engine._route_dma_read(addr, length)
+        ev = self.engine.sim.event(name="chipread")
+        ev.succeed(self.engine.chip_memory.mem_read(addr, length))
+        return ev
+
+
+class BMSEngine:
+    """The FPGA-based datapath component of BM-Store."""
+
+    FRONT_BAR_BASE = 0x20_0000_0000
+
+    def __init__(
+        self,
+        host: Host,
+        timings: EngineTimings = EngineTimings(),
+        front_lanes: int = 16,
+        qos_enabled: bool = True,
+        zero_copy: bool = True,
+        chip_memory_bytes: int = 512 * 1024 * 1024,
+        chunk_bytes: int = CHUNK_BYTES,
+        name: str = "bms",
+    ):
+        self.sim: Simulator = host.sim
+        self.host = host
+        self.name = name
+        self.timings = timings
+        self.zero_copy = zero_copy
+        self.chunk_bytes = chunk_bytes
+        self.chunk_blocks = chunk_bytes // LBA_BYTES
+
+        # front end: one port on the host fabric
+        self.front_port = host.fabric.attach(name, lanes=front_lanes)
+        self.front_bar_base = self.FRONT_BAR_BASE
+        self.sriov = SRIOVLayer(self)
+
+        # back end: the engine is the root of its own PCIe domain
+        self.backend_fabric = PCIeFabric(self.sim, name=f"{name}.be")
+        self.chip_memory = HostMemory(
+            self.sim, chip_memory_bytes, access_ns=25, base=0x1000_0000,
+            name=f"{name}.chipmem",
+        )
+        self.backend_fabric.set_root_handler(_BackendRootSpace(self))
+        self.adaptor = HostAdaptor(
+            self.sim, self.chip_memory, self.backend_fabric,
+            push_ns=timings.adaptor_push_ns, cqe_relay_ns=timings.cqe_relay_ns,
+        )
+        self.adaptor.engine = self  # SATA/remote slots route DMA through us
+
+        # store-and-forward path for the zero-copy ablation: FPGA DRAM
+        self._chip_dram_bus = BandwidthLink(
+            self.sim, 6.0e9, name=f"{name}.dram"
+        )
+
+        self.qos = QoSModule(self.sim, enabled=qos_enabled)
+        self.target_controller = TargetController(self)
+        self.axi = AXIBus(self.sim, name=f"{name}.axi")
+
+        self.namespaces: dict[str, EngineNamespace] = {}
+        self._free_chunks: list[list[int]] = []
+        self._prp_pool = BufferPool(self.chip_memory)
+        self._pipeline = Resource(self.sim, 1, name=f"{name}.pipe")
+        self._fn_stats: dict[int, _FnStats] = {}
+        self.host_identify_pages: dict[int, object] = {}
+        self.total_ios = 0
+        #: optional per-command step timing (Fig. 6 breakdown); enable
+        #: with enable_step_trace(), read step_records
+        self.step_records: Optional[list[dict]] = None
+        self._register_axi_registers()
+
+    # ------------------------------------------------------------------ setup
+    #: the 2-bit SSD-id field of the mapping entry (Fig. 4a) bounds the
+    #: number of back-end devices one engine can address
+    MAX_BACKENDS = 4
+
+    def _check_backend_capacity(self) -> None:
+        if len(self.adaptor.slots) >= self.MAX_BACKENDS:
+            raise SimulationError(
+                f"mapping-entry SSD id is 2 bits: at most {self.MAX_BACKENDS} "
+                "back-end devices per engine"
+            )
+
+    def _add_free_chunks(self, capacity_bytes: int) -> None:
+        nchunks = min(64, capacity_bytes // self.chunk_bytes)
+        self._free_chunks.append(list(range(int(nchunks))))
+
+    def attach_ssd(self, ssd: NVMeSSD) -> BackendSlot:
+        """Attach a back-end NVMe drive (created on ``self.backend_fabric``)."""
+        self._check_backend_capacity()
+        slot = self.adaptor.add_ssd(ssd)
+        self._add_free_chunks(ssd.profile.capacity_bytes)
+        return slot
+
+    def attach_sata(self, disk) -> "object":
+        """Attach a SATA device through the adaptor's SATA controller
+        (the paper's §VI-A compatibility extension)."""
+        from .backend_extensions import SATABackendSlot
+
+        self._check_backend_capacity()
+        slot = SATABackendSlot(self.adaptor, len(self.adaptor.slots), disk)
+        self.adaptor.slots.append(slot)
+        self._add_free_chunks(disk.profile.capacity_bytes)
+        return slot
+
+    def attach_remote(self, target, link) -> "object":
+        """Attach a remote volume over the network (§VI-D future work)."""
+        from .backend_extensions import RemoteBackendSlot
+
+        self._check_backend_capacity()
+        slot = RemoteBackendSlot(self.adaptor, len(self.adaptor.slots), target, link)
+        self.adaptor.slots.append(slot)
+        self._add_free_chunks(target.capacity_bytes)
+        return slot
+
+    @property
+    def num_ssds(self) -> int:
+        return len(self.adaptor.slots)
+
+    # ---------------------------------------------------------- namespaces
+    def create_namespace(
+        self,
+        key: str,
+        size_bytes: int,
+        placement: Optional[list[int]] = None,
+        limits: Optional[QoSLimits] = None,
+    ) -> EngineNamespace:
+        """Carve a namespace out of back-end chunks (round-robin default)."""
+        if key in self.namespaces:
+            raise SimulationError(f"namespace {key} already exists")
+        if self.num_ssds == 0:
+            raise SimulationError("no back-end SSDs attached")
+        nchunks = -(-size_bytes // self.chunk_bytes)
+        rows = -(-nchunks // 8)
+        table = MappingTable(self.chunk_blocks, rows=max(1, rows))
+        order = placement or [i % self.num_ssds for i in range(nchunks)]
+        if len(order) != nchunks:
+            raise SimulationError("placement list must cover every chunk")
+        chunks: list[tuple[int, int]] = []
+        for idx, ssd_id in enumerate(order):
+            free = self._free_chunks[ssd_id]
+            if not free:
+                for taken_ssd, taken_chunk in chunks:  # roll back
+                    self._free_chunks[taken_ssd].append(taken_chunk)
+                raise SimulationError(f"SSD {ssd_id} out of free chunks")
+            chunk = free.pop(0)
+            chunks.append((ssd_id, chunk))
+            table.set_entry(idx, MappingEntry(base_chunk=chunk, ssd_id=ssd_id))
+        ns = Namespace(nsid=1, num_blocks=size_bytes // LBA_BYTES)
+        ens = EngineNamespace(key=key, namespace=ns, table=table, chunks=chunks)
+        self.namespaces[key] = ens
+        if limits is not None:
+            self.qos.configure(key, limits)
+        return ens
+
+    def delete_namespace(self, key: str) -> None:
+        ens = self.namespaces.pop(key, None)
+        if ens is None:
+            raise SimulationError(f"no namespace {key}")
+        if ens.bound_fn is not None:
+            self.sriov.function_by_id(ens.bound_fn).namespaces.pop(1, None)
+            self.sriov.function_by_id(ens.bound_fn).ns_key = None
+        for ssd_id, chunk in ens.chunks:
+            self._free_chunks[ssd_id].append(chunk)
+
+    def bind_namespace(self, key: str, fn_id: int) -> FrontEndFunction:
+        """Attach a namespace to a front PF/VF (what the VM will see)."""
+        ens = self.namespaces.get(key)
+        if ens is None:
+            raise SimulationError(f"no namespace {key}")
+        fn = self.sriov.function_by_id(fn_id)
+        if fn.ns_key is not None:
+            raise SimulationError(f"function {fn_id} already has a namespace")
+        fn.namespaces[1] = ens.namespace
+        fn.ns_key = key
+        ens.bound_fn = fn_id
+        self._fn_stats.setdefault(fn_id, _FnStats())
+        return fn
+
+    def unbind_namespace(self, key: str) -> None:
+        ens = self.namespaces.get(key)
+        if ens is None or ens.bound_fn is None:
+            return
+        fn = self.sriov.function_by_id(ens.bound_fn)
+        fn.namespaces.pop(1, None)
+        fn.ns_key = None
+        ens.bound_fn = None
+
+    # ------------------------------------------------------------ front path
+    def on_front_doorbell(self, fn_id: int, qid: int) -> None:
+        fn = self.sriov.functions.get(fn_id)
+        if fn is None:
+            return
+        qp = fn.queue_pairs.get(qid)
+        if qp is None:
+            return
+        self.sim.process(self._fetch_loop(fn, qid, qp), name=f"{self.name}.fetch")
+
+    def _fetch_loop(self, fn: FrontEndFunction, qid: int, qp):
+        yield self.sim.timeout(self.timings.doorbell_ns)
+        while not qp.sq.is_empty:
+            addr = qp.sq.consume_addr()
+            self.sim.process(self._process_cmd(fn, qid, addr), name=f"{self.name}.cmd")
+            yield self.sim.timeout(self.timings.issue_ns)
+
+    def enable_step_trace(self, cap: int = 10_000) -> None:
+        """Record per-command timestamps of the seven-step path."""
+        self.step_records = []
+        self._step_cap = cap
+
+    def _process_cmd(self, fn: FrontEndFunction, qid: int, sqe_addr: int):
+        t_start = self.sim.now
+        sqe = yield self.front_port.mem_read(sqe_addr, SQE_BYTES)
+        if not isinstance(sqe, SQE):
+            raise SimulationError(f"{self.name}: no SQE at {sqe_addr:#x}")
+        if self.step_records is not None and qid != 0:
+            sqe.step_record = {"t_doorbell": t_start, "t_fetched": self.sim.now}
+        yield from self.target_controller.dispatch(fn, qid, sqe)
+
+    # ---------------------------------------------------------------- I/O path
+    def _handle_io(self, fn: FrontEndFunction, qid: int, sqe: SQE):
+        ens = self.namespaces.get(fn.ns_key) if fn.ns_key else None
+        if ens is None:
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.INVALID_NAMESPACE), 0)
+            return
+
+        # FLUSH fans out to every SSD backing the namespace
+        if sqe.opcode == int(IOOpcode.FLUSH):
+            yield from self._handle_flush(fn, qid, sqe, ens)
+            return
+
+        nblocks = sqe.num_blocks
+        length = nblocks * LBA_BYTES
+        yield self._pipeline.acquire()
+        yield self.sim.timeout(self.timings.issue_ns)
+        self._pipeline.release()
+        yield self.sim.timeout(self.timings.pipeline_ns)
+
+        record = getattr(sqe, "step_record", None)
+        # ② LBA mapping
+        try:
+            extents = ens.table.translate_extent(sqe.slba, nblocks)
+        except SimulationError:
+            self._fn_stats[fn.fn_id].errors += 1
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0)
+            return
+        if sqe.slba + nblocks > ens.namespace.num_blocks:
+            self._fn_stats[fn.fn_id].errors += 1
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0)
+            return
+
+        if record is not None:
+            record["t_mapped"] = self.sim.now
+
+        # ② QoS: over-threshold commands sit in the command buffer
+        yield self.qos.admit(fn.ns_key, length)
+        if record is not None:
+            record["t_qos"] = self.sim.now
+
+        # resolve the host PRP pages (fetch the PRP list if present)
+        npages = len(pages_for(sqe.prp1, length))
+        if npages <= 2:
+            host_pages = [sqe.prp1] if npages == 1 else [sqe.prp1, sqe.prp2]
+        else:
+            entry = yield self.front_port.mem_read(sqe.prp2, (npages - 1) * 8)
+            if not isinstance(entry, PRPList):
+                raise SimulationError(f"{self.name}: bad host PRP list at {sqe.prp2:#x}")
+            host_pages = [sqe.prp1, *entry.entries[: npages - 1]]
+
+        # ③ forward one back-end command per extent, tracking fan-in
+        state = {"remaining": len(extents), "status": int(StatusCode.SUCCESS),
+                 "lists": []}
+        block_off = 0
+        for ssd_id, plba, cnt in extents:
+            frag_pages = host_pages[block_off : block_off + cnt]
+            frag_len = cnt * LBA_BYTES
+            prp1g, prp2g, list_addr = self._build_global_prps(fn.fn_id, frag_pages)
+            if list_addr is not None:
+                state["lists"].append((list_addr, (len(frag_pages) - 1) * 8))
+            payload = None
+            if sqe.payload is not None:
+                payload = sqe.payload[block_off * LBA_BYTES :][:frag_len]
+            fwd = SQE(
+                opcode=sqe.opcode, cid=0, nsid=1, slba=plba, nlb=cnt - 1,
+                prp1=prp1g, prp2=prp2g, payload=payload,
+                submit_time_ns=self.sim.now,
+            )
+            slot = self.adaptor.slot_for(ssd_id)
+            slot.forward(fwd, self._make_fanin(fn, qid, sqe, state))
+            block_off += cnt
+        if record is not None:
+            record["t_forwarded"] = self.sim.now
+
+        self._account_io(fn.fn_id, sqe.opcode, length)
+
+    def _handle_flush(self, fn: FrontEndFunction, qid: int, sqe: SQE, ens: EngineNamespace):
+        yield self.sim.timeout(self.timings.pipeline_ns)
+        ssd_ids = sorted({ssd_id for ssd_id, _ in ens.chunks})
+        state = {"remaining": len(ssd_ids), "status": int(StatusCode.SUCCESS), "lists": []}
+        for ssd_id in ssd_ids:
+            fwd = SQE(opcode=int(IOOpcode.FLUSH), cid=0, nsid=1,
+                      submit_time_ns=self.sim.now)
+            self.adaptor.slot_for(ssd_id).forward(
+                fwd, self._make_fanin(fn, qid, sqe, state)
+            )
+
+    def _make_fanin(self, fn, qid, sqe, state):
+        def on_complete(status: int) -> None:
+            if status != int(StatusCode.SUCCESS):
+                state["status"] = status
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                for addr, size in state["lists"]:
+                    self._prp_pool.put(addr, size)
+                if state["status"] != int(StatusCode.SUCCESS):
+                    self._fn_stats[fn.fn_id].errors += 1
+                record = getattr(sqe, "step_record", None)
+                if record is not None:
+                    record["t_backend_done"] = self.sim.now
+                self.post_front_cqe(fn, qid, sqe.cid, state["status"], 0,
+                                    record=record)
+
+        return on_complete
+
+    def _build_global_prps(self, fn_id: int, pages: list[int]):
+        """Convert host PRPs to global PRPs (paper Fig. 4b, step ⑤ prep)."""
+        gp = [encode_global_prp(fn_id, addr) for addr in pages]
+        if len(gp) == 1:
+            return gp[0], 0, None
+        if len(gp) == 2:
+            return gp[0], gp[1], None
+        size = (len(gp) - 1) * 8
+        list_addr = self._prp_pool.get(size)
+        self.chip_memory.store_obj(list_addr, PRPList(list_addr, gp[1:]))
+        return gp[0], list_addr, list_addr
+
+    # ----------------------------------------------------- DMA request routing
+    def _route_dma_write(self, gaddr: int, length: int, data) -> None:
+        """Step ⑤: SSD DMA write at a global address -> host memory."""
+        fn_id, host_addr, _ = decode_global_prp(gaddr)
+        self._check_fn(fn_id)
+        self.sim.process(self._route_write_proc(host_addr, length, data),
+                         name=f"{self.name}.dmaw")
+
+    def _route_write_proc(self, host_addr: int, length: int, data):
+        if not self.zero_copy:
+            # ablation: store-and-forward through FPGA DRAM (in + out)
+            yield self._chip_dram_bus.transfer(length)
+            yield self._chip_dram_bus.transfer(length)
+        yield self.sim.timeout(self.timings.cut_through_ns)
+        yield self.front_port.mem_write(host_addr, length, data)
+
+    def route_dma_write_event(self, gaddr: int, length: int, data) -> Event:
+        """Like the TLP-triggered routing, but returns the delivery event
+        (used by the SATA/remote adaptor stages, which need ordering)."""
+        fn_id, host_addr, _ = decode_global_prp(gaddr)
+        self._check_fn(fn_id)
+        done = self.sim.event(name=f"{self.name}.dmawv")
+
+        def runner():
+            yield from self._route_write_proc(host_addr, length, data)
+            done.succeed()
+
+        self.sim.process(runner(), name=f"{self.name}.dmawp")
+        return done
+
+    def _route_dma_read(self, gaddr: int, length: int) -> Event:
+        """Step ⑤ for writes: SSD DMA read at a global address."""
+        fn_id, host_addr, _ = decode_global_prp(gaddr)
+        self._check_fn(fn_id)
+        done = self.sim.event(name=f"{self.name}.dmar")
+        self.sim.process(self._route_read_proc(host_addr, length, done),
+                         name=f"{self.name}.dmarp")
+        return done
+
+    def _route_read_proc(self, host_addr: int, length: int, done: Event):
+        yield self.sim.timeout(self.timings.cut_through_ns)
+        data = yield self.front_port.mem_read(host_addr, length)
+        if not self.zero_copy:
+            yield self._chip_dram_bus.transfer(length)
+            yield self._chip_dram_bus.transfer(length)
+        done.succeed(data)
+
+    def _check_fn(self, fn_id: int) -> None:
+        if fn_id not in self.sriov.functions:
+            raise SimulationError(f"DMA routed to unknown function {fn_id}")
+
+    # ------------------------------------------------------------- completion
+    def post_front_cqe(self, fn: FrontEndFunction, qid: int, cid: int,
+                       status: int, result: int, record: Optional[dict] = None) -> None:
+        """Step ⑦: relay the completion into the host CQ + MSI-X."""
+        self.sim.process(
+            self._post_cqe_proc(fn, qid, cid, status, result, record),
+            name=f"{self.name}.cqe",
+        )
+
+    def _post_cqe_proc(self, fn, qid, cid, status, result, record=None):
+        yield self.sim.timeout(self.timings.cqe_relay_ns)
+        if not self.zero_copy:
+            # store-and-forward ablation: PCIe ordering means the CQE
+            # cannot pass the buffered data still draining out of the
+            # engine's DRAM — completions are paced by the copy path
+            backlog = self._chip_dram_bus.busy_until() - self.sim.now
+            if backlog > 0:
+                yield self.sim.timeout(backlog)
+        qp = fn.queue_pairs.get(qid)
+        if qp is None:
+            return
+        cqe = CQE(cid=cid, status=status, sqid=qid, sq_head=qp.sq.head, result=result)
+        target = qp.cq.slot_addr(qp.cq.tail)
+        yield self.front_port.mem_write(target, CQE_BYTES, None)
+        qp.cq.post_slot(cqe)
+        if record is not None and self.step_records is not None:
+            record["t_host_cqe"] = self.sim.now
+            if len(self.step_records) < self._step_cap:
+                self.step_records.append(record)
+        if qp.cq.irq_vector is not None:
+            fn.function.msix.raise_vector(self.front_port, qp.cq.irq_vector)
+
+    # -------------------------------------------------------------- monitoring
+    def _account_io(self, fn_id: int, opcode: int, length: int) -> None:
+        self.total_ios += 1
+        stats = self._fn_stats.setdefault(fn_id, _FnStats())
+        if opcode == int(IOOpcode.READ):
+            stats.read_ops += 1
+            stats.read_bytes += length
+        elif opcode == int(IOOpcode.WRITE):
+            stats.write_ops += 1
+            stats.write_bytes += length
+
+    def monitor_snapshot(self, fn_id: int) -> dict:
+        stats = self._fn_stats.get(fn_id, _FnStats())
+        return {
+            "fn": fn_id,
+            "read_ops": stats.read_ops,
+            "write_ops": stats.write_ops,
+            "read_bytes": stats.read_bytes,
+            "write_bytes": stats.write_bytes,
+            "errors": stats.errors,
+        }
+
+    # AXI register map: engine-global and per-function counters, read by
+    # the BMS-Controller's I/O monitor over the AXI bus.
+    AXI_TOTAL_IOS = 0x000
+    AXI_NUM_SSDS = 0x008
+    AXI_FN_BASE = 0x100
+    AXI_FN_STRIDE = 0x40
+
+    def _register_axi_registers(self) -> None:
+        self.axi.register_read(self.AXI_TOTAL_IOS, lambda: self.total_ios)
+        self.axi.register_read(self.AXI_NUM_SSDS, lambda: self.num_ssds)
+
+        def reader(fn_id: int, field_name: str):
+            def read() -> int:
+                stats = self._fn_stats.get(fn_id, _FnStats())
+                return getattr(stats, field_name)
+
+            return read
+
+        for fn_id in range(1, 129):
+            base = self.AXI_FN_BASE + (fn_id - 1) * self.AXI_FN_STRIDE
+            for off, field_name in (
+                (0x00, "read_ops"), (0x08, "write_ops"),
+                (0x10, "read_bytes"), (0x18, "write_bytes"), (0x20, "errors"),
+            ):
+                self.axi.register_read(base + off, reader(fn_id, field_name))
+
+    # ------------------------------------------------------------- maintenance
+    def pause_backend(self, ssd_id: int) -> None:
+        self.adaptor.slot_for(ssd_id).pause()
+
+    def resume_backend(self, ssd_id: int) -> None:
+        self.adaptor.slot_for(ssd_id).resume()
+
+    def drain_backend(self, ssd_id: int) -> Event:
+        return self.adaptor.slot_for(ssd_id).drain()
+
+    def store_io_context(self, ssd_id: int) -> dict:
+        return self.adaptor.slot_for(ssd_id).io_context()

@@ -1,0 +1,100 @@
+"""FPGA resource-utilization model — paper Table II.
+
+The paper reports LUT/Register/BRAM/URAM usage of the BMS-Engine
+bitstream for 1/2/4/6 attached SSDs on the Zynq UltraScale+ ZU19EG.
+The numbers fit an affine model (a fixed base for the SR-IOV layer,
+target controller, and DMA router, plus a per-SSD host-adaptor slice),
+which is exactly how such designs scale; this module reproduces the
+table from that decomposition and exposes headroom queries ("BM-Store
+can support more SSDs with the remaining resources").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ZU19EG_TOTALS", "FPGAResources", "FPGAResourceModel"]
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """A resource vector: LUTs, registers, BRAMs, URAMs, clock."""
+    luts: int
+    registers: int
+    brams: float
+    urams: float
+    clock_mhz: int = 250
+
+    def utilization(self, device: "FPGAResources") -> dict[str, float]:
+        return {
+            "luts": self.luts / device.luts,
+            "registers": self.registers / device.registers,
+            "brams": self.brams / device.brams,
+            "urams": self.urams / device.urams,
+        }
+
+    def fits(self, device: "FPGAResources") -> bool:
+        return (
+            self.luts <= device.luts
+            and self.registers <= device.registers
+            and self.brams <= device.brams
+            and self.urams <= device.urams
+        )
+
+
+#: Xilinx Zynq UltraScale+ ZU19EG device totals (from the Table II
+#: percentages: e.g. 216711 LUTs = 41% -> ~523k LUTs).
+ZU19EG_TOTALS = FPGAResources(
+    luts=522_720, registers=1_045_440, brams=984, urams=128,
+)
+
+
+class FPGAResourceModel:
+    """Affine base + per-SSD model fitted to Table II.
+
+    Table II rows (1/2/4/6 SSDs) are exactly linear in SSD count:
+    LUTs 188711+28000*n, registers 182309+44000*n, BRAMs 481.6+44.4*n,
+    URAMs 39.4+10*n.
+    """
+
+    BASE = FPGAResources(luts=188_711, registers=182_309, brams=481.6, urams=39.4)
+    PER_SSD = FPGAResources(luts=28_000, registers=44_000, brams=44.4, urams=10.0)
+
+    def __init__(self, device: FPGAResources = ZU19EG_TOTALS):
+        self.device = device
+
+    def configuration(self, num_ssds: int) -> FPGAResources:
+        if num_ssds < 1:
+            raise ValueError("at least one SSD")
+        return FPGAResources(
+            luts=self.BASE.luts + self.PER_SSD.luts * num_ssds,
+            registers=self.BASE.registers + self.PER_SSD.registers * num_ssds,
+            brams=self.BASE.brams + self.PER_SSD.brams * num_ssds,
+            urams=self.BASE.urams + self.PER_SSD.urams * num_ssds,
+        )
+
+    def utilization(self, num_ssds: int) -> dict[str, float]:
+        return self.configuration(num_ssds).utilization(self.device)
+
+    def max_supported_ssds(self) -> int:
+        """How many SSDs fit before any resource class is exhausted."""
+        n = 1
+        while self.configuration(n + 1).fits(self.device):
+            n += 1
+        return n
+
+    def table_rows(self, counts: tuple[int, ...] = (1, 2, 4, 6)) -> list[dict]:
+        rows = []
+        for n in counts:
+            cfg = self.configuration(n)
+            util = cfg.utilization(self.device)
+            rows.append({
+                "ssds": n,
+                "luts": cfg.luts, "luts_pct": round(util["luts"] * 100),
+                "registers": cfg.registers,
+                "registers_pct": round(util["registers"] * 100),
+                "brams": cfg.brams, "brams_pct": round(util["brams"] * 100),
+                "urams": cfg.urams, "urams_pct": round(util["urams"] * 100),
+                "clock_mhz": cfg.clock_mhz,
+            })
+        return rows

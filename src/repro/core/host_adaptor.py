@@ -1,0 +1,260 @@
+"""Host Adaptor: the BMS-Engine's back-end NVMe initiator.
+
+For each attached SSD the adaptor keeps an SQ/CQ pair *in engine chip
+memory* (the rings the paper's step ③/⑥ reference), pushes remapped
+commands, rings the SSD's doorbell over the back-end PCIe domain, and
+hands completions back to the engine when the SSD DMA-writes CQEs into
+the adaptor CQ.
+
+It also implements the per-slot pause/drain/resume machinery that
+hot-upgrade and hot-plug use: while paused, forwarded commands are held
+in a pending buffer (the *I/O context*), and nothing reaches the SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..nvme.command import SQE
+from ..nvme.queues import CompletionQueue, SubmissionQueue
+from ..nvme.ssd import NVMeSSD
+from ..sim import Event, Resource, SimulationError, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import BMSEngine
+
+__all__ = ["BackendSlot", "HostAdaptor"]
+
+BACKEND_QUEUE_DEPTH = 1024
+BACKEND_QID = 1
+
+
+@dataclass
+class _PendingForward:
+    sqe: SQE
+    on_complete: Callable[[int], None]  # called with the CQE status
+
+
+class BackendSlot:
+    """One back-end SSD attachment point."""
+
+    def __init__(self, adaptor: "HostAdaptor", index: int, ssd: NVMeSSD):
+        self.adaptor = adaptor
+        self.index = index
+        self.ssd: Optional[NVMeSSD] = ssd
+        self.sim = adaptor.sim
+        self.paused = False
+        self.pause_buffer: list[_PendingForwardRequest] = []
+        self.inflight = 0
+        self._drain_event: Optional[Event] = None
+        self._next_cid = 0
+        self.pending: dict[int, _PendingForward] = {}
+        self.slots = Resource(self.sim, BACKEND_QUEUE_DEPTH - 1, name=f"bslot{index}")
+        self.forwarded = 0
+        self.completed = 0
+        mem = adaptor.chip_memory
+        self.sq = SubmissionQueue(
+            mem, mem.alloc(BACKEND_QUEUE_DEPTH * 64), BACKEND_QUEUE_DEPTH,
+            sqid=BACKEND_QID,
+        )
+        self.cq = CompletionQueue(
+            mem, mem.alloc(BACKEND_QUEUE_DEPTH * 16), BACKEND_QUEUE_DEPTH,
+            cqid=BACKEND_QID,
+        )
+        self._cq_range = (self.cq.base, self.cq.base + BACKEND_QUEUE_DEPTH * 16)
+        adaptor._register_cq_range(self)
+        # admin queue pair toward the drive (firmware, identify, logs)
+        self.admin_sq = SubmissionQueue(mem, mem.alloc(32 * 64), 32, sqid=0)
+        self.admin_cq = CompletionQueue(mem, mem.alloc(32 * 16), 32, cqid=0)
+        self._admin_cq_range = (self.admin_cq.base, self.admin_cq.base + 32 * 16)
+        self._admin_pending: dict[int, Callable[[int], None]] = {}
+        self._next_admin_cid = 0
+        adaptor._register_admin_cq_range(self)
+        self._bind_ssd(ssd)
+
+    def _bind_ssd(self, ssd: NVMeSSD) -> None:
+        ssd.attach_queue_pair(BACKEND_QID, self.sq, self.cq)
+        self.cq.irq_vector = None  # the engine snoops CQ writes instead
+        ssd.attach_queue_pair(0, self.admin_sq, self.admin_cq)
+        self.admin_cq.irq_vector = None
+
+    # ------------------------------------------------------------- hot swap
+    def detach_ssd(self) -> Optional[NVMeSSD]:
+        """Hot-plug: unbind the (faulty) drive, keeping the front end."""
+        old = self.ssd
+        if old is not None:
+            old.detach_queue_pair(BACKEND_QID)
+            old.detach_queue_pair(0)
+        self.ssd = None
+        return old
+
+    # ---------------------------------------------------------- admin path
+    def forward_admin(self, sqe: SQE, on_complete: Callable[[int], None]) -> None:
+        """Issue an admin command to the drive (BMS-Controller use)."""
+        self.sim.process(self._forward_admin(sqe, on_complete), name="slot.admin")
+
+    def _forward_admin(self, sqe: SQE, on_complete: Callable[[int], None]):
+        yield self.sim.timeout(self.adaptor.push_ns)
+        self._next_admin_cid = (self._next_admin_cid + 1) % 0xFFFF
+        sqe.cid = self._next_admin_cid
+        self._admin_pending[sqe.cid] = on_complete
+        self.admin_sq.push(sqe)
+        if self.ssd is None:
+            raise SimulationError(f"slot {self.index}: admin with no SSD attached")
+        yield self.adaptor.backend_fabric.cpu_write(self.ssd.doorbell_addr(0), 4)
+
+    def on_admin_cq_write(self) -> None:
+        self.sim.process(self._reap_admin(), name="slot.adminreap")
+
+    def _reap_admin(self):
+        yield self.sim.timeout(self.adaptor.cqe_relay_ns)
+        while True:
+            cqe = self.admin_cq.poll()
+            if cqe is None:
+                return
+            cb = self._admin_pending.pop(cqe.cid, None)
+            if cb is not None:
+                cb(cqe.status)
+
+    def attach_ssd(self, ssd: NVMeSSD) -> None:
+        if self.ssd is not None:
+            raise SimulationError(f"slot {self.index} already has an SSD")
+        self.ssd = ssd
+        self._bind_ssd(ssd)
+
+    # ------------------------------------------------------ pause machinery
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+        buffered, self.pause_buffer = self.pause_buffer, []
+        for req in buffered:
+            self.sim.process(self._forward_now(req), name="slot.replay")
+
+    def drain(self) -> Event:
+        """Event firing when no commands remain at the SSD."""
+        ev = self.sim.event(name=f"slot{self.index}.drained")
+        if self.inflight == 0:
+            ev.succeed()
+        else:
+            self._drain_event = ev
+        return ev
+
+    def io_context(self) -> dict:
+        """The I/O context stored before an upgrade (paper §IV-D)."""
+        return {
+            "sq_head": self.sq.head,
+            "sq_tail": self.sq.tail,
+            "cq_head": self.cq.head,
+            "pending_cids": sorted(self.pending),
+            "buffered": len(self.pause_buffer),
+        }
+
+    # ------------------------------------------------------------ forwarding
+    def forward(self, sqe: SQE, on_complete: Callable[[int], None]) -> None:
+        """Queue a remapped command toward this SSD (engine step ③)."""
+        req = _PendingForwardRequest(sqe, on_complete)
+        if self.paused:
+            self.pause_buffer.append(req)
+        else:
+            self.sim.process(self._forward_now(req), name="slot.fwd")
+
+    def _forward_now(self, req: "_PendingForwardRequest"):
+        if self.paused:
+            self.pause_buffer.append(req)
+            return
+        yield self.slots.acquire()
+        yield self.sim.timeout(self.adaptor.push_ns)
+        self._next_cid = (self._next_cid + 1) % 0xFFFF
+        cid = self._next_cid
+        sqe = req.sqe
+        sqe.cid = cid
+        self.pending[cid] = _PendingForward(sqe, req.on_complete)
+        self.inflight += 1
+        self.forwarded += 1
+        self.sq.push(sqe)
+        if self.ssd is None:
+            raise SimulationError(f"slot {self.index}: forward with no SSD attached")
+        yield self.adaptor.backend_fabric.cpu_write(
+            self.ssd.doorbell_addr(BACKEND_QID), 4
+        )
+
+    # ------------------------------------------------------------ completion
+    def on_cq_write(self) -> None:
+        """The engine saw a DMA write land in this slot's CQ range."""
+        self.sim.process(self._reap(), name="slot.reap")
+
+    def _reap(self):
+        yield self.sim.timeout(self.adaptor.cqe_relay_ns)
+        while True:
+            cqe = self.cq.poll()
+            if cqe is None:
+                return
+            ctx = self.pending.pop(cqe.cid, None)
+            self.inflight -= 1
+            self.completed += 1
+            self.slots.release()
+            if self.inflight == 0 and self._drain_event is not None:
+                ev, self._drain_event = self._drain_event, None
+                ev.succeed()
+            if ctx is not None:
+                ctx.on_complete(cqe.status)
+
+
+@dataclass
+class _PendingForwardRequest:
+    sqe: SQE
+    on_complete: Callable[[int], None]
+
+
+class HostAdaptor:
+    """All back-end slots plus the chip-memory CQ snooping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        chip_memory,
+        backend_fabric,
+        push_ns: int = 100,
+        cqe_relay_ns: int = 150,
+    ):
+        self.sim = sim
+        self.chip_memory = chip_memory
+        self.backend_fabric = backend_fabric
+        self.push_ns = push_ns
+        self.cqe_relay_ns = cqe_relay_ns
+        self.slots: list = []  # BackendSlot | ExtendedBackendSlot
+        self.engine = None  # set by the owning BMSEngine
+        self._cq_ranges: list[tuple[int, int, BackendSlot]] = []
+        self._admin_cq_ranges: list[tuple[int, int, BackendSlot]] = []
+
+    def add_ssd(self, ssd: NVMeSSD) -> BackendSlot:
+        slot = BackendSlot(self, len(self.slots), ssd)
+        self.slots.append(slot)
+        return slot
+
+    def _register_cq_range(self, slot: BackendSlot) -> None:
+        lo, hi = slot._cq_range
+        self._cq_ranges.append((lo, hi, slot))
+
+    def _register_admin_cq_range(self, slot: BackendSlot) -> None:
+        lo, hi = slot._admin_cq_range
+        self._admin_cq_ranges.append((lo, hi, slot))
+
+    def notice_write(self, addr: int) -> None:
+        """Chip-memory write hook: detect CQE landings."""
+        for lo, hi, slot in self._cq_ranges:
+            if lo <= addr < hi:
+                slot.on_cq_write()
+                return
+        for lo, hi, slot in self._admin_cq_ranges:
+            if lo <= addr < hi:
+                slot.on_admin_cq_write()
+                return
+
+    def slot_for(self, ssd_id: int) -> BackendSlot:
+        if not 0 <= ssd_id < len(self.slots):
+            raise SimulationError(f"no back-end slot {ssd_id}")
+        return self.slots[ssd_id]

@@ -1,0 +1,121 @@
+"""BMS-Engine QoS module — paper Fig. 5.
+
+One command buffer per namespace.  On every incoming command the
+engine checks whether the namespace's current I/O rate has reached its
+threshold; if so, the command goes into the namespace's command buffer
+and the *command dispatcher* reschedules it when budget accrues.
+Commands under threshold pass straight through.
+
+Limits are token buckets on both IOPS and bandwidth; either may be
+unlimited.  Used for the paper's isolation/fairness claims (Fig. 11/12)
+and for the QoS on/off ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Event, Simulator, Store, TokenBucket
+
+__all__ = ["QoSLimits", "QoSModule"]
+
+
+@dataclass(frozen=True)
+class QoSLimits:
+    """Per-namespace thresholds; ``None`` means unlimited."""
+
+    max_iops: Optional[float] = None
+    max_bytes_per_sec: Optional[float] = None
+    burst_ios: float = 64.0
+    burst_bytes: float = 4 * 1024 * 1024
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_iops is None and self.max_bytes_per_sec is None
+
+
+class _NamespaceQoS:
+    """Buckets + command buffer + dispatcher for one namespace."""
+
+    def __init__(self, sim: Simulator, ns_key: str, limits: QoSLimits):
+        self.sim = sim
+        self.limits = limits
+        self.iops_bucket = TokenBucket(
+            sim, limits.max_iops, limits.burst_ios, name=f"qos.{ns_key}.iops"
+        )
+        self.bw_bucket = TokenBucket(
+            sim, limits.max_bytes_per_sec, limits.burst_bytes, name=f"qos.{ns_key}.bw"
+        )
+        self.buffer: Store = Store(sim, name=f"qos.{ns_key}.cmdbuf")
+        self.buffered_total = 0
+        self.passed_total = 0
+        self._dispatcher_running = False
+
+    def over_threshold(self, nbytes: int) -> bool:
+        return self.iops_bucket.would_block(1.0) or self.bw_bucket.would_block(nbytes)
+
+    def admit(self, nbytes: int) -> Event:
+        """Event that fires when the command may proceed."""
+        gate = self.sim.event(name="qos.admit")
+        if len(self.buffer) == 0 and not self.over_threshold(nbytes):
+            # fast path: consume and pass through
+            self.iops_bucket.consume(1.0)
+            self.bw_bucket.consume(nbytes)
+            self.passed_total += 1
+            gate.succeed()
+            return gate
+        # threshold reached: into the command buffer for rescheduling
+        self.buffered_total += 1
+        self.buffer.put((gate, nbytes))
+        if not self._dispatcher_running:
+            self._dispatcher_running = True
+            self.sim.process(self._dispatch(), name="qos.dispatch")
+        return gate
+
+    def _dispatch(self):
+        """Command dispatcher: replay buffered commands in order."""
+        while len(self.buffer) > 0:
+            gate, nbytes = (yield self.buffer.get())
+            yield self.iops_bucket.consume(1.0)
+            yield self.bw_bucket.consume(nbytes)
+            self.passed_total += 1
+            gate.succeed()
+        self._dispatcher_running = False
+
+
+class QoSModule:
+    """The engine-level QoS stage: routes commands per namespace."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self._per_ns: dict[str, _NamespaceQoS] = {}
+
+    def configure(self, ns_key: str, limits: QoSLimits) -> None:
+        self._per_ns[ns_key] = _NamespaceQoS(self.sim, ns_key, limits)
+
+    def limits_for(self, ns_key: str) -> Optional[QoSLimits]:
+        nsq = self._per_ns.get(ns_key)
+        return nsq.limits if nsq else None
+
+    def admit(self, ns_key: str, nbytes: int) -> Event:
+        """Gate a command; fires immediately when QoS is off/unlimited."""
+        if not self.enabled:
+            gate = self.sim.event(name="qos.off")
+            gate.succeed()
+            return gate
+        nsq = self._per_ns.get(ns_key)
+        if nsq is None or nsq.limits.unlimited:
+            gate = self.sim.event(name="qos.unlimited")
+            gate.succeed()
+            return gate
+        return nsq.admit(nbytes)
+
+    def buffered_count(self, ns_key: str) -> int:
+        nsq = self._per_ns.get(ns_key)
+        return nsq.buffered_total if nsq else 0
+
+    def passed_count(self, ns_key: str) -> int:
+        nsq = self._per_ns.get(ns_key)
+        return nsq.passed_total if nsq else 0

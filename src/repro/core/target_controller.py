@@ -1,0 +1,103 @@
+"""Target Controller: the BMS-Engine's command demultiplexer.
+
+Per the paper's architecture (Fig. 3), the Target Controller receives
+every fetched command and forwards *general I/O* to the mapping/QoS
+pipeline while *admin (device management) commands* go to the
+BMS-Controller on the ARM SoC.  A small set of latency-critical admin
+commands (IDENTIFY, GET LOG PAGE) is answered by engine-local state,
+mirroring hardware fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..nvme.command import SQE
+from ..nvme.spec import AdminOpcode, StatusCode
+from ..sim import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import BMSEngine
+    from .sriov_layer import FrontEndFunction
+
+__all__ = ["TargetController", "AdminRequest"]
+
+
+class AdminRequest:
+    """An admin command parked for the BMS-Controller."""
+
+    __slots__ = ("fn", "qid", "sqe", "_engine", "completed")
+
+    def __init__(self, engine: "BMSEngine", fn: "FrontEndFunction", qid: int, sqe: SQE):
+        self._engine = engine
+        self.fn = fn
+        self.qid = qid
+        self.sqe = sqe
+        self.completed = False
+
+    def respond(self, status: StatusCode = StatusCode.SUCCESS, result: int = 0) -> None:
+        """Post the completion back through the front end."""
+        if self.completed:
+            return
+        self.completed = True
+        self._engine.post_front_cqe(self.fn, self.qid, self.sqe.cid, int(status), result)
+
+
+class TargetController:
+    """Admin/IO demux of the engine."""
+
+    def __init__(self, engine: "BMSEngine"):
+        self.engine = engine
+        #: mailbox drained by the BMS-Controller service loop
+        self.admin_mailbox: Store = Store(engine.sim, name="bms.adminmbx")
+        self.io_commands = 0
+        self.admin_commands = 0
+        self.admin_forwarded = 0
+
+    def dispatch(self, fn: "FrontEndFunction", qid: int, sqe: SQE):
+        """Process generator: route one fetched command."""
+        if qid != 0:
+            self.io_commands += 1
+            yield from self.engine._handle_io(fn, qid, sqe)
+            return
+        self.admin_commands += 1
+        handled = yield from self._engine_local_admin(fn, qid, sqe)
+        if handled:
+            return
+        # management command: hand it to the ARM-side BMS-Controller
+        self.admin_forwarded += 1
+        self.admin_mailbox.put(AdminRequest(self.engine, fn, qid, sqe))
+
+    def _engine_local_admin(self, fn: "FrontEndFunction", qid: int, sqe: SQE):
+        opcode = sqe.opcode
+        if opcode == int(AdminOpcode.IDENTIFY):
+            ns = fn.namespaces.get(1)
+            page = {
+                "model": "BM-Store virtual NVMe",
+                "function": fn.fn_id,
+                "namespace_blocks": ns.num_blocks if ns else 0,
+            }
+            if sqe.prp1:
+                yield self.engine.front_port.mem_write(sqe.prp1, 4096, None)
+                self.engine.host_identify_pages[sqe.prp1] = page
+            self.engine.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.SUCCESS), 0)
+            return True
+        if opcode == int(AdminOpcode.GET_LOG_PAGE):
+            stats = self.engine.monitor_snapshot(fn.fn_id)
+            if sqe.prp1:
+                yield self.engine.front_port.mem_write(sqe.prp1, 512, None)
+                self.engine.host_identify_pages[sqe.prp1] = stats
+            self.engine.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.SUCCESS), 0)
+            return True
+        if opcode in (
+            int(AdminOpcode.CREATE_IO_SQ),
+            int(AdminOpcode.CREATE_IO_CQ),
+            int(AdminOpcode.DELETE_IO_SQ),
+            int(AdminOpcode.DELETE_IO_CQ),
+            int(AdminOpcode.SET_FEATURES),
+            int(AdminOpcode.GET_FEATURES),
+        ):
+            yield self.engine.sim.timeout(self.engine.timings.pipeline_ns)
+            self.engine.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.SUCCESS), 0)
+            return True
+        return False

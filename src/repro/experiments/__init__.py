@@ -1,0 +1,70 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module's ``run()`` returns an :class:`ExperimentResult`; the
+``benchmarks/`` tree regenerates every artifact from these, and
+``examples/reproduce_paper.py`` prints them all.
+"""
+
+from . import (
+    ablations,
+    extensions,
+    fig1,
+    fig8_table5,
+    fig9_table7,
+    fig10,
+    fig11,
+    fig12,
+    fig13a,
+    fig13b_table8,
+    fig14,
+    fig15_table9,
+    latency_breakdown,
+    table1,
+    table2,
+    table6,
+    tco_analysis,
+)
+from .common import (
+    BM_NAMESPACE_BYTES,
+    ExperimentResult,
+    build_vm_targets,
+    quick_cases,
+    run_case_bmstore,
+    run_case_bmstore_vm,
+    run_case_native,
+    run_case_spdk_vm,
+    run_case_vfio_vm,
+    scaled,
+    time_scale,
+)
+
+__all__ = [
+    "ablations",
+    "extensions",
+    "fig1",
+    "fig8_table5",
+    "fig9_table7",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b_table8",
+    "fig14",
+    "fig15_table9",
+    "latency_breakdown",
+    "table1",
+    "table2",
+    "table6",
+    "tco_analysis",
+    "BM_NAMESPACE_BYTES",
+    "ExperimentResult",
+    "build_vm_targets",
+    "quick_cases",
+    "run_case_bmstore",
+    "run_case_bmstore_vm",
+    "run_case_native",
+    "run_case_spdk_vm",
+    "run_case_vfio_vm",
+    "scaled",
+    "time_scale",
+]

@@ -1,0 +1,213 @@
+"""Shared experiment harness: result records and scheme runners.
+
+Every table/figure reproduction returns an :class:`ExperimentResult`
+(id, rows, notes) that benchmarks print and EXPERIMENTS.md quotes.
+Runtime windows are simulation-time; they are chosen so steady-state
+rates converge while benchmark wall time stays in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from ..baselines import (
+    BMStoreRig,
+    build_bmstore,
+    build_native,
+    build_spdk,
+    build_vfio,
+)
+from ..host.driver import NVMeDriver
+from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
+from ..host.vm import VirtualMachine
+from ..sim.units import GIB, MS
+from ..workloads.fio import FioResult, FioRun, FioSpec, TABLE_IV_CASES
+
+__all__ = [
+    "ExperimentResult",
+    "time_scale",
+    "scaled",
+    "quick_cases",
+    "run_case_native",
+    "run_case_bmstore",
+    "run_case_vfio_vm",
+    "run_case_bmstore_vm",
+    "run_case_spdk_vm",
+    "BM_NAMESPACE_BYTES",
+]
+
+#: the paper binds a 1536 GB namespace from one backend SSD
+BM_NAMESPACE_BYTES = 1536 * GIB
+
+
+def time_scale() -> float:
+    """REPRO_TIME_SCALE stretches every measurement window (default 1)."""
+    return float(os.environ.get("REPRO_TIME_SCALE", "1.0"))
+
+
+def scaled(spec: FioSpec, runtime_ns: int, ramp_ns: int) -> FioSpec:
+    """A copy of the spec with REPRO_TIME_SCALE applied to its windows."""
+    factor = time_scale()
+    return replace(spec, runtime_ns=int(runtime_ns * factor), ramp_ns=int(ramp_ns * factor))
+
+
+#: Table IV cases with benchmark-friendly windows (rates converge in
+#: a few ms of simulated time; seq cases need longer for deep queues).
+_WINDOWS = {
+    "rand-r-1": (30 * MS, 4 * MS),
+    "rand-r-128": (25 * MS, 5 * MS),
+    "rand-w-1": (25 * MS, 4 * MS),
+    "rand-w-16": (25 * MS, 4 * MS),
+    "seq-r-256": (220 * MS, 60 * MS),
+    "seq-w-256": (400 * MS, 120 * MS),
+}
+
+
+def quick_cases(names: Optional[Sequence[str]] = None) -> list[FioSpec]:
+    """Table IV specs with benchmark-friendly measurement windows."""
+    names = list(names or TABLE_IV_CASES)
+    return [
+        scaled(TABLE_IV_CASES[name], *_WINDOWS[name]) for name in names
+    ]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column(self, key: str) -> list[Any]:
+        return [row[key] for row in self.rows]
+
+    def row_for(self, **match: Any) -> dict[str, Any]:
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")
+
+    def table(self) -> str:
+        if not self.rows:
+            return f"[{self.experiment_id}] {self.title}: (no rows)"
+        keys = list(self.rows[0])
+        widths = {
+            k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows)) for k in keys
+        }
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.append("  " + " | ".join(k.ljust(widths[k]) for k in keys))
+        lines.append("  " + "-+-".join("-" * widths[k] for k in keys))
+        for row in self.rows:
+            lines.append(
+                "  " + " | ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys)
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# scheme runners: one fio case on one scheme, freshly built worlds
+# ---------------------------------------------------------------------------
+
+def run_case_native(spec: FioSpec, num_ssds: int = 1, seed: int = 7,
+                    kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
+    """One fio case on bare-metal native drives."""
+    rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel)
+    run = FioRun(rig.sim, rig.drivers, spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result()
+
+
+def _bmstore_baremetal(num_ssds: int, seed: int, kernel: KernelProfile,
+                       **rig_kwargs) -> tuple[BMStoreRig, NVMeDriver]:
+    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, **rig_kwargs)
+    size = min(BM_NAMESPACE_BYTES, num_ssds * 28 * 64 * GIB)
+    fn = rig.provision("ns0", size)
+    return rig, rig.baremetal_driver(fn)
+
+
+def run_case_bmstore(spec: FioSpec, num_ssds: int = 1, seed: int = 7,
+                     kernel: KernelProfile = DEFAULT_KERNEL,
+                     **rig_kwargs) -> FioResult:
+    """One fio case on a bare-metal BM-Store namespace."""
+    rig, driver = _bmstore_baremetal(num_ssds, seed, kernel, **rig_kwargs)
+    run = FioRun(rig.sim, [driver], spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result()
+
+
+def run_case_vfio_vm(spec: FioSpec, seed: int = 7,
+                     kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
+    """One fio case inside a VM on a VFIO-assigned drive."""
+    rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel)
+    run = FioRun(rig.sim, [rig.driver()], spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result()
+
+
+def run_case_bmstore_vm(spec: FioSpec, seed: int = 7,
+                        kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
+    """One fio case inside a VM on a BM-Store VF."""
+    rig = build_bmstore(num_ssds=1, seed=seed, kernel=kernel)
+    vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
+    driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
+    run = FioRun(rig.sim, [driver], spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result()
+
+
+def run_case_spdk_vm(spec: FioSpec, seed: int = 7,
+                     kernel: KernelProfile = DEFAULT_KERNEL,
+                     num_cores: int = 1) -> FioResult:
+    """One fio case on an SPDK vhost virtio disk."""
+    rig = build_spdk(
+        num_ssds=1, num_cores=num_cores, num_vdevs=1,
+        vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
+    )
+    run = FioRun(rig.sim, [rig.vdev()], spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result()
+
+
+VM_SCHEMES = ("vfio", "bmstore", "spdk")
+
+
+def build_vm_targets(scheme: str, num_targets: int = 1, seed: int = 7,
+                     num_ssds: int = 1, ns_bytes: int = 256 * GIB):
+    """One world with ``num_targets`` VM-visible disks of one scheme.
+
+    Returns (sim, streams, [BlockTarget]).  The application experiments
+    (Figs. 13/14) run the mini databases on these.
+    """
+    if scheme == "vfio":
+        rig = build_vfio(num_vms=num_targets, seed=seed)
+        return rig.sim, rig.streams, list(rig.drivers)
+    if scheme == "bmstore":
+        rig = build_bmstore(num_ssds=max(num_ssds, 1), seed=seed)
+        targets = []
+        for v in range(num_targets):
+            fn = rig.provision(f"app{v}", ns_bytes)
+            vm = VirtualMachine(rig.host, f"vm{v}")
+            targets.append(rig.vm_driver(vm, fn))
+        return rig.sim, rig.streams, targets
+    if scheme == "spdk":
+        rig = build_spdk(
+            num_ssds=max(num_ssds, 1), num_cores=1, num_vdevs=num_targets,
+            vdev_blocks=ns_bytes // 4096, seed=seed,
+        )
+        return rig.sim, rig.streams, list(rig.vdevs)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,56 @@
+"""Fig. 1 — SPDK vhost bandwidth vs number of bound polling cores.
+
+Four SSDs, fio seq read 128K qd256 x 4 jobs through vhost vdevs;
+sweep the dedicated core count.  The paper's point: polling needs ~8
+cores to reach only ~80% of the four drives' native bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines import build_native, build_spdk
+from ..sim.units import GIB, MS
+from ..workloads.fio import FioRun, FioSpec
+from .common import ExperimentResult, scaled
+
+__all__ = ["run"]
+
+SEQ_SPEC = FioSpec("seq-r-256", "read", 128 * 1024, iodepth=256, numjobs=4)
+
+
+def _native_4ssd_bandwidth(seed: int) -> float:
+    rig = build_native(num_ssds=4, seed=seed)
+    spec = scaled(SEQ_SPEC, 150 * MS, 40 * MS)
+    run = FioRun(rig.sim, rig.drivers, spec, rig.streams)
+    rig.sim.run(run.finished)
+    return run.result().bandwidth_bps
+
+
+def run(core_counts: Sequence[int] = (1, 2, 4, 6, 8, 10), seed: int = 7) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult(
+        "fig1", "SPDK vhost bandwidth vs dedicated CPU cores (4 SSDs, seq-r 128K)"
+    )
+    native_bw = _native_4ssd_bandwidth(seed)
+    spec = scaled(SEQ_SPEC, 150 * MS, 40 * MS)
+    for cores in core_counts:
+        rig = build_spdk(
+            num_ssds=4, num_cores=cores, num_vdevs=4,
+            vdev_blocks=1024 * GIB // 4096, seed=seed,
+        )
+        run_ = FioRun(rig.sim, rig.vdevs, spec, rig.streams)
+        rig.sim.run(run_.finished)
+        res = run_.result()
+        result.add(
+            cores=cores,
+            bandwidth_gbps=res.bandwidth_bps / 1e9,
+            pct_of_native=100.0 * res.bandwidth_bps / native_bw,
+            vhost_cpu_util=round(rig.target.cpu_utilization(), 3),
+        )
+    result.add(cores=0, bandwidth_gbps=native_bw / 1e9, pct_of_native=100.0,
+               vhost_cpu_util=0.0)
+    result.notes.append(
+        "cores=0 row is the native 4-SSD baseline; paper: 8 cores reach ~80%"
+    )
+    return result

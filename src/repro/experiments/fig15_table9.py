@@ -1,0 +1,100 @@
+"""Fig. 15 + Table IX — availability: firmware hot-upgrade under I/O.
+
+fio 4K random read (and write) runs against a BM-Store namespace while
+the remote console triggers two SSD firmware hot-upgrades.  Outputs the
+IOPS time series (the Fig. 15 dips), the upgrade total time, the I/O
+pause time, and the BM-Store processing time — with zero I/O errors.
+"""
+
+from __future__ import annotations
+
+from ..baselines import build_bmstore
+from ..sim import SeriesRecorder
+from ..sim.units import GIB, MS, sec
+from ..workloads.fio import FioSpec
+from .common import BM_NAMESPACE_BYTES, ExperimentResult
+
+__all__ = ["run"]
+
+
+def _one_direction(op: str, seed: int, activation_s: float) -> dict:
+    rig = build_bmstore(num_ssds=1, seed=seed)
+    fn = rig.provision("ns0", BM_NAMESPACE_BYTES)
+    driver = rig.baremetal_driver(fn)
+    sim = rig.sim
+    series = SeriesRecorder(sim, window_ns=100 * MS)
+    stats = {"ios": 0, "errors": 0}
+    stop = {"flag": False}
+    # paced workers: the figure needs a visible IOPS signal across ~9 s
+    # of simulated time, not a saturating load (event-count budget)
+    pace_ns = 2 * MS
+
+    def io_worker(tag):
+        lba = tag * 997
+        while not stop["flag"]:
+            if op == "read":
+                info = yield driver.read(lba % (1 << 20), 1)
+            else:
+                info = yield driver.write(lba % (1 << 20), 1)
+            lba += 7919
+            stats["ios"] += 1
+            series.tick()
+            if not info.ok:
+                stats["errors"] += 1
+            yield sim.timeout(pace_ns)
+
+    def orchestrate():
+        yield sim.timeout(sec(0.5))
+        resp1 = yield rig.console.hot_upgrade(0, version="FW-A",
+                                              activation_s=activation_s)
+        yield sim.timeout(sec(1.0))
+        resp2 = yield rig.console.hot_upgrade(0, version="FW-B",
+                                              activation_s=activation_s)
+        yield sim.timeout(sec(0.5))
+        stop["flag"] = True
+        return resp1, resp2
+
+    for tag in range(8):
+        sim.process(io_worker(tag), name=f"io{tag}")
+    resp1, resp2 = sim.run(sim.process(orchestrate(), name="orch"))
+    sim.run(until=sim.now + sec(0.1))
+    reports = [resp1.body, resp2.body]
+    ts = series.series(0, sim.now)
+    zero_windows = sum(1 for _, rate in ts if rate == 0.0)
+    return {
+        "op": op,
+        "ios": stats["ios"],
+        "errors": stats["errors"],
+        "upgrades": reports,
+        "avg_total_s": sum(r["total_s"] for r in reports) / 2,
+        "avg_pause_s": sum(r["io_pause_s"] for r in reports) / 2,
+        "processing_ms": reports[0]["processing_ms"],
+        "series": ts,
+        "paused_windows": zero_windows,
+    }
+
+
+def run(seed: int = 7, activation_s: float = 6.5) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult(
+        "fig15+table9", "SSD firmware hot-upgrade under 4K random I/O"
+    )
+    for op in ("read", "write"):
+        data = _one_direction(op, seed, activation_s)
+        result.add(
+            op=data["op"],
+            ios=data["ios"],
+            errors=data["errors"],
+            avg_upgrade_total_s=round(data["avg_total_s"], 2),
+            avg_io_pause_s=round(data["avg_pause_s"], 2),
+            bmstore_processing_ms=round(data["processing_ms"], 1),
+            paused_100ms_windows=data["paused_windows"],
+        )
+        result.notes.append(
+            f"{op}: IOPS series has {data['paused_windows']} zeroed 100ms "
+            f"windows across two upgrades (the Fig. 15 dips)"
+        )
+    result.notes.append(
+        "paper: total 6-9 s, BM-Store processing ~100 ms, no I/O errors"
+    )
+    return result

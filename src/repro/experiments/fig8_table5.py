@@ -1,0 +1,51 @@
+"""Fig. 8 + Table V — bare-metal single-disk performance.
+
+All six Table IV fio cases on the native disk and on a BM-Store
+namespace (1536 GB from one backend drive, bound to a VF).  Reports
+IOPS, bandwidth, and average latency; the paper's shape is BM-Store at
+96.2-101.4% of native everywhere except rand-w-1 (~82.5%) and a ~3 us
+constant latency adder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import ExperimentResult, quick_cases, run_case_bmstore, run_case_native
+
+__all__ = ["run", "PAPER_LATENCY_US"]
+
+#: Table V reference values (us)
+PAPER_LATENCY_US = {
+    "rand-r-1": (77.2, 80.4),
+    "rand-r-128": (786.7, 792.6),
+    "rand-w-1": (11.6, 14.5),
+    "rand-w-16": (179.8, 179.9),
+    "seq-r-256": (40579.3, 40041.3),
+    "seq-w-256": (92502.3, 95030.0),
+}
+
+
+def run(cases: Optional[Sequence[str]] = None, seed: int = 7) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult(
+        "fig8+table5", "Bare-metal performance with 1 disk: Native vs BM-Store"
+    )
+    for spec in quick_cases(cases):
+        native = run_case_native(spec, seed=seed)
+        bms = run_case_bmstore(spec, seed=seed)
+        paper = PAPER_LATENCY_US.get(spec.name, (None, None))
+        result.add(
+            case=spec.name,
+            native_kiops=native.iops / 1e3,
+            bmstore_kiops=bms.iops / 1e3,
+            native_mbps=native.bandwidth_mbps,
+            bmstore_mbps=bms.bandwidth_mbps,
+            iops_ratio=bms.iops / native.iops if native.iops else 0.0,
+            native_lat_us=native.avg_latency_us,
+            bmstore_lat_us=bms.avg_latency_us,
+            paper_native_lat_us=paper[0],
+            paper_bmstore_lat_us=paper[1],
+        )
+    result.notes.append("paper shape: ratio 0.96-1.01 except rand-w-1 ~0.825")
+    return result

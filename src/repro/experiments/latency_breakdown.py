@@ -1,0 +1,75 @@
+"""Per-stage latency breakdown of the BMS-Engine path (Fig. 6 steps).
+
+Where the "about 3 us" of §V-B actually goes: per-command timestamps
+through doorbell/fetch -> map+QoS pipeline -> back-end (adaptor + SSD +
+zero-copy DMA) -> CQE relay, compared against the native path's total.
+"""
+
+from __future__ import annotations
+
+from ..baselines import build_bmstore, build_native
+from ..sim.units import GIB
+from .common import BM_NAMESPACE_BYTES, ExperimentResult
+
+__all__ = ["run"]
+
+STEPS = (
+    ("fetch", "t_doorbell", "t_fetched"),
+    ("map+qos pipeline", "t_fetched", "t_qos"),
+    ("forward to adaptor", "t_qos", "t_forwarded"),
+    ("backend (SSD + zero-copy DMA)", "t_forwarded", "t_backend_done"),
+    ("CQE relay to host", "t_backend_done", "t_host_cqe"),
+)
+
+
+def _mean_us(records: list[dict], a: str, b: str) -> float:
+    deltas = [r[b] - r[a] for r in records if a in r and b in r]
+    return sum(deltas) / len(deltas) / 1e3 if deltas else 0.0
+
+
+def run(samples: int = 300, seed: int = 7) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult(
+        "latency-breakdown", "BMS-Engine per-stage latency (4K read, qd1)"
+    )
+
+    # native reference total
+    nat = build_native(1, seed=seed)
+
+    def native_flow():
+        total = 0
+        for i in range(samples):
+            info = yield nat.driver().read((i * 977) % (1 << 20), 1)
+            total += info.latency_ns
+        return total / samples
+
+    native_total_ns = nat.sim.run(nat.sim.process(native_flow()))
+
+    # BM-Store with step tracing
+    rig = build_bmstore(num_ssds=1, seed=seed)
+    rig.engine.enable_step_trace()
+    driver = rig.baremetal_driver(rig.provision("ns0", BM_NAMESPACE_BYTES))
+
+    def bms_flow():
+        total = 0
+        for i in range(samples):
+            info = yield driver.read((i * 977) % (1 << 20), 1)
+            total += info.latency_ns
+        return total / samples
+
+    bms_total_ns = rig.sim.run(rig.sim.process(bms_flow()))
+    records = rig.engine.step_records or []
+
+    for label, a, b in STEPS:
+        result.add(stage=label, mean_us=round(_mean_us(records, a, b), 3))
+    engine_span = _mean_us(records, "t_doorbell", "t_host_cqe")
+    result.add(stage="engine span (doorbell->host CQE)",
+               mean_us=round(engine_span, 3))
+    result.add(stage="BM-Store end-to-end", mean_us=round(bms_total_ns / 1e3, 3))
+    result.add(stage="native end-to-end", mean_us=round(native_total_ns / 1e3, 3))
+    result.add(stage="extra vs native",
+               mean_us=round((bms_total_ns - native_total_ns) / 1e3, 3))
+    result.notes.append(
+        'the paper\'s "about 3 us extra latency" decomposed over Fig. 6 steps'
+    )
+    return result

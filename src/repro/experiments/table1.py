@@ -1,0 +1,21 @@
+"""Table I — feature matrix of local-storage schemes."""
+
+from __future__ import annotations
+
+from ..baselines.features import FEATURE_COLUMNS, feature_matrix
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult("table1", "Features of existing local storage techniques")
+    for scheme, features in feature_matrix().items():
+        result.add(scheme=scheme, **{
+            col: ("yes" if features[col] else "-") for col in FEATURE_COLUMNS
+        })
+    result.notes.append(
+        "derived from structural scheme properties (cores, drivers, devices)"
+    )
+    return result

@@ -1,0 +1,27 @@
+"""Table II — FPGA resource utilization per attached-SSD count."""
+
+from __future__ import annotations
+
+from ..core.fpga_resources import FPGAResourceModel
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult."""
+    result = ExperimentResult("table2", "FPGA resource utilization for BM-Store")
+    model = FPGAResourceModel()
+    for row in model.table_rows():
+        result.add(
+            ssds=row["ssds"],
+            luts=f"{row['luts']} ({row['luts_pct']}%)",
+            registers=f"{row['registers']} ({row['registers_pct']}%)",
+            brams=f"{row['brams']:.0f} ({row['brams_pct']}%)",
+            urams=f"{row['urams']:.1f} ({row['urams_pct']}%)",
+            clock=f"{row['clock_mhz']}MHz",
+        )
+    result.notes.append(
+        f"headroom: up to {model.max_supported_ssds()} SSDs fit the ZU19EG"
+    )
+    return result

@@ -1,0 +1,28 @@
+"""Host substrate: memory, CPU, kernel profiles, NVMe driver, VMs."""
+
+from .block import BlockTarget, CompletionInfo
+from .cpu import Core, HostCPU
+from .driver import DriverStats, NVMeControllerTarget, NVMeDriver
+from .environment import IRQ_WINDOW_BASE, Host
+from .kernel_profile import DEFAULT_KERNEL, KERNEL_PROFILES, KernelProfile
+from .memory import PAGE_SIZE, HostMemory
+from .vm import VirtualMachine, VMProfile
+
+__all__ = [
+    "BlockTarget",
+    "CompletionInfo",
+    "Core",
+    "HostCPU",
+    "DriverStats",
+    "NVMeControllerTarget",
+    "NVMeDriver",
+    "IRQ_WINDOW_BASE",
+    "Host",
+    "DEFAULT_KERNEL",
+    "KERNEL_PROFILES",
+    "KernelProfile",
+    "PAGE_SIZE",
+    "HostMemory",
+    "VirtualMachine",
+    "VMProfile",
+]

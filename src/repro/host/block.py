@@ -1,0 +1,53 @@
+"""Block-device interface shared by every storage scheme.
+
+Workloads (fio jobs, the mini databases) talk to a :class:`BlockTarget`
+and never know whether it is a native disk, a BM-Store VF, a VFIO
+device in a VM, or an SPDK vhost virtio disk — mirroring how the real
+schemes are interchangeable behind the kernel block layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from ..sim import Event
+
+__all__ = ["BlockTarget", "CompletionInfo"]
+
+
+class CompletionInfo:
+    """What a completed block request reports back."""
+
+    __slots__ = ("ok", "status", "data", "latency_ns")
+
+    def __init__(self, ok: bool, status: int, data: Optional[bytes], latency_ns: int):
+        self.ok = ok
+        self.status = status
+        self.data = data
+        self.latency_ns = latency_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CompletionInfo ok={self.ok} status={self.status} lat={self.latency_ns}ns>"
+
+
+@runtime_checkable
+class BlockTarget(Protocol):
+    """Asynchronous block device: events fire with :class:`CompletionInfo`."""
+
+    @property
+    def num_blocks(self) -> int:
+        """Device capacity in logical blocks."""
+        ...  # pragma: no cover
+
+    @property
+    def block_bytes(self) -> int:
+        ...  # pragma: no cover
+
+    def read(self, lba: int, nblocks: int) -> Event:
+        ...  # pragma: no cover
+
+    def write(self, lba: int, nblocks: int, payload: Optional[bytes] = None) -> Event:
+        ...  # pragma: no cover
+
+    def flush(self) -> Event:
+        ...  # pragma: no cover

@@ -1,0 +1,72 @@
+"""The host machine: memory + PCIe root + interrupt controller + CPU.
+
+One :class:`Host` is the Table III server: it owns the host-side PCIe
+fabric (whose root window is its DRAM + MSI target range), the MSI-X
+interrupt controller, and the CPU cores.  Devices (native SSDs or the
+BMS-Engine card) attach to ``host.fabric``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..pcie.fabric import PCIeFabric
+from ..pcie.msix import InterruptController
+from ..sim import Simulator, StreamFactory
+from .cpu import HostCPU
+from .kernel_profile import DEFAULT_KERNEL, KernelProfile
+from .memory import HostMemory
+
+__all__ = ["Host", "IRQ_WINDOW_BASE"]
+
+#: MSI message window, far above DRAM.
+IRQ_WINDOW_BASE = 0xFEE0_0000_0000
+
+
+class _RootSpace:
+    """Root-complex address space: DRAM plus the MSI target window."""
+
+    def __init__(self, memory: HostMemory, irq: InterruptController):
+        self.memory = memory
+        self.irq = irq
+
+    def _target(self, addr: int):
+        if addr >= self.irq.base:
+            return self.irq
+        return self.memory
+
+    @property
+    def access_ns(self) -> int:
+        return self.memory.access_ns
+
+    def mem_write(self, addr: int, length: int, data: Optional[bytes]) -> None:
+        self._target(addr).mem_write(addr, length, data)
+
+    def mem_read(self, addr: int, length: int):
+        return self._target(addr).mem_read(addr, length)
+
+
+class Host:
+    """A bare-metal server (defaults follow the paper's Table III)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: StreamFactory,
+        memory_bytes: int = 768 * 1024**3,
+        num_cores: int = 48,
+        kernel: KernelProfile = DEFAULT_KERNEL,
+        name: str = "host",
+    ):
+        self.sim = sim
+        self.streams = streams
+        self.name = name
+        self.kernel = kernel
+        self.memory = HostMemory(sim, memory_bytes, name=f"{name}.dram")
+        self.cpu = HostCPU(sim, num_cores)
+        self.irq = InterruptController(base=IRQ_WINDOW_BASE)
+        self.fabric = PCIeFabric(sim, name=f"{name}.pcie")
+        self.fabric.set_root_handler(_RootSpace(self.memory, self.irq))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} kernel={self.kernel.label}>"

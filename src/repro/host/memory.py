@@ -1,0 +1,147 @@
+"""Host physical memory: the DMA target of everything.
+
+Byte-accurate storage is *optional*: performance runs pass
+``data=None`` and only timing is modeled; integrity tests pass real
+bytes, which are kept in 4 KiB pages so scattered DMA writes (PRP page
+granularity) reassemble correctly on read.
+
+A parallel *object store* holds structured queue entries (SQE/CQE
+dataclasses) at their ring addresses — the simulation's stand-in for
+serialized structures, charged at their real wire size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import SimulationError, Simulator
+from ..sim.units import PAGE_SIZE
+
+__all__ = ["HostMemory", "BufferPool", "PAGE_SIZE"]
+
+
+class BufferPool:
+    """Recycling DMA-buffer allocator over a :class:`HostMemory`.
+
+    Buckets freed buffers by size so long simulations do not exhaust
+    the bump allocator.
+    """
+
+    def __init__(self, memory: "HostMemory"):
+        self.memory = memory
+        self._free: dict[int, list[int]] = {}
+
+    def get(self, nbytes: int) -> int:
+        bucket = self._free.get(nbytes)
+        if bucket:
+            return bucket.pop()
+        return self.memory.alloc(nbytes)
+
+    def put(self, addr: int, nbytes: int) -> None:
+        self._free.setdefault(nbytes, []).append(addr)
+
+
+class HostMemory:
+    """DRAM address space with a bump-pointer allocator.
+
+    Implements the fabric :class:`~repro.pcie.fabric.AddressHandler`
+    protocol so it can serve as the root window of a PCIe domain.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        access_ns: int = 60,
+        base: int = 0,
+        name: str = "dram",
+    ):
+        self.sim = sim
+        self.size = size
+        self.base = base
+        self.name = name
+        self._access_ns = access_ns
+        self._pages: dict[int, bytearray] = {}
+        self._objects: dict[int, Any] = {}
+        self._next_free = base
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- allocator ---------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = PAGE_SIZE) -> int:
+        """Allocate a region; returns its base address."""
+        if nbytes <= 0:
+            raise SimulationError(f"allocation of {nbytes} bytes")
+        addr = -(-self._next_free // align) * align  # round up
+        if addr + nbytes > self.base + self.size:
+            raise SimulationError(
+                f"{self.name}: out of memory allocating {nbytes} bytes"
+            )
+        self._next_free = addr + nbytes
+        return addr
+
+    @property
+    def allocated(self) -> int:
+        return self._next_free - self.base
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    # -- AddressHandler protocol --------------------------------------------
+    @property
+    def access_ns(self) -> int:
+        return self._access_ns
+
+    def mem_write(self, addr: int, length: int, data: Optional[bytes]) -> None:
+        self.bytes_written += length
+        if data is None:
+            return
+        if len(data) != length:
+            raise SimulationError("data length mismatch on memory write")
+        self._scatter(addr, data)
+
+    def mem_read(self, addr: int, length: int) -> Optional[Any]:
+        self.bytes_read += length
+        if addr in self._objects:
+            # structured queue entry / PRP list parked at this address
+            return self._objects[addr]
+        return self._gather(addr, length)
+
+    # -- byte-accurate backing store ------------------------------------------
+    def _scatter(self, addr: int, data: bytes) -> None:
+        offset = 0
+        while offset < len(data):
+            page_idx, page_off = divmod(addr + offset, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - page_off, len(data) - offset)
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_idx] = page
+            page[page_off : page_off + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    def _gather(self, addr: int, length: int) -> Optional[bytes]:
+        out = bytearray()
+        offset = 0
+        any_backed = False
+        while offset < length:
+            page_idx, page_off = divmod(addr + offset, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - page_off, length - offset)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                any_backed = True
+                out += page[page_off : page_off + chunk]
+            else:
+                out += bytes(chunk)
+            offset += chunk
+        return bytes(out) if any_backed else None
+
+    # -- object store (structured queue entries) -------------------------------
+    def store_obj(self, addr: int, obj: Any) -> None:
+        self._objects[addr] = obj
+
+    def load_obj(self, addr: int) -> Any:
+        return self._objects.get(addr)
+
+    def pop_obj(self, addr: int) -> Any:
+        return self._objects.pop(addr, None)

@@ -1,0 +1,18 @@
+"""Out-of-band management: MCTP over PCIe, NVMe-MI, remote console."""
+
+from .console import CONSOLE_EID, RemoteConsole
+from .mctp import MCTP_BTU, MCTPEndpoint, MCTPPacket
+from .nvme_mi import MCTP_TYPE_NVME_MI, MIOpcode, MIRequest, MIResponse, MIStatus
+
+__all__ = [
+    "CONSOLE_EID",
+    "RemoteConsole",
+    "MCTP_BTU",
+    "MCTPEndpoint",
+    "MCTPPacket",
+    "MCTP_TYPE_NVME_MI",
+    "MIOpcode",
+    "MIRequest",
+    "MIResponse",
+    "MIStatus",
+]

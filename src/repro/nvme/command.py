@@ -1,0 +1,67 @@
+"""NVMe command structures: submission (SQE) and completion (CQE) entries.
+
+These are the structured stand-ins for the 64-byte / 16-byte wire
+formats; the queue layer charges their real wire sizes when they move
+over PCIe.  PRP entries are genuine 64-bit integers so the BMS-Engine's
+global-PRP bit manipulation (paper Fig. 4b) operates on real addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .spec import LBA_BYTES, StatusCode
+
+__all__ = ["SQE", "CQE"]
+
+
+@dataclass
+class SQE:
+    """Submission queue entry (the fields BM-Store routes/rewrites).
+
+    ``prp1``/``prp2`` follow NVMe semantics: for transfers <= 2 pages
+    they are direct data pointers; beyond that ``prp2`` points at a PRP
+    list in memory.
+    """
+
+    opcode: int
+    cid: int
+    nsid: int
+    slba: int = 0
+    nlb: int = 0  # 0's-based block count (0 means 1 block)
+    prp1: int = 0
+    prp2: int = 0
+    # non-wire simulation conveniences ------------------------------------
+    payload: Optional[bytes] = field(default=None, repr=False)
+    submit_time_ns: int = 0
+    cdw10: int = 0  # generic command dword (admin commands)
+    cdw11: int = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.nlb + 1
+
+    @property
+    def transfer_bytes(self) -> int:
+        return self.num_blocks * LBA_BYTES
+
+    def remapped(self, slba: int, prp1: int, prp2: int) -> "SQE":
+        """A copy with rewritten LBA/PRPs — what the BMS-Engine forwards."""
+        return replace(self, slba=slba, prp1=prp1, prp2=prp2)
+
+
+@dataclass
+class CQE:
+    """Completion queue entry."""
+
+    cid: int
+    status: int = int(StatusCode.SUCCESS)
+    sq_head: int = 0
+    sqid: int = 0
+    phase: int = 1
+    result: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == int(StatusCode.SUCCESS)

@@ -1,0 +1,66 @@
+"""SSD firmware slots, download, and activation.
+
+Models what the BMS-Controller's hot-upgrade drives: firmware images
+are downloaded in chunks (FIRMWARE_DOWNLOAD), committed to a slot, and
+*activated* by a controller-level reset during which the drive cannot
+serve I/O — the 6–9 s window of paper Table IX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import SimulationError
+
+__all__ = ["FirmwareImage", "FirmwareSlots"]
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """An immutable firmware build: version, size, activation time."""
+    version: str
+    size_bytes: int
+    #: media-side activation time (flash reprogram + controller restart)
+    activation_ns: int
+
+
+@dataclass
+class FirmwareSlots:
+    """Firmware slot state machine of one drive."""
+
+    active: FirmwareImage
+    num_slots: int = 3
+    slots: dict[int, FirmwareImage] = field(default_factory=dict)
+    _download_buffer: int = 0
+    _pending_version: str = ""
+
+    def __post_init__(self) -> None:
+        self.slots.setdefault(1, self.active)
+
+    def download_chunk(self, nbytes: int, version: str) -> None:
+        if self._pending_version and self._pending_version != version:
+            self._download_buffer = 0
+        self._pending_version = version
+        self._download_buffer += nbytes
+
+    def commit(self, slot: int, image: FirmwareImage) -> None:
+        """FIRMWARE_COMMIT: validate the downloaded image into a slot."""
+        if not 1 <= slot <= self.num_slots:
+            raise SimulationError(f"firmware slot {slot} out of range")
+        if self._download_buffer < image.size_bytes:
+            raise SimulationError(
+                f"firmware image incomplete: {self._download_buffer}/{image.size_bytes} bytes"
+            )
+        if self._pending_version != image.version:
+            raise SimulationError("committed version does not match downloaded image")
+        self.slots[slot] = image
+        self._download_buffer = 0
+        self._pending_version = ""
+
+    def activate(self, slot: int) -> FirmwareImage:
+        """Switch the active image (the reset itself is timed by the SSD)."""
+        image = self.slots.get(slot)
+        if image is None:
+            raise SimulationError(f"no firmware in slot {slot}")
+        self.active = image
+        return image

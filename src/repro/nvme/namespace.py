@@ -1,0 +1,25 @@
+"""NVMe namespaces: contiguous LBA ranges with identify data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import LBA_BYTES
+
+__all__ = ["Namespace"]
+
+
+@dataclass
+class Namespace:
+    """One namespace: ``nsid`` plus its size in formatted blocks."""
+
+    nsid: int
+    num_blocks: int
+    block_bytes: int = LBA_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_blocks * self.block_bytes
+
+    def contains(self, slba: int, nblocks: int) -> bool:
+        return 0 <= slba and slba + nblocks <= self.num_blocks

@@ -1,0 +1,93 @@
+"""Physical Region Page (PRP) construction and walking.
+
+NVMe describes data buffers as PRP entries: 64-bit page addresses.
+``prp1`` points at the first (possibly unaligned) page; for transfers
+beyond two pages ``prp2`` points at a *PRP list* in memory.  The
+BMS-Engine's zero-copy trick (paper Fig. 4b) rewrites these very
+entries, so they are real integers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from ..sim import SimulationError
+from ..sim.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.memory import HostMemory
+
+__all__ = ["PRP_ENTRY_BYTES", "PRPList", "build_prps", "walk_prps", "pages_for"]
+
+PRP_ENTRY_BYTES = 8
+
+
+@dataclass
+class PRPList:
+    """A PRP list stored at ``addr`` in some memory."""
+
+    addr: int
+    entries: list[int]
+
+    @property
+    def wire_bytes(self) -> int:
+        return len(self.entries) * PRP_ENTRY_BYTES
+
+
+def pages_for(buffer_addr: int, length: int) -> list[int]:
+    """Page-granular addresses covering [buffer_addr, buffer_addr+length)."""
+    if length <= 0:
+        return []
+    pages = []
+    addr = buffer_addr
+    remaining = length
+    while remaining > 0:
+        pages.append(addr)
+        step = PAGE_SIZE - (addr % PAGE_SIZE)
+        addr += step
+        remaining -= step
+    return pages
+
+
+def build_prps(memory: "HostMemory", buffer_addr: int, length: int) -> tuple[int, int]:
+    """Build PRP entries for a buffer; returns (prp1, prp2).
+
+    For > 2 pages, allocates and stores a PRP list in ``memory`` and
+    returns its address as prp2 (list semantics are flagged by the
+    caller knowing the transfer size, as in the spec).
+    """
+    pages = pages_for(buffer_addr, length)
+    if not pages:
+        raise SimulationError("zero-length PRP build")
+    prp1 = pages[0]
+    if len(pages) == 1:
+        return prp1, 0
+    if len(pages) == 2:
+        return prp1, pages[1]
+    list_addr = memory.alloc(len(pages[1:]) * PRP_ENTRY_BYTES, align=PRP_ENTRY_BYTES)
+    memory.store_obj(list_addr, PRPList(list_addr, list(pages[1:])))
+    return prp1, list_addr
+
+
+def walk_prps(
+    memory: "HostMemory", prp1: int, prp2: int, length: int
+) -> tuple[list[int], Optional[PRPList]]:
+    """Resolve (prp1, prp2, length) into page addresses.
+
+    Returns (page_addrs, prp_list or None).  The caller charges the PRP
+    list fetch over the fabric when a list is present.
+    """
+    npages = len(pages_for(prp1, length))
+    if npages <= 1:
+        return [prp1], None
+    if npages == 2:
+        return [prp1, prp2], None
+    entry = memory.load_obj(prp2)
+    if not isinstance(entry, PRPList):
+        raise SimulationError(f"prp2 {prp2:#x} does not point at a PRP list")
+    if len(entry.entries) < npages - 1:
+        raise SimulationError("PRP list shorter than the transfer")
+    return [prp1, *entry.entries[: npages - 1]], entry

@@ -1,0 +1,126 @@
+"""NVMe submission/completion queue rings.
+
+A ring is shared state living in some memory (host DRAM or BMS-Engine
+chip memory); the producer and consumer ends both hold a reference,
+exactly as real queues are shared memory.  All *transfers* of entries
+(fetching an SQE, posting a CQE) are charged through the PCIe fabric by
+the callers; the ring object only manages indices, wrap-around, and the
+completion phase bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from ..sim import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..host.memory import HostMemory
+from .command import CQE, SQE
+from .spec import CQE_BYTES, SQE_BYTES
+
+__all__ = ["SubmissionQueue", "CompletionQueue", "QueuePair"]
+
+
+class SubmissionQueue:
+    """A submission ring: producer advances tail, consumer advances head."""
+
+    def __init__(self, memory: "HostMemory", base: int, depth: int, sqid: int, cqid: int = 0):
+        if depth < 2:
+            raise SimulationError("SQ depth must be >= 2")
+        self.memory = memory
+        self.base = base
+        self.depth = depth
+        self.sqid = sqid
+        self.cqid = cqid
+        self.tail = 0
+        self.head = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.base + (index % self.depth) * SQE_BYTES
+
+    @property
+    def is_full(self) -> bool:
+        return (self.tail + 1) % self.depth == self.head % self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tail == self.head
+
+    def outstanding(self) -> int:
+        return (self.tail - self.head) % self.depth
+
+    # producer side ---------------------------------------------------------
+    def push(self, sqe: SQE) -> int:
+        """Write an entry at the tail; returns the slot address."""
+        if self.is_full:
+            raise SimulationError(f"SQ{self.sqid} full")
+        addr = self.slot_addr(self.tail)
+        self.memory.store_obj(addr, sqe)
+        self.tail = (self.tail + 1) % self.depth
+        return addr
+
+    # consumer side ---------------------------------------------------------
+    def consume_addr(self) -> int:
+        """Address of the entry at head; advances head."""
+        if self.is_empty:
+            raise SimulationError(f"SQ{self.sqid} empty")
+        addr = self.slot_addr(self.head)
+        self.head = (self.head + 1) % self.depth
+        return addr
+
+
+class CompletionQueue:
+    """A completion ring with NVMe phase-bit semantics."""
+
+    def __init__(self, memory: "HostMemory", base: int, depth: int, cqid: int):
+        if depth < 2:
+            raise SimulationError("CQ depth must be >= 2")
+        self.memory = memory
+        self.base = base
+        self.depth = depth
+        self.cqid = cqid
+        self.tail = 0  # device writes here
+        self.head = 0  # host consumes here
+        self._device_phase = 1
+        self._host_phase = 1
+        self.irq_vector: Optional[int] = None
+
+    def slot_addr(self, index: int) -> int:
+        return self.base + (index % self.depth) * CQE_BYTES
+
+    # device side -------------------------------------------------------------
+    def post_slot(self, cqe: CQE) -> int:
+        """Stamp phase, place at tail; returns the slot address to DMA to."""
+        cqe.phase = self._device_phase
+        addr = self.slot_addr(self.tail)
+        self.memory.store_obj(addr, cqe)
+        self.tail = (self.tail + 1) % self.depth
+        if self.tail == 0:
+            self._device_phase ^= 1
+        return addr
+
+    # host side ----------------------------------------------------------------
+    def poll(self) -> Optional[CQE]:
+        """Return the next completion if its phase bit matches, else None."""
+        addr = self.slot_addr(self.head)
+        entry = self.memory.load_obj(addr)
+        if not isinstance(entry, CQE) or entry.phase != self._host_phase:
+            return None
+        self.head = (self.head + 1) % self.depth
+        if self.head == 0:
+            self._host_phase ^= 1
+        return entry
+
+
+@dataclass
+class QueuePair:
+    """An SQ/CQ pair plus the doorbell addresses the producer rings."""
+
+    sq: SubmissionQueue
+    cq: CompletionQueue
+    sq_doorbell: int
+    cq_doorbell: int

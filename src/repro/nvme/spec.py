@@ -1,0 +1,66 @@
+"""NVMe protocol constants (NVM Express base spec subset).
+
+Opcodes, status codes, and sizes used by the controller models, the
+host driver, and the BMS-Engine's target controller.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "AdminOpcode",
+    "IOOpcode",
+    "StatusCode",
+    "SQE_BYTES",
+    "CQE_BYTES",
+    "LBA_BYTES",
+    "DOORBELL_STRIDE",
+]
+
+SQE_BYTES = 64
+CQE_BYTES = 16
+# All devices in the reproduction use 4 KiB formatted LBAs, matching the
+# 4K-native formatting used in the paper's fio test cases.
+LBA_BYTES = 4096
+DOORBELL_STRIDE = 8
+
+
+class AdminOpcode(enum.IntEnum):
+    """NVMe admin command opcodes."""
+    DELETE_IO_SQ = 0x00
+    CREATE_IO_SQ = 0x01
+    GET_LOG_PAGE = 0x02
+    DELETE_IO_CQ = 0x04
+    CREATE_IO_CQ = 0x05
+    IDENTIFY = 0x06
+    SET_FEATURES = 0x09
+    GET_FEATURES = 0x0A
+    NS_MANAGEMENT = 0x0D
+    FIRMWARE_COMMIT = 0x10
+    FIRMWARE_DOWNLOAD = 0x11
+    NS_ATTACH = 0x15
+
+
+class IOOpcode(enum.IntEnum):
+    """NVMe I/O command opcodes."""
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+    WRITE_ZEROES = 0x08
+    DSM = 0x09  # deallocate / TRIM
+
+
+class StatusCode(enum.IntEnum):
+    """NVMe completion status codes (generic command set)."""
+    SUCCESS = 0x00
+    INVALID_OPCODE = 0x01
+    INVALID_FIELD = 0x02
+    DATA_TRANSFER_ERROR = 0x04
+    ABORTED_POWER_LOSS = 0x05
+    INTERNAL_ERROR = 0x06
+    ABORTED_BY_REQUEST = 0x07
+    INVALID_NAMESPACE = 0x0B
+    LBA_OUT_OF_RANGE = 0x80
+    CAPACITY_EXCEEDED = 0x81
+    NAMESPACE_NOT_READY = 0x82

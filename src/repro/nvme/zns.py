@@ -1,0 +1,270 @@
+"""ZNS (Zoned Namespace) SSD support — paper §VI-A compatibility.
+
+The discussion section names ZNS SSDs among the device types BM-Store's
+programmable engine can host.  This module implements the NVMe ZNS
+command set on top of the simulated drive: zones with write pointers
+and a state machine (EMPTY -> IMPLICITLY/EXPLICITLY OPEN -> FULL,
+CLOSED, plus RESET), sequential-write-required enforcement, Zone
+Append with assigned-LBA return, open/active-zone resource limits, and
+Zone Management Send/Receive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import SimulationError
+from .command import SQE
+from .spec import IOOpcode, LBA_BYTES, StatusCode
+from .ssd import NVMeSSD
+
+__all__ = [
+    "ZNSConfig",
+    "ZoneState",
+    "ZoneSendAction",
+    "Zone",
+    "ZNS_STATUS",
+    "ZNSSSD",
+]
+
+
+class ZNSOpcode(enum.IntEnum):
+    """ZNS command-set opcodes (NVMe ZNS spec)."""
+
+    ZONE_MGMT_SEND = 0x79
+    ZONE_MGMT_RECV = 0x7A
+    ZONE_APPEND = 0x7D
+
+
+class ZoneSendAction(enum.IntEnum):
+    """Zone Management Send actions."""
+    CLOSE = 0x1
+    FINISH = 0x2
+    OPEN = 0x3
+    RESET = 0x4
+
+
+class ZoneState(enum.Enum):
+    """The ZNS zone state machine states."""
+    EMPTY = "empty"
+    IMPLICITLY_OPEN = "implicitly-open"
+    EXPLICITLY_OPEN = "explicitly-open"
+    CLOSED = "closed"
+    FULL = "full"
+
+
+class ZNS_STATUS(enum.IntEnum):
+    """ZNS-specific status codes (command-set specific range)."""
+
+    ZONE_BOUNDARY_ERROR = 0xB8
+    ZONE_IS_FULL = 0xB9
+    ZONE_IS_READ_ONLY = 0xBA
+    ZONE_INVALID_WRITE = 0xBC
+    TOO_MANY_ACTIVE_ZONES = 0xBD
+    TOO_MANY_OPEN_ZONES = 0xBE
+
+
+@dataclass(frozen=True)
+class ZNSConfig:
+    """Zoned-namespace geometry and resource limits."""
+    zone_blocks: int = 16 * 1024  # 64 MiB zones at 4K LBAs
+    max_open_zones: int = 14
+    max_active_zones: int = 28
+
+
+@dataclass
+class Zone:
+    """One zone: start, capacity, state, and write pointer."""
+    index: int
+    start_lba: int
+    capacity: int
+    state: ZoneState = ZoneState.EMPTY
+    write_pointer: int = 0  # relative to start_lba
+
+    @property
+    def wp_lba(self) -> int:
+        return self.start_lba + self.write_pointer
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (ZoneState.IMPLICITLY_OPEN, ZoneState.EXPLICITLY_OPEN)
+
+    @property
+    def is_active(self) -> bool:
+        return self.is_open or self.state == ZoneState.CLOSED
+
+
+class ZNSSSD(NVMeSSD):
+    """An NVMe drive whose namespace 1 is zoned."""
+
+    def __init__(self, *args, zns_config: ZNSConfig = ZNSConfig(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.zns = zns_config
+        total_blocks = self.namespaces[1].num_blocks
+        self.num_zones = total_blocks // zns_config.zone_blocks
+        # zones materialize lazily: an untouched zone is EMPTY by
+        # definition, and a 2 TB drive has millions of them
+        self._zones: dict[int, Zone] = {}
+
+    # ------------------------------------------------------------- zone state
+    def zone(self, index: int) -> Zone:
+        """The zone descriptor for ``index`` (materialized on demand)."""
+        if not 0 <= index < self.num_zones:
+            raise SimulationError(f"zone {index} out of range")
+        zone = self._zones.get(index)
+        if zone is None:
+            zone = Zone(index=index, start_lba=index * self.zns.zone_blocks,
+                        capacity=self.zns.zone_blocks)
+            self._zones[index] = zone
+        return zone
+
+    def zone_of(self, lba: int) -> Optional[Zone]:
+        idx = lba // self.zns.zone_blocks
+        if not 0 <= idx < self.num_zones:
+            return None
+        return self.zone(idx)
+
+    @property
+    def open_zone_count(self) -> int:
+        return sum(1 for z in self._zones.values() if z.is_open)
+
+    @property
+    def active_zone_count(self) -> int:
+        return sum(1 for z in self._zones.values() if z.is_active)
+
+    def _open_zone(self, zone: Zone, explicit: bool) -> int:
+        if zone.is_open:
+            if explicit:
+                zone.state = ZoneState.EXPLICITLY_OPEN
+            return int(StatusCode.SUCCESS)
+        if zone.state == ZoneState.FULL:
+            return int(ZNS_STATUS.ZONE_IS_FULL)
+        if not zone.is_active and self.active_zone_count >= self.zns.max_active_zones:
+            return int(ZNS_STATUS.TOO_MANY_ACTIVE_ZONES)
+        if self.open_zone_count >= self.zns.max_open_zones:
+            return int(ZNS_STATUS.TOO_MANY_OPEN_ZONES)
+        zone.state = (
+            ZoneState.EXPLICITLY_OPEN if explicit else ZoneState.IMPLICITLY_OPEN
+        )
+        return int(StatusCode.SUCCESS)
+
+    # ------------------------------------------------------------------- I/O
+    def _io(self, sqe: SQE):
+        opcode = sqe.opcode
+        if opcode == int(IOOpcode.WRITE):
+            status = self._check_zoned_write(sqe)
+            if status != int(StatusCode.SUCCESS):
+                yield self.sim.timeout(0)
+                return status, 0
+            result = yield from super()._io(sqe)
+            self._advance_wp(sqe.slba, sqe.num_blocks)
+            return result
+        if opcode == int(ZNSOpcode.ZONE_APPEND):
+            return (yield from self._zone_append(sqe))
+        if opcode == int(ZNSOpcode.ZONE_MGMT_SEND):
+            yield self.sim.timeout(500)
+            return self._zone_mgmt_send(sqe), 0
+        if opcode == int(ZNSOpcode.ZONE_MGMT_RECV):
+            yield self.sim.timeout(500)
+            self._identify_sink(sqe.prp1, self.zone_report())
+            return int(StatusCode.SUCCESS), 0
+        if opcode == int(IOOpcode.READ):
+            # reads beyond a zone's write pointer are deallocated data
+            zone = self.zone_of(sqe.slba)
+            if zone is None:
+                yield self.sim.timeout(0)
+                return int(StatusCode.LBA_OUT_OF_RANGE), 0
+            return (yield from super()._io(sqe))
+        return (yield from super()._io(sqe))
+
+    def _check_zoned_write(self, sqe: SQE) -> int:
+        zone = self.zone_of(sqe.slba)
+        end_zone = self.zone_of(sqe.slba + sqe.num_blocks - 1)
+        if zone is None or end_zone is None:
+            return int(StatusCode.LBA_OUT_OF_RANGE)
+        if zone is not end_zone:
+            return int(ZNS_STATUS.ZONE_BOUNDARY_ERROR)
+        if zone.state == ZoneState.FULL:
+            return int(ZNS_STATUS.ZONE_IS_FULL)
+        if sqe.slba != zone.wp_lba:
+            return int(ZNS_STATUS.ZONE_INVALID_WRITE)
+        status = self._open_zone(zone, explicit=False)
+        if status != int(StatusCode.SUCCESS):
+            return status
+        return int(StatusCode.SUCCESS)
+
+    def _advance_wp(self, slba: int, nblocks: int) -> None:
+        zone = self.zone_of(slba)
+        if zone is None:
+            return
+        zone.write_pointer += nblocks
+        if zone.write_pointer >= zone.capacity:
+            zone.write_pointer = zone.capacity
+            zone.state = ZoneState.FULL
+
+    def _zone_append(self, sqe: SQE):
+        zone = self.zone_of(sqe.slba)
+        if zone is None or sqe.slba != zone.start_lba:
+            yield self.sim.timeout(0)
+            return int(ZNS_STATUS.ZONE_INVALID_WRITE), 0
+        if zone.state == ZoneState.FULL or (
+            zone.write_pointer + sqe.num_blocks > zone.capacity
+        ):
+            yield self.sim.timeout(0)
+            return int(ZNS_STATUS.ZONE_IS_FULL), 0
+        status = self._open_zone(zone, explicit=False)
+        if status != int(StatusCode.SUCCESS):
+            yield self.sim.timeout(0)
+            return status, 0
+        assigned = zone.wp_lba
+        inner = SQE(
+            opcode=int(IOOpcode.WRITE), cid=sqe.cid, nsid=sqe.nsid,
+            slba=assigned, nlb=sqe.nlb, prp1=sqe.prp1, prp2=sqe.prp2,
+            payload=sqe.payload,
+        )
+        status, _ = yield from super()._io(inner)
+        if status == int(StatusCode.SUCCESS):
+            self._advance_wp(assigned, sqe.num_blocks)
+        # the assigned LBA rides back in dword0 of the completion
+        return status, assigned
+
+    def _zone_mgmt_send(self, sqe: SQE) -> int:
+        zone = self.zone_of(sqe.slba)
+        if zone is None:
+            return int(StatusCode.LBA_OUT_OF_RANGE)
+        action = sqe.cdw10 & 0xFF
+        if action == int(ZoneSendAction.RESET):
+            for lba in range(zone.start_lba, zone.wp_lba):
+                self._blocks.pop(lba, None)
+            zone.state = ZoneState.EMPTY
+            zone.write_pointer = 0
+            return int(StatusCode.SUCCESS)
+        if action == int(ZoneSendAction.OPEN):
+            return self._open_zone(zone, explicit=True)
+        if action == int(ZoneSendAction.CLOSE):
+            if not zone.is_open:
+                return int(StatusCode.INVALID_FIELD)
+            zone.state = ZoneState.CLOSED
+            return int(StatusCode.SUCCESS)
+        if action == int(ZoneSendAction.FINISH):
+            if zone.state == ZoneState.FULL:
+                return int(StatusCode.SUCCESS)
+            zone.write_pointer = zone.capacity
+            zone.state = ZoneState.FULL
+            return int(StatusCode.SUCCESS)
+        return int(StatusCode.INVALID_FIELD)
+
+    def zone_report(self, max_zones: int = 1024) -> list[dict]:
+        """Descriptors of every non-EMPTY (materialized) zone."""
+        return [
+            {
+                "zone": z.index,
+                "state": z.state.value,
+                "start_lba": z.start_lba,
+                "write_pointer": z.write_pointer,
+                "capacity": z.capacity,
+            }
+            for _, z in sorted(self._zones.items())[:max_zones]
+        ]

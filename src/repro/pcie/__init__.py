@@ -1,0 +1,45 @@
+"""PCIe substrate: TLPs, links, config space, SR-IOV functions, MSI-X.
+
+Two instances of :class:`PCIeFabric` model BM-Store's two separate PCIe
+domains: the host domain (host root complex <-> BMS-Engine front end)
+and the back-end domain (BMS-Engine root <-> SSDs).
+"""
+
+from .config_space import ConfigSpace, SRIOVCapability
+from .fabric import PCIE_GEN3_BYTES_PER_SEC_PER_LANE, AddressHandler, PCIeFabric, Port
+from .function import PCIeDevice, PCIeFunction
+from .msix import InterruptController, MSIXEntry, MSIXTable
+from .tlp import (
+    MAX_PAYLOAD_BYTES,
+    TLP,
+    TLP_HEADER_BYTES,
+    Completion,
+    MemRead,
+    MemWrite,
+    TLPType,
+    VendorDefinedMessage,
+    wire_bytes,
+)
+
+__all__ = [
+    "ConfigSpace",
+    "SRIOVCapability",
+    "PCIE_GEN3_BYTES_PER_SEC_PER_LANE",
+    "AddressHandler",
+    "PCIeFabric",
+    "Port",
+    "PCIeDevice",
+    "PCIeFunction",
+    "InterruptController",
+    "MSIXEntry",
+    "MSIXTable",
+    "MAX_PAYLOAD_BYTES",
+    "TLP",
+    "TLP_HEADER_BYTES",
+    "Completion",
+    "MemRead",
+    "MemWrite",
+    "TLPType",
+    "VendorDefinedMessage",
+    "wire_bytes",
+]

@@ -1,0 +1,71 @@
+"""PCIe configuration space — the subset management and SR-IOV need.
+
+Real config space is a register file; here it is a typed object with
+the same semantics: command-register enable bits gate DMA, and the
+SR-IOV extended capability controls VF enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SRIOVCapability", "ConfigSpace"]
+
+
+@dataclass
+class SRIOVCapability:
+    """SR-IOV extended capability (PCIe spec §9).
+
+    ``total_vfs`` is the hardware maximum; ``num_vfs`` is what software
+    enabled.  VFs get routing ids ``first_vf_offset + i * vf_stride``
+    relative to the PF.
+    """
+
+    total_vfs: int
+    first_vf_offset: int = 1
+    vf_stride: int = 1
+    num_vfs: int = 0
+    vf_enable: bool = False
+
+    def enable(self, num_vfs: int) -> None:
+        if not 0 < num_vfs <= self.total_vfs:
+            raise ValueError(
+                f"num_vfs={num_vfs} out of range 1..{self.total_vfs}"
+            )
+        self.num_vfs = num_vfs
+        self.vf_enable = True
+
+    def disable(self) -> None:
+        self.vf_enable = False
+        self.num_vfs = 0
+
+    def vf_routing_id(self, pf_routing_id: int, index: int) -> int:
+        if not 0 <= index < self.total_vfs:
+            raise ValueError(f"VF index {index} out of range")
+        return pf_routing_id + self.first_vf_offset + index * self.vf_stride
+
+
+@dataclass
+class ConfigSpace:
+    """Type-0 config header + capability pointers."""
+
+    vendor_id: int
+    device_id: int
+    class_code: int = 0x010802  # NVMe: mass storage / NVM / NVMe I/O
+    revision: int = 0
+    # command register bits
+    memory_space_enable: bool = False
+    bus_master_enable: bool = False
+    sriov: Optional[SRIOVCapability] = None
+    # BAR sizes in bytes, index -> size (assigned addresses live on the function)
+    bar_sizes: dict[int, int] = field(default_factory=dict)
+
+    def enable(self) -> None:
+        """Set MSE+BME, as an OS driver would at probe time."""
+        self.memory_space_enable = True
+        self.bus_master_enable = True
+
+    @property
+    def can_dma(self) -> bool:
+        return self.bus_master_enable

@@ -1,0 +1,117 @@
+"""PCIe functions (PFs and VFs) and multi-function devices.
+
+A :class:`PCIeFunction` owns a config space, BAR windows, and an MSI-X
+table.  An SR-IOV-capable PF can instantiate its VFs, which is exactly
+how the BMS-Engine presents 4 PFs + 124 VFs to the host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import SimulationError
+from .config_space import ConfigSpace, SRIOVCapability
+from .fabric import AddressHandler, Port
+from .msix import MSIXTable
+
+__all__ = ["PCIeFunction", "PCIeDevice"]
+
+
+class PCIeFunction:
+    """One PCIe function: config space + BARs + MSI-X."""
+
+    def __init__(
+        self,
+        routing_id: int,
+        config: ConfigSpace,
+        name: str = "",
+        is_vf: bool = False,
+        parent_pf: Optional["PCIeFunction"] = None,
+    ):
+        if is_vf and parent_pf is None:
+            raise SimulationError("a VF must have a parent PF")
+        self.routing_id = routing_id
+        self.config = config
+        self.name = name or f"fn{routing_id:#x}"
+        self.is_vf = is_vf
+        self.parent_pf = parent_pf
+        self.msix = MSIXTable()
+        self.bar_base: dict[int, int] = {}
+
+    def map_bar(self, port: Port, bar: int, base: int, handler: AddressHandler) -> None:
+        """Assign a BAR address and expose it through the given port."""
+        size = self.config.bar_sizes.get(bar)
+        if size is None:
+            raise SimulationError(f"{self.name}: BAR{bar} has no size configured")
+        self.bar_base[bar] = base
+        port.map_window(base, size, handler)
+
+    def bar_addr(self, bar: int, offset: int = 0) -> int:
+        base = self.bar_base.get(bar)
+        if base is None:
+            raise SimulationError(f"{self.name}: BAR{bar} not mapped")
+        return base + offset
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "VF" if self.is_vf else "PF"
+        return f"<{kind} {self.name} rid={self.routing_id:#x}>"
+
+
+class PCIeDevice:
+    """A physical device: one or more PFs, each possibly with VFs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.physical_functions: list[PCIeFunction] = []
+        self.virtual_functions: list[PCIeFunction] = []
+
+    def add_pf(
+        self,
+        routing_id: int,
+        vendor_id: int,
+        device_id: int,
+        total_vfs: int = 0,
+        bar_sizes: Optional[dict[int, int]] = None,
+    ) -> PCIeFunction:
+        sriov = SRIOVCapability(total_vfs=total_vfs) if total_vfs else None
+        config = ConfigSpace(
+            vendor_id=vendor_id,
+            device_id=device_id,
+            sriov=sriov,
+            bar_sizes=dict(bar_sizes or {}),
+        )
+        pf = PCIeFunction(routing_id, config, name=f"{self.name}.pf{len(self.physical_functions)}")
+        self.physical_functions.append(pf)
+        return pf
+
+    def enable_sriov(
+        self,
+        pf: PCIeFunction,
+        num_vfs: int,
+        vf_bar_sizes: Optional[dict[int, int]] = None,
+        vf_configurer: Optional[Callable[[PCIeFunction, int], None]] = None,
+    ) -> list[PCIeFunction]:
+        """Enable ``num_vfs`` VFs under ``pf`` and return them."""
+        cap = pf.config.sriov
+        if cap is None:
+            raise SimulationError(f"{pf.name} is not SR-IOV capable")
+        cap.enable(num_vfs)
+        vfs: list[PCIeFunction] = []
+        for i in range(num_vfs):
+            rid = cap.vf_routing_id(pf.routing_id, i)
+            config = ConfigSpace(
+                vendor_id=pf.config.vendor_id,
+                device_id=pf.config.device_id,
+                bar_sizes=dict(vf_bar_sizes or pf.config.bar_sizes),
+            )
+            vf = PCIeFunction(
+                rid, config, name=f"{pf.name}.vf{i}", is_vf=True, parent_pf=pf
+            )
+            if vf_configurer is not None:
+                vf_configurer(vf, i)
+            vfs.append(vf)
+        self.virtual_functions.extend(vfs)
+        return vfs
+
+    def all_functions(self) -> list[PCIeFunction]:
+        return [*self.physical_functions, *self.virtual_functions]

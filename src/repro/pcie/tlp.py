@@ -1,0 +1,137 @@
+"""PCIe Transaction Layer Packet (TLP) model.
+
+Only the fields the simulation routes on are modeled.  Payload bytes are
+optional: performance runs elide them (``data=None``), integrity tests
+carry real bytes end to end.
+
+Wire-cost accounting follows PCIe Gen3 framing: each TLP pays a fixed
+header/framing overhead and payloads are segmented at the max-payload
+size, exactly the effects that make small-transfer efficiency < 100%.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "TLPType",
+    "TLP",
+    "MemWrite",
+    "MemRead",
+    "Completion",
+    "VendorDefinedMessage",
+    "TLP_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "wire_bytes",
+]
+
+# 12-16B header + 2B framing + 4B LCRC, rounded: per-TLP overhead.
+TLP_HEADER_BYTES = 24
+# Common max payload size negotiated on server platforms.
+MAX_PAYLOAD_BYTES = 256
+
+
+def wire_bytes(payload_len: int, max_payload: int = MAX_PAYLOAD_BYTES) -> int:
+    """Bytes occupied on the link by ``payload_len`` bytes of payload.
+
+    A zero-length transaction (doorbell write header, read request)
+    still costs one header.
+    """
+    if payload_len <= 0:
+        return TLP_HEADER_BYTES
+    segments = math.ceil(payload_len / max_payload)
+    return payload_len + segments * TLP_HEADER_BYTES
+
+
+class TLPType(enum.Enum):
+    """Transaction-layer packet categories the fabric routes."""
+    MEM_WRITE = "MWr"
+    MEM_READ = "MRd"
+    COMPLETION = "CplD"
+    MESSAGE = "Msg"
+
+
+@dataclass
+class TLP:
+    """Base transaction-layer packet."""
+
+    requester_id: int  # function id of the initiator
+    tlp_type: TLPType = field(init=False, default=TLPType.MESSAGE)
+
+    @property
+    def payload_len(self) -> int:
+        return 0
+
+    @property
+    def wire_len(self) -> int:
+        return wire_bytes(self.payload_len)
+
+
+@dataclass
+class MemWrite(TLP):
+    """Posted memory write (DMA write / MMIO write / doorbell)."""
+
+    address: int = 0
+    length: int = 0
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        self.tlp_type = TLPType.MEM_WRITE
+        if self.data is not None and len(self.data) != self.length:
+            raise ValueError(
+                f"MemWrite data length {len(self.data)} != declared {self.length}"
+            )
+
+    @property
+    def payload_len(self) -> int:
+        return self.length
+
+
+@dataclass
+class MemRead(TLP):
+    """Non-posted memory read request (completion carries the data)."""
+
+    address: int = 0
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        self.tlp_type = TLPType.MEM_READ
+
+
+@dataclass
+class Completion(TLP):
+    """Completion with data for an earlier MemRead."""
+
+    length: int = 0
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        self.tlp_type = TLPType.COMPLETION
+
+    @property
+    def payload_len(self) -> int:
+        return self.length
+
+
+@dataclass
+class VendorDefinedMessage(TLP):
+    """PCIe VDM — the transport MCTP rides on (DMTF DSP0238).
+
+    ``route_to_root`` distinguishes endpoint->root-complex messages
+    (management responses) from routed-by-id messages (console ->
+    endpoint commands).
+    """
+
+    payload: bytes = b""
+    route_to_root: bool = False
+    target_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.tlp_type = TLPType.MESSAGE
+
+    @property
+    def payload_len(self) -> int:
+        return len(self.payload)

@@ -1,0 +1,13 @@
+"""Remote storage extension (paper §VI-D future work)."""
+
+from .network import RDMA_25GBE, RDMA_100GBE, NetworkLink, NetworkProfile
+from .target import RemoteCompletion, RemoteStorageTarget
+
+__all__ = [
+    "RDMA_25GBE",
+    "RDMA_100GBE",
+    "NetworkLink",
+    "NetworkProfile",
+    "RemoteCompletion",
+    "RemoteStorageTarget",
+]

@@ -1,0 +1,59 @@
+"""Datacenter network substrate for the remote-storage extension.
+
+Paper §VI-D: "we plan to add remote storage support to cope with more
+storage scenarios."  This models the fabric that support rides on: a
+full-duplex NIC-to-NIC path with finite bandwidth and propagation
+delay, message-framed (NVMe-oF-style capsules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import BandwidthLink, Event, Simulator
+
+__all__ = ["NetworkProfile", "NetworkLink"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """One network class."""
+
+    name: str
+    bytes_per_sec: float
+    one_way_ns: int
+    per_message_overhead_bytes: int = 96  # Ethernet+IP+TCP/RDMA headers
+
+
+#: 25 GbE with RDMA-class latency — the paper's datacenter fabric tier
+RDMA_25GBE = NetworkProfile(name="25gbe-rdma", bytes_per_sec=3.05e9, one_way_ns=2_500)
+#: 100 GbE backbone
+RDMA_100GBE = NetworkProfile(name="100gbe-rdma", bytes_per_sec=12.2e9, one_way_ns=2_000)
+
+
+class NetworkLink:
+    """A full-duplex point-to-point path between two nodes."""
+
+    def __init__(self, sim: Simulator, profile: NetworkProfile = RDMA_25GBE,
+                 name: str = "net"):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self._forward = BandwidthLink(
+            sim, profile.bytes_per_sec, profile.one_way_ns, name=f"{name}.fwd"
+        )
+        self._reverse = BandwidthLink(
+            sim, profile.bytes_per_sec, profile.one_way_ns, name=f"{name}.rev"
+        )
+
+    def send(self, nbytes: int, value=None) -> Event:
+        """Initiator -> target message; fires on delivery."""
+        return self._forward.transfer(nbytes + self.profile.per_message_overhead_bytes, value)
+
+    def respond(self, nbytes: int, value=None) -> Event:
+        """Target -> initiator message; fires on delivery."""
+        return self._reverse.transfer(nbytes + self.profile.per_message_overhead_bytes, value)
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._forward.bytes_moved + self._reverse.bytes_moved

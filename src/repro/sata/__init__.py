@@ -1,0 +1,5 @@
+"""SATA device substrate (paper §VI-A compatibility extension)."""
+
+from .disk import HDD_7200_PROFILE, SATA_SSD_PROFILE, SATADisk, SATAProfile
+
+__all__ = ["HDD_7200_PROFILE", "SATA_SSD_PROFILE", "SATADisk", "SATAProfile"]

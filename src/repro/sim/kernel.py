@@ -1,0 +1,370 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate every hardware model in the reproduction runs on.
+It is a small, deterministic, generator-based event loop in the style of
+SimPy: *processes* are Python generators that ``yield`` events; the
+kernel resumes a process when the event it waits on fires.
+
+Simulated time is an integer number of **nanoseconds**.  Using integers
+keeps event ordering exact and runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` schedules it; once the kernel pops it from the event
+    heap its callbacks run and any waiting processes resume.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"value of untriggered event {self!r}")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Schedule this event to fire successfully after ``delay`` ns."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Schedule this event to fire with an exception."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = self.name or type(self).__name__
+        return f"<{label} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.succeed(value, delay=int(delay))
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    fires OK, the generator resumes with ``event.value``; when it fires
+    failed, the exception is thrown into the generator.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target {generator!r} is not a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        init = Event(sim, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause))
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if self.callbacks or not self.sim.strict:
+                # someone is waiting (or the user opted out of strict
+                # crash-on-unobserved): deliver the failure to them
+                self.fail(exc)
+                return
+            raise
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; processes must yield Event instances"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from a different simulator")
+        self._waiting_on = target
+        if target._processed:
+            # Already fired: resume immediately (at the current instant).
+            poke = Event(self.sim, name=f"replay:{self.name}")
+            poke.callbacks.append(self._resume)
+            if target.ok:
+                poke.succeed(target._value)
+            else:
+                poke.fail(target._value)
+            self._waiting_on = poke
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.sim is not self.sim:
+                raise SimulationError("condition spans multiple simulators")
+            if ev._processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _results(self) -> dict:
+        return {ev: ev._value for ev in self._events if ev._processed and ev.ok}
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of the given events fires."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AllOf")
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, sequence, event).
+
+    Parameters
+    ----------
+    strict:
+        When True (default), an uncaught exception inside a process
+        fails the process event instead of propagating, unless nothing
+        waits on it.
+    """
+
+    def __init__(self, strict: bool = True):
+        self._now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + int(delay), self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), an
+        integer time, or an :class:`Event` (run until it fires, and
+        return / raise its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {stop!r} fired"
+                    )
+                self.step()
+            if stop.ok:
+                return stop._value
+            raise stop._value
+
+        horizon = int(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run until {horizon} < now {self._now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,88 @@
+"""Deterministic random streams for the simulation.
+
+Every stochastic model component draws from its own named stream so
+that adding a component never perturbs the draws of another — runs stay
+reproducible and comparable across schemes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional
+
+__all__ = ["RandomStream", "StreamFactory"]
+
+
+class RandomStream:
+    """A named, seeded wrapper around :class:`random.Random`."""
+
+    def __init__(self, seed: int, name: str = ""):
+        self.name = name
+        self._rng = random.Random(seed)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return self._rng.lognormvariate(mu, sigma)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def choice(self, seq):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        self._rng.shuffle(seq)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def zipf_index(self, n: int, theta: float = 0.99) -> int:
+        """Draw an index in [0, n) with a Zipfian (hot-spot) skew.
+
+        Uses the quick inverse-CDF approximation common in YCSB-style
+        generators; exact Zipf is unnecessary for workload shaping.
+        """
+        if n <= 0:
+            raise ValueError("zipf_index needs n >= 1")
+        u = self._rng.random()
+        # power-law transform: small u -> hot keys at the front
+        idx = int(n * (u ** (1.0 / (1.0 - theta + 1e-9))) ) if theta < 1.0 else 0
+        return min(idx, n - 1)
+
+    def jitter_ns(self, base_ns: float, cv: float) -> int:
+        """A non-negative latency sample around ``base_ns``.
+
+        ``cv`` is the coefficient of variation; samples are drawn from a
+        lognormal matched to (mean=base, cv) so the tail is realistic.
+        """
+        if base_ns <= 0:
+            return 0
+        if cv <= 0:
+            return int(base_ns)
+        import math
+
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(base_ns) - sigma2 / 2.0
+        return max(0, int(self._rng.lognormvariate(mu, math.sqrt(sigma2))))
+
+
+class StreamFactory:
+    """Creates independent :class:`RandomStream` objects by name."""
+
+    def __init__(self, root_seed: int = 0x5EED):
+        self.root_seed = root_seed
+
+    def stream(self, name: str, extra: Optional[int] = None) -> RandomStream:
+        material = f"{self.root_seed}:{name}:{extra if extra is not None else ''}"
+        digest = hashlib.sha256(material.encode()).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        return RandomStream(seed, name=name)

@@ -1,0 +1,76 @@
+"""Lightweight tracing / statistics collection for simulation runs.
+
+A :class:`Trace` records (time, category, payload) tuples; a
+:class:`SeriesRecorder` bins a counter into fixed windows to produce
+time series (used e.g. for the hot-upgrade IOPS timeline of Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .kernel import Simulator
+
+__all__ = ["TraceEvent", "Trace", "SeriesRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded trace entry: time, category, payload."""
+    time_ns: int
+    category: str
+    payload: Any = None
+
+
+class Trace:
+    """An append-only event log, filterable by category."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, category: str, payload: Any = None) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(self.sim.now, category, payload))
+
+    def select(self, category: str) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for ev in self.events if ev.category == category)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+@dataclass
+class SeriesRecorder:
+    """Bins occurrences into fixed time windows.
+
+    ``tick()`` adds one occurrence (optionally weighted) at the current
+    simulated time.  ``series()`` returns per-window rates.
+    """
+
+    sim: Simulator
+    window_ns: int
+    _bins: dict[int, float] = field(default_factory=dict)
+
+    def tick(self, weight: float = 1.0) -> None:
+        idx = self.sim.now // self.window_ns
+        self._bins[idx] = self._bins.get(idx, 0.0) + weight
+
+    def series(self, start_ns: int = 0, end_ns: Optional[int] = None) -> list[tuple[int, float]]:
+        """[(window_start_ns, rate_per_sec), ...] covering the range."""
+        end = end_ns if end_ns is not None else self.sim.now
+        first = start_ns // self.window_ns
+        last = max(first, (end - 1) // self.window_ns) if end > start_ns else first
+        out = []
+        for idx in range(first, last + 1):
+            count = self._bins.get(idx, 0.0)
+            out.append((idx * self.window_ns, count * 1e9 / self.window_ns))
+        return out
+
+    def total(self) -> float:
+        return sum(self._bins.values())

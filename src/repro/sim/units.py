@@ -1,0 +1,67 @@
+"""Unit helpers: all simulation time is integer nanoseconds."""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS", "US", "MS", "SEC",
+    "KB", "MB", "GB", "KIB", "MIB", "GIB",
+    "us", "ms", "sec", "to_us", "to_ms", "to_sec",
+    "mb_per_sec", "gb_per_sec", "PAGE_SIZE",
+]
+
+NS = 1
+
+#: memory/PRP page granularity shared by host memory and NVMe
+PAGE_SIZE = 4096
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+# decimal (storage-vendor) sizes
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+# binary sizes
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def us(x: float) -> int:
+    """Microseconds -> ns."""
+    return int(round(x * US))
+
+
+def ms(x: float) -> int:
+    """Milliseconds -> ns."""
+    return int(round(x * MS))
+
+
+def sec(x: float) -> int:
+    """Seconds -> ns."""
+    return int(round(x * SEC))
+
+
+def to_us(t_ns: float) -> float:
+    """ns -> microseconds."""
+    return t_ns / US
+
+
+def to_ms(t_ns: float) -> float:
+    """ns -> milliseconds."""
+    return t_ns / MS
+
+
+def to_sec(t_ns: float) -> float:
+    """ns -> seconds."""
+    return t_ns / SEC
+
+
+def mb_per_sec(x: float) -> float:
+    """MB/s -> bytes/s."""
+    return x * MB
+
+
+def gb_per_sec(x: float) -> float:
+    """GB/s -> bytes/s."""
+    return x * GB

@@ -1,0 +1,42 @@
+"""Workload generators: fio test cases and application benchmarks."""
+
+from .fio import TABLE_IV_CASES, FioResult, FioRun, FioSpec, run_fio
+from .sysbench import SysbenchResult, SysbenchRun, SysbenchSpec, run_sysbench
+from .tpcc import TPCC_TABLES, TPCCResult, TPCCRun, TPCCSpec, run_tpcc
+from .trace import (
+    TRACE_PROFILES,
+    TraceProfile,
+    TraceRecord,
+    TraceResult,
+    generate_trace,
+    replay_trace,
+)
+from .ycsb import YCSB_WORKLOADS, YCSBResult, YCSBRun, YCSBSpec, run_ycsb
+
+__all__ = [
+    "TABLE_IV_CASES",
+    "FioResult",
+    "FioRun",
+    "FioSpec",
+    "run_fio",
+    "SysbenchResult",
+    "SysbenchRun",
+    "SysbenchSpec",
+    "run_sysbench",
+    "TPCC_TABLES",
+    "TPCCResult",
+    "TPCCRun",
+    "TPCCSpec",
+    "run_tpcc",
+    "TRACE_PROFILES",
+    "TraceProfile",
+    "TraceRecord",
+    "TraceResult",
+    "generate_trace",
+    "replay_trace",
+    "YCSB_WORKLOADS",
+    "YCSBResult",
+    "YCSBRun",
+    "YCSBSpec",
+    "run_ycsb",
+]

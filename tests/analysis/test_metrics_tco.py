@@ -1,0 +1,107 @@
+"""Metrics (percentiles, fairness) and TCO-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import LatencyStats, fairness_index, percentile
+from repro.analysis.tco import (
+    BMSTORE_SCHEME,
+    SPDK_SCHEME,
+    InstanceShape,
+    SchemeCost,
+    ServerConfig,
+    TCOModel,
+)
+
+
+# ------------------------------------------------------------------ metrics
+def test_percentile_nearest_rank():
+    data = sorted(range(1, 101))
+    assert percentile(data, 50) == 50
+    assert percentile(data, 99) == 99
+    assert percentile(data, 100) == 100
+    assert percentile(data, 0) == 1
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_latency_stats_summary():
+    stats = LatencyStats.from_samples([100, 200, 300, 400, 1000])
+    assert stats.count == 5
+    assert stats.mean_ns == 400
+    assert stats.min_ns == 100 and stats.max_ns == 1000
+    assert stats.p50_ns == 300
+    assert stats.mean_us == pytest.approx(0.4)
+
+
+def test_latency_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        LatencyStats.from_samples([])
+
+
+@given(st.lists(st.integers(1, 10**9), min_size=1, max_size=500))
+def test_latency_stats_invariants(samples):
+    stats = LatencyStats.from_samples(samples)
+    assert stats.min_ns <= stats.p50_ns <= stats.p99_ns <= stats.max_ns
+    assert stats.min_ns <= stats.mean_ns <= stats.max_ns
+
+
+def test_fairness_index_extremes():
+    assert fairness_index([5, 5, 5, 5]) == pytest.approx(1.0)
+    assert fairness_index([1, 0, 0, 0]) == pytest.approx(0.25)
+    assert fairness_index([0, 0]) == 1.0
+    with pytest.raises(ValueError):
+        fairness_index([])
+
+
+@given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=30))
+def test_fairness_bounds_property(values):
+    f = fairness_index(values)
+    assert 1.0 / len(values) - 1e-9 <= f <= 1.0 + 1e-9
+
+
+# --------------------------------------------------------------------- TCO
+def test_paper_headline_numbers():
+    comparison = TCOModel().compare()
+    assert comparison["baseline"].sellable_instances == 14
+    assert comparison["candidate"].sellable_instances == 16
+    assert comparison["extra_instances_pct"] == pytest.approx(14.3, abs=0.1)
+    assert comparison["tco_reduction_pct"] == pytest.approx(11.3, abs=0.3)
+
+
+def test_spdk_strands_fragments():
+    report = TCOModel().report(SPDK_SCHEME)
+    assert report.stranded_memory_gb == 128
+    assert report.stranded_ssds == 2
+    assert report.stranded_hyperthreads == 0  # 112 HT sell exactly 14x8
+
+
+def test_bmstore_sells_everything():
+    report = TCOModel().report(BMSTORE_SCHEME)
+    assert report.stranded_memory_gb == 0
+    assert report.stranded_ssds == 0
+
+
+def test_memory_can_be_the_binding_constraint():
+    model = TCOModel(server=ServerConfig(memory_gb=512))
+    assert model.sellable_instances(BMSTORE_SCHEME) == 8  # 512/64
+
+
+def test_zero_instances_yields_infinite_tco():
+    model = TCOModel(shape=InstanceShape(hyperthreads=256))
+    report = model.report(BMSTORE_SCHEME)
+    assert report.sellable_instances == 0
+    assert report.tco_per_instance == float("inf")
+
+
+def test_hardware_adder_only_touches_capex():
+    expensive = SchemeCost(name="x", hardware_cost_fraction=0.5)
+    plain = SchemeCost(name="y")
+    model = TCOModel()
+    delta = model.report(expensive).server_tco - model.report(plain).server_tco
+    assert delta == pytest.approx(model.server.capex * 0.5)

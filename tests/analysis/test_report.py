@@ -1,0 +1,55 @@
+"""Report-rendering tests: ASCII charts and markdown output."""
+
+import pytest
+
+from repro.analysis.report import ascii_bar_chart, render_markdown
+from repro.experiments import ExperimentResult
+
+
+def sample_result():
+    res = ExperimentResult("fig10", "scaling")
+    res.add(ssds=1, bandwidth_gbps=3.23)
+    res.add(ssds=2, bandwidth_gbps=6.46)
+    res.add(ssds=4, bandwidth_gbps=12.9)
+    res.notes.append("linear")
+    return res
+
+
+def test_bar_chart_scales_to_peak():
+    chart = ascii_bar_chart(sample_result().rows, "ssds", "bandwidth_gbps", width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 3
+    # the peak row is a full-width bar
+    assert "█" * 10 in lines[2]
+    # smaller rows are proportionally shorter
+    assert lines[0].count("█") < lines[2].count("█")
+    assert "12.9" in lines[2]
+
+
+def test_bar_chart_handles_non_numeric_and_title():
+    rows = [{"x": "a", "y": "oops"}, {"x": "b", "y": 2.0}]
+    chart = ascii_bar_chart(rows, "x", "y", title="T")
+    assert chart.splitlines()[0] == "T"
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_bar_chart([], "x", "y")
+
+
+def test_render_markdown_tables_charts_notes():
+    doc = render_markdown([sample_result()], header="hello")
+    assert "# BM-Store reproduction report" in doc
+    assert "hello" in doc
+    assert "## [fig10] scaling" in doc
+    assert "| ssds | bandwidth_gbps |" in doc
+    assert "```" in doc  # the chart block for a chartable experiment
+    assert "> linear" in doc
+
+
+def test_render_markdown_uncharted_experiment_has_no_chart():
+    res = ExperimentResult("table1", "features")
+    res.add(scheme="BM-Store", manageability="yes")
+    doc = render_markdown([res])
+    assert "```" not in doc
+    assert "| scheme | manageability |" in doc

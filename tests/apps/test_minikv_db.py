@@ -1,0 +1,182 @@
+"""MiniKV database-level tests: flush, compaction, consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minikv import MiniKV, MiniKVConfig
+from repro.baselines import build_native
+
+
+def make_db(carry_data=True, memtable_bytes=8 * 1024, **kw):
+    rig = build_native(1)
+    db = MiniKV(rig.sim, rig.driver(),
+                MiniKVConfig(carry_data=carry_data, memtable_bytes=memtable_bytes, **kw))
+    return rig, db
+
+
+def drive(rig, gen):
+    return rig.sim.run(rig.sim.process(gen))
+
+
+def settle(rig, ns=100_000_000):
+    rig.sim.run(until=rig.sim.now + ns)
+
+
+def test_put_get_roundtrip_through_flushes():
+    rig, db = make_db()
+
+    def flow():
+        for i in range(800):
+            yield from db.put(b"k%05d" % i, b"val-%d" % i)
+        out = []
+        for i in (0, 1, 399, 799):
+            v = yield from db.get(b"k%05d" % i)
+            out.append(v)
+        return out
+
+    values = drive(rig, flow())
+    assert values == [b"val-0", b"val-1", b"val-399", b"val-799"]
+    assert db.stats.flushes >= 1  # data definitely crossed to disk
+
+
+def test_overwrites_newest_wins_after_compaction():
+    # small memtable: the 300-key working set spans several flushes
+    rig, db = make_db(memtable_bytes=4 * 1024)
+
+    def flow():
+        for round_ in range(6):
+            for i in range(300):
+                yield from db.put(b"k%04d" % i, b"r%d-%d" % (round_, i))
+
+    drive(rig, flow())
+    settle(rig)
+    assert db.stats.compactions >= 1
+
+    def check():
+        v = yield from db.get(b"k0042")
+        return v
+
+    assert drive(rig, check()) == b"r5-42"
+
+
+def test_delete_survives_flush_and_compaction():
+    rig, db = make_db()
+
+    def flow():
+        for i in range(600):
+            yield from db.put(b"k%04d" % i, b"x" * 40)
+        yield from db.delete(b"k0100")
+        for i in range(600, 1200):
+            yield from db.put(b"k%04d" % i, b"x" * 40)
+
+    drive(rig, flow())
+    settle(rig)
+
+    def check():
+        gone = yield from db.get(b"k0100")
+        there = yield from db.get(b"k0101")
+        return gone, there
+
+    gone, there = drive(rig, check())
+    assert gone is None
+    assert there == b"x" * 40
+
+
+def test_compaction_moves_tables_to_l1_and_frees_space():
+    rig, db = make_db()
+
+    def flow():
+        for i in range(3000):
+            yield from db.put(b"k%05d" % (i % 900), b"y" * 64)
+
+    drive(rig, flow())
+    settle(rig)
+    assert db.stats.compactions >= 1
+    assert len(db.levels[0]) < db.config.l0_compaction_trigger
+    assert len(db.levels[1]) >= 1
+
+
+def test_scan_merges_levels_and_memtable():
+    rig, db = make_db()
+
+    def flow():
+        for i in range(500):
+            yield from db.put(b"k%04d" % i, b"old")
+        # overwrite a few so memtable + SSTs disagree
+        for i in range(10, 20):
+            yield from db.put(b"k%04d" % i, b"new")
+        rows = yield from db.scan(b"k0005", b"k0025", limit=100)
+        return rows
+
+    rows = drive(rig, flow())
+    keys = [k for k, _ in rows]
+    assert keys == [b"k%04d" % i for i in range(5, 25)]
+    by_key = dict(rows)
+    assert by_key[b"k0012"] == b"new"
+    assert by_key[b"k0005"] == b"old"
+
+
+def test_bloom_filters_skip_most_absent_lookups():
+    rig, db = make_db()
+
+    def flow():
+        for i in range(800):
+            yield from db.put(b"k%05d" % i, b"z" * 32)
+        for i in range(200):
+            yield from db.get(b"absent%04d" % i)
+
+    drive(rig, flow())
+    assert db.stats.bloom_skips > 0
+    # absent keys should rarely touch disk
+    assert db.stats.block_reads < 40
+
+
+def test_unsynced_writes_do_not_touch_wal_device():
+    rig, db = make_db(carry_data=False)
+    db.config = db.config.__class__(sync_writes=False, carry_data=False)
+
+    def flow():
+        for i in range(50):
+            yield from db.put(b"k%d" % i, b"v")
+        v = yield from db.get(b"k7")
+        return v
+
+    assert drive(rig, flow()) == b"v"
+    assert db.wal.synced_blocks == 0
+
+
+def test_write_stall_accounted_when_flush_contended():
+    rig, db = make_db(carry_data=False, memtable_bytes=8 * 1024)
+
+    def writer(tag):
+        for i in range(300):
+            yield from db.put(b"%d-k%04d" % (tag, i), b"w" * 64)
+
+    procs = [rig.sim.process(writer(t)) for t in range(4)]
+    rig.sim.run(rig.sim.all_of(procs))
+    assert db.stats.flushes >= 2
+
+
+@given(st.lists(
+    st.tuples(
+        st.integers(0, 80),
+        st.binary(min_size=1, max_size=24).filter(lambda v: v != b"\x00__tombstone__\x00"),
+    ),
+    min_size=1, max_size=150,
+))
+@settings(max_examples=15, deadline=None)
+def test_model_equivalence_property(ops):
+    """MiniKV behaves exactly like a dict for any put sequence."""
+    rig, db = make_db(memtable_bytes=2 * 1024)
+    model = {}
+
+    def flow():
+        for key_idx, value in ops:
+            key = b"key%03d" % key_idx
+            model[key] = value
+            yield from db.put(key, value)
+        for key in {b"key%03d" % idx for idx, _ in ops}:
+            got = yield from db.get(key)
+            assert got == model[key], key
+
+    drive(rig, flow())

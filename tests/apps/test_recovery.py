@@ -1,0 +1,325 @@
+"""Crash-recovery tests: ARIES-lite for MiniSQL, WAL replay for MiniKV.
+
+The durability contract under test:
+* every COMMITTED transaction survives a crash, flushed pages or not;
+* no UNCOMMITTED change survives, even if its dirty page leaked to disk;
+* for the LSM store, synced puts survive and the unsynced tail is lost.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minikv import MiniKV, MiniKVConfig, crash_and_recover_kv
+from repro.apps.minisql import (
+    MiniSQL,
+    MiniSQLConfig,
+    RecoveryReport,
+    TableSchema,
+    crash_and_recover,
+)
+from repro.apps.minisql.recovery import RecoveryReport
+from repro.baselines import build_native
+
+SCHEMA = TableSchema("t", "id", ("id", "v"), rows_per_page=8)
+CFG = MiniSQLConfig(buffer_pool_pages=8, stmt_cpu_ns=0, row_cpu_ns=0)
+
+
+def sql_world():
+    rig = build_native(1)
+    db = MiniSQL(rig.sim, rig.driver(), CFG)
+    db.create_table(SCHEMA)
+    return rig, db
+
+
+def drive(rig, gen):
+    return rig.sim.run(rig.sim.process(gen))
+
+
+# ------------------------------------------------------------------ MiniSQL
+def test_committed_rows_survive_crash_without_page_flush():
+    rig, db = sql_world()
+
+    def before():
+        txn = db.begin()
+        for i in range(10):
+            yield from txn.insert("t", {"id": i, "v": i * 2})
+        yield from txn.commit()
+        # no checkpoint: pages are dirty in the pool only
+
+    drive(rig, before())
+    assert db.pool.dirty_count > 0
+
+    def after():
+        report = RecoveryReport()
+        recovered = yield from crash_and_recover(db, report)
+        txn = recovered.begin()
+        rows = []
+        for i in range(10):
+            rows.append((yield from txn.select("t", i)))
+        yield from txn.commit()
+        return recovered, report, rows
+
+    recovered, report, rows = drive(rig, after())
+    assert all(rows[i] == {"id": i, "v": i * 2} for i in range(10))
+    assert report.redone == 10
+    assert report.winners and not report.losers
+
+
+def test_uncommitted_changes_do_not_survive():
+    rig, db = sql_world()
+
+    def before():
+        txn = db.begin()
+        yield from txn.insert("t", {"id": 1, "v": 1})
+        yield from txn.commit()
+        open_txn = db.begin()
+        yield from open_txn.insert("t", {"id": 2, "v": 2})
+        yield from open_txn.update("t", 1, {"v": -99})
+        # crash with open_txn never committed
+
+    drive(rig, before())
+
+    def after():
+        recovered = yield from crash_and_recover(db)
+        txn = recovered.begin()
+        row1 = yield from txn.select("t", 1)
+        row2 = yield from txn.select("t", 2)
+        yield from txn.commit()
+        return row1, row2
+
+    row1, row2 = drive(rig, after())
+    assert row1 == {"id": 1, "v": 1}  # loser update invisible
+    assert row2 is None  # loser insert invisible
+
+
+def test_leaked_loser_pages_are_undone():
+    """A dirty page carrying uncommitted data reaches disk via eviction
+    (the write barrier makes its redo durable); recovery must undo it."""
+    rig, db = sql_world()
+
+    def before():
+        txn = db.begin()
+        yield from txn.insert("t", {"id": 1, "v": "original"})
+        yield from txn.commit()
+        yield from db.pool.flush_all()  # id=1 on disk, clean
+        loser = db.begin()
+        yield from loser.update("t", 1, {"v": "leaked"})
+        yield from db.pool.flush_all()  # leak the dirty page (+ its redo)
+        # crash before loser commits
+
+    drive(rig, before())
+    assert db.store._images  # the leak is on disk
+
+    def after():
+        report = RecoveryReport()
+        recovered = yield from crash_and_recover(db, report)
+        txn = recovered.begin()
+        row = yield from txn.select("t", 1)
+        yield from txn.commit()
+        return report, row
+
+    report, row = drive(rig, after())
+    assert row == {"id": 1, "v": "original"}
+    assert report.undone >= 1
+
+
+def test_deletes_replay_and_undo_correctly():
+    rig, db = sql_world()
+
+    def before():
+        txn = db.begin()
+        for i in range(6):
+            yield from txn.insert("t", {"id": i, "v": i})
+        yield from txn.commit()
+        txn = db.begin()
+        yield from txn.delete("t", 3)  # committed delete
+        yield from txn.commit()
+        loser = db.begin()
+        yield from loser.delete("t", 4)  # uncommitted delete
+        yield from db.pool.flush_all()  # leak it
+
+    drive(rig, before())
+
+    def after():
+        recovered = yield from crash_and_recover(db)
+        txn = recovered.begin()
+        gone = yield from txn.select("t", 3)
+        restored = yield from txn.select("t", 4)
+        yield from txn.commit()
+        return gone, restored
+
+    gone, restored = drive(rig, after())
+    assert gone is None
+    assert restored == {"id": 4, "v": 4}
+
+
+def test_recovered_engine_is_fully_usable():
+    rig, db = sql_world()
+
+    def flow():
+        txn = db.begin()
+        yield from txn.insert("t", {"id": 1, "v": 1})
+        yield from txn.commit()
+        recovered = yield from crash_and_recover(db)
+        txn = recovered.begin()
+        yield from txn.insert("t", {"id": 2, "v": 2})
+        yield from txn.commit()
+        rows = yield from recovered.begin().select_range("t", 0, limit=10)
+        return [r["id"] for r in rows]
+
+    assert drive(rig, flow()) == [1, 2]
+
+
+@given(st.lists(
+    st.tuples(st.booleans(), st.integers(0, 20), st.integers(-5, 5)),
+    min_size=1, max_size=40,
+))
+@settings(max_examples=10, deadline=None)
+def test_recovery_equals_committed_state_property(ops):
+    """Recovery reproduces exactly the committed-transaction state."""
+    rig, db = sql_world()
+    model = {}
+
+    def before():
+        pending = {}
+        txn = db.begin()
+        for commit_now, key, val in ops:
+            existing = model.get(key, pending.get(key))
+            if existing is None and key not in pending:
+                yield from txn.insert("t", {"id": key, "v": val})
+                pending[key] = {"id": key, "v": val}
+            else:
+                yield from txn.update("t", key, {"v": val})
+                base = dict(model.get(key) or pending.get(key))
+                base["v"] = val
+                pending[key] = base
+            if commit_now:
+                yield from txn.commit()
+                model.update(pending)
+                pending.clear()
+                txn = db.begin()
+        # final txn left uncommitted -> must vanish
+
+    drive(rig, before())
+
+    def after():
+        recovered = yield from crash_and_recover(db)
+        txn = recovered.begin()
+        out = {}
+        for key in set(model) | {k for _, k, _ in ops}:
+            row = yield from txn.select("t", key)
+            if row is not None:
+                out[key] = row
+        yield from txn.commit()
+        return out
+
+    out = drive(rig, after())
+    assert out == model
+
+
+# ------------------------------------------------------------------- MiniKV
+def kv_world(sync=True):
+    rig = build_native(1)
+    db = MiniKV(rig.sim, rig.driver(),
+                MiniKVConfig(memtable_bytes=4 * 1024, sync_writes=sync,
+                             carry_data=True))
+    return rig, db
+
+
+def test_kv_synced_puts_survive_crash():
+    rig, db = kv_world()
+
+    def before():
+        for i in range(300):  # spans several flushes
+            yield from db.put(b"k%04d" % i, b"v%d" % i)
+
+    drive(rig, before())
+    assert db.stats.flushes >= 1
+
+    def after():
+        recovered = yield from crash_and_recover_kv(db)
+        out = []
+        for i in (0, 150, 299):
+            out.append((yield from recovered.get(b"k%04d" % i)))
+        return out
+
+    assert drive(rig, after()) == [b"v0", b"v150", b"v299"]
+
+
+def test_kv_unsynced_tail_is_lost():
+    rig, db = kv_world(sync=False)
+
+    def before():
+        for i in range(5):
+            yield from db.put(b"s%d" % i, b"x")
+        yield db.wal.sync()  # first five durable
+        for i in range(5, 9):
+            yield from db.put(b"s%d" % i, b"x")  # never synced
+
+    drive(rig, before())
+
+    def after():
+        recovered = yield from crash_and_recover_kv(db)
+        survived = []
+        for i in range(9):
+            v = yield from recovered.get(b"s%d" % i)
+            if v is not None:
+                survived.append(i)
+        return survived
+
+    assert drive(rig, after()) == [0, 1, 2, 3, 4]
+
+
+def test_kv_replay_skips_flushed_records():
+    rig, db = kv_world()
+
+    def before():
+        for i in range(300):
+            yield from db.put(b"k%04d" % i, b"v")
+
+    drive(rig, before())
+    from repro.apps.minikv import KVRecoveryReport
+
+    def after():
+        report = KVRecoveryReport()
+        recovered = yield from crash_and_recover_kv(db, report)
+        return report, recovered
+
+    report, recovered = drive(rig, after())
+    assert report.wal_records_replayed < report.wal_records_scanned
+    assert report.tables_restored >= 1
+    assert report.wal_blocks_read > 0
+
+
+def test_kv_deletes_survive_recovery():
+    rig, db = kv_world()
+
+    def before():
+        for i in range(50):
+            yield from db.put(b"d%02d" % i, b"v")
+        yield from db.delete(b"d10")
+
+    drive(rig, before())
+
+    def after():
+        recovered = yield from crash_and_recover_kv(db)
+        gone = yield from recovered.get(b"d10")
+        there = yield from recovered.get(b"d11")
+        return gone, there
+
+    gone, there = drive(rig, after())
+    assert gone is None and there == b"v"
+
+
+def test_kv_recovered_store_remains_usable():
+    rig, db = kv_world()
+
+    def flow():
+        yield from db.put(b"a", b"1")
+        recovered = yield from crash_and_recover_kv(db)
+        yield from recovered.put(b"b", b"2")
+        va = yield from recovered.get(b"a")
+        vb = yield from recovered.get(b"b")
+        return va, vb
+
+    assert drive(rig, flow()) == (b"1", b"2")

@@ -1,0 +1,279 @@
+"""BMS-Engine integration tests: the seven-step path, SR-IOV layer,
+namespace provisioning, zero-copy routing, splits, and monitoring."""
+
+import pytest
+
+from repro.baselines import build_bmstore, build_native
+from repro.core import NUM_PFS, NUM_VFS, QoSLimits
+from repro.host import NVMeDriver
+from repro.nvme import LBA_BYTES
+from repro.sim import SimulationError
+from repro.sim.units import GIB, to_us
+
+
+GB64 = 64 * GIB
+
+
+def provisioned_rig(size_bytes=256 * GIB, num_ssds=4, **kwargs):
+    rig = build_bmstore(num_ssds=num_ssds, **kwargs)
+    fn = rig.provision("ns0", size_bytes)
+    driver = rig.baremetal_driver(fn)
+    return rig, fn, driver
+
+
+def run_one(rig, gen):
+    return rig.sim.run(rig.sim.process(gen))
+
+
+# ------------------------------------------------------------- SR-IOV layer
+def test_engine_exposes_4_pfs_and_124_vfs():
+    rig = build_bmstore(num_ssds=1)
+    assert len(rig.engine.sriov.physical_functions) == NUM_PFS == 4
+    assert len(rig.engine.sriov.virtual_functions) == NUM_VFS == 124
+    # 128 independent NVMe devices in total
+    assert len(rig.engine.sriov.functions) == 128
+
+
+def test_function_ids_start_at_one():
+    # id 0 is reserved by the global-PRP encoding
+    rig = build_bmstore(num_ssds=1)
+    assert min(rig.engine.sriov.functions) == 1
+    assert max(rig.engine.sriov.functions) == 128
+
+
+# ------------------------------------------------------------- namespaces
+def test_namespace_round_robin_placement():
+    rig = build_bmstore(num_ssds=4)
+    ens = rig.engine.create_namespace("ns", 256 * GIB)  # 4 chunks
+    assert [ssd for ssd, _ in ens.chunks] == [0, 1, 2, 3]
+
+
+def test_namespace_explicit_placement():
+    rig = build_bmstore(num_ssds=4)
+    ens = rig.engine.create_namespace("ns", 128 * GIB, placement=[2, 2])
+    assert [ssd for ssd, _ in ens.chunks] == [2, 2]
+
+
+def test_namespace_capacity_exhaustion_rolls_back():
+    rig = build_bmstore(num_ssds=1)
+    # P4510 2TB = 29 64GiB chunks usable
+    rig.engine.create_namespace("big", 28 * GB64)
+    with pytest.raises(SimulationError, match="out of free chunks"):
+        rig.engine.create_namespace("more", 4 * GB64)
+    # rollback: the free chunk is still allocatable
+    rig.engine.create_namespace("small", 1 * GB64)
+
+
+def test_delete_namespace_frees_chunks_and_unbinds():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 2 * GB64)
+    rig.engine.delete_namespace("ns")
+    assert fn.ns_key is None
+    assert 1 not in fn.namespaces
+    rig.engine.create_namespace("ns2", 29 * GB64)  # all chunks free again
+
+
+def test_double_bind_rejected():
+    rig = build_bmstore(num_ssds=1)
+    rig.provision("a", GB64, fn_id=10)
+    rig.engine.create_namespace("b", GB64)
+    with pytest.raises(SimulationError, match="already has a namespace"):
+        rig.engine.bind_namespace("b", 10)
+
+
+# --------------------------------------------------------------- I/O path
+def test_io_to_unbound_function_fails_cleanly():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.engine.sriov.function_by_id(20)
+    # bind a namespace object so the driver can size itself, then unbind
+    rig.provision("ns", GB64, fn_id=20)
+    driver = rig.baremetal_driver(fn)
+    rig.engine.unbind_namespace("ns")
+    fn.namespaces[1] = rig.engine.namespaces["ns"].namespace  # stale view
+
+    def flow():
+        info = yield driver.read(0, 1)
+        return info
+
+    info = run_one(rig, flow())
+    assert not info.ok
+
+
+def test_read_beyond_namespace_returns_lba_out_of_range():
+    rig, fn, driver = provisioned_rig(size_bytes=GB64, num_ssds=1)
+
+    def flow():
+        info = yield driver.read(driver.num_blocks - 1, 4)
+        return info
+
+    info = run_one(rig, flow())
+    assert not info.ok
+
+
+def test_engine_remaps_lba_onto_correct_backend_ssd():
+    rig, fn, driver = provisioned_rig(size_bytes=256 * GIB, num_ssds=4)
+    chunk_blocks = rig.engine.chunk_blocks
+
+    def flow():
+        # chunk 2 lives on SSD 2 (round-robin)
+        info = yield driver.write(2 * chunk_blocks + 7, 1)
+        assert info.ok
+
+    run_one(rig, flow())
+    assert rig.ssds[2].stats.write_ops == 1
+    assert all(rig.ssds[i].stats.write_ops == 0 for i in (0, 1, 3))
+
+
+def test_write_spanning_chunks_fans_out_and_joins():
+    rig, fn, driver = provisioned_rig(size_bytes=256 * GIB, num_ssds=4)
+    chunk_blocks = rig.engine.chunk_blocks
+
+    def flow():
+        info = yield driver.write(chunk_blocks - 2, 4)  # 2 blocks each side
+        return info
+
+    info = run_one(rig, flow())
+    assert info.ok
+    assert rig.ssds[0].stats.write_ops == 1
+    assert rig.ssds[1].stats.write_ops == 1
+
+
+def test_split_write_then_read_preserves_data_across_chunks():
+    rig, fn, driver = provisioned_rig(size_bytes=256 * GIB, num_ssds=4)
+    chunk_blocks = rig.engine.chunk_blocks
+    payload = bytes((i * 7) % 256 for i in range(4 * LBA_BYTES))
+
+    def flow():
+        info = yield driver.write(chunk_blocks - 2, 4, payload=payload)
+        assert info.ok
+        info = yield driver.read(chunk_blocks - 2, 4, want_data=True)
+        return info
+
+    info = run_one(rig, flow())
+    assert info.ok
+    assert info.data == payload
+
+
+def test_zero_copy_data_never_lands_in_chip_memory():
+    rig, fn, driver = provisioned_rig(num_ssds=1)
+    payload = b"\xab" * LBA_BYTES
+
+    def flow():
+        yield driver.write(10, 1, payload=payload)
+        info = yield driver.read(10, 1, want_data=True)
+        return info
+
+    info = run_one(rig, flow())
+    assert info.data == payload
+    # chip memory saw ring/PRP traffic only, nothing data-sized
+    assert rig.engine._chip_dram_bus.bytes_moved == 0
+
+
+def test_flush_fans_out_to_all_backing_ssds():
+    rig, fn, driver = provisioned_rig(size_bytes=256 * GIB, num_ssds=4)
+
+    def flow():
+        info = yield driver.flush()
+        return info
+
+    info = run_one(rig, flow())
+    assert info.ok
+    assert all(ssd.stats.admin_ops == 0 for ssd in rig.ssds)  # IO flush, not admin
+
+
+def test_engine_latency_overhead_is_about_3us():
+    # jitter-free flash so the single-sample comparison is exact
+    from dataclasses import replace
+    from repro.nvme import P4510_PROFILE
+
+    quiet = replace(P4510_PROFILE, jitter_cv=0.0)
+    nat = build_native(1, flash_profile=quiet)
+
+    def one_native():
+        info = yield nat.driver().read(50, 1)
+        return info.latency_ns
+
+    native_lat = nat.sim.run(nat.sim.process(one_native()))
+
+    rig = build_bmstore(num_ssds=1, flash_profile=quiet)
+    driver = rig.baremetal_driver(rig.provision("ns0", 256 * GIB))
+
+    def one_bms():
+        info = yield driver.read(50, 1)
+        return info.latency_ns
+
+    bms_lat = run_one(rig, one_bms())
+    extra_us = to_us(bms_lat - native_lat)
+    assert 1.5 <= extra_us <= 5.0  # paper: "about 3 us"
+
+
+def test_concurrent_functions_are_independent():
+    rig = build_bmstore(num_ssds=2)
+    d1 = rig.baremetal_driver(rig.provision("a", GB64, placement=[0]))
+    d2 = rig.baremetal_driver(rig.provision("b", GB64, placement=[1]))
+    results = []
+
+    def flow(driver, lba):
+        info = yield driver.write(lba, 1)
+        results.append(info.ok)
+
+    p1 = rig.sim.process(flow(d1, 5))
+    p2 = rig.sim.process(flow(d2, 5))
+    rig.sim.run(rig.sim.all_of([p1, p2]))
+    assert results == [True, True]
+    assert rig.ssds[0].stats.write_ops == 1
+    assert rig.ssds[1].stats.write_ops == 1
+
+
+def test_same_physical_lba_isolated_between_namespaces():
+    rig = build_bmstore(num_ssds=1)
+    d1 = rig.baremetal_driver(rig.provision("a", GB64))
+    d2 = rig.baremetal_driver(rig.provision("b", GB64))
+
+    def flow():
+        yield d1.write(0, 1, payload=b"A" * LBA_BYTES)
+        yield d2.write(0, 1, payload=b"B" * LBA_BYTES)
+        a = yield d1.read(0, 1, want_data=True)
+        b = yield d2.read(0, 1, want_data=True)
+        return a.data, b.data
+
+    a, b = run_one(rig, flow())
+    assert a == b"A" * LBA_BYTES
+    assert b == b"B" * LBA_BYTES
+
+
+# -------------------------------------------------------------- monitoring
+def test_engine_accounts_per_function_io():
+    rig, fn, driver = provisioned_rig(num_ssds=1)
+
+    def flow():
+        for _ in range(3):
+            yield driver.read(0, 1)
+        yield driver.write(0, 2)
+
+    run_one(rig, flow())
+    snap = rig.engine.monitor_snapshot(fn.fn_id)
+    assert snap["read_ops"] == 3
+    assert snap["write_ops"] == 1
+    assert snap["read_bytes"] == 3 * LBA_BYTES
+    assert snap["write_bytes"] == 2 * LBA_BYTES
+    assert rig.engine.total_ios == 4
+
+
+def test_qos_limits_cap_namespace_iops():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", GB64, limits=QoSLimits(max_iops=10_000.0, burst_ios=4))
+    driver = rig.baremetal_driver(fn)
+    done = {"n": 0}
+
+    def worker():
+        while done["n"] < 200:
+            done["n"] += 1
+            yield driver.read(0, 1)
+
+    procs = [rig.sim.process(worker()) for _ in range(8)]
+    start = rig.sim.now
+    rig.sim.run(rig.sim.all_of(procs))
+    elapsed = rig.sim.now - start
+    iops = 200 * 1e9 / elapsed
+    assert iops == pytest.approx(10_000, rel=0.15)

@@ -1,0 +1,62 @@
+"""Scale tests: many front-end functions active on one engine."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.sim.units import GIB
+
+
+def test_64_functions_bound_and_serving_concurrently():
+    """64 VFs each with a one-chunk namespace, all doing I/O at once."""
+    rig = build_bmstore(num_ssds=4)
+    drivers = []
+    for i in range(64):
+        fn = rig.provision(f"t{i}", 64 * GIB, placement=[i % 4])
+        drivers.append(rig.baremetal_driver(fn, num_io_queues=1, queue_depth=16))
+    results = []
+
+    def worker(idx, driver):
+        info = yield driver.write(idx, 1)
+        assert info.ok
+        info = yield driver.read(idx, 1)
+        results.append((idx, info.ok))
+
+    procs = [rig.sim.process(worker(i, d)) for i, d in enumerate(drivers)]
+    rig.sim.run(rig.sim.all_of(procs))
+    assert len(results) == 64
+    assert all(ok for _, ok in results)
+    assert rig.engine.total_ios == 128
+    # per-function accounting stayed separate
+    for i in range(64):
+        snap = rig.engine.monitor_snapshot(rig.engine.namespaces[f"t{i}"].bound_fn)
+        assert snap["read_ops"] == 1 and snap["write_ops"] == 1
+
+
+def test_axi_monitor_covers_all_128_functions():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        total = 0
+        for fn_id in range(1, 129):
+            base = rig.engine.AXI_FN_BASE + (fn_id - 1) * rig.engine.AXI_FN_STRIDE
+            value = yield rig.engine.axi.read(base)  # read_ops register
+            total += value
+        return total
+
+    assert rig.sim.run(rig.sim.process(flow())) == 0
+
+
+def test_namespace_capacity_accounting_across_many_tenants():
+    """4 drives hold 116 chunks; over-provisioning fails cleanly."""
+    rig = build_bmstore(num_ssds=4)
+    created = 0
+    try:
+        for i in range(200):
+            # spread single-chunk namespaces across drives; the engine
+            # only auto-assigns 124 VFs, so bind chunks unbound
+            rig.engine.create_namespace(f"x{i}", 64 * GIB, placement=[i % 4])
+            created += 1
+    except Exception:
+        pass
+    # P4510 2 TB = 29 usable 64 GiB chunks per drive
+    assert created == 4 * 29

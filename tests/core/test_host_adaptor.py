@@ -1,0 +1,127 @@
+"""Host-adaptor tests: forwarding, pause/drain/resume, I/O context,
+back-end admin path."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.nvme import AdminOpcode, IOOpcode, SQE, StatusCode
+from repro.sim.units import GIB
+
+
+def make_rig():
+    rig = build_bmstore(num_ssds=2)
+    return rig, rig.engine.adaptor
+
+
+def fwd_sqe(lba=0, opcode=IOOpcode.READ):
+    return SQE(opcode=int(opcode), cid=0, nsid=1, slba=lba, nlb=0,
+               prp1=0x200_0000_0000_0000 | 0x1000, prp2=0)  # fn-1 tagged
+
+
+def test_forward_completes_and_counts():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(0)
+    statuses = []
+    slot.forward(fwd_sqe(), statuses.append)
+    rig.sim.run()
+    assert statuses == [int(StatusCode.SUCCESS)]
+    assert slot.forwarded == 1 and slot.completed == 1
+    assert slot.inflight == 0
+
+
+def test_pause_holds_commands_until_resume():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(0)
+    statuses = []
+    slot.pause()
+    slot.forward(fwd_sqe(), statuses.append)
+    rig.sim.run(until=1_000_000)
+    assert statuses == []
+    assert rig.ssds[0].stats.read_ops == 0
+    slot.resume()
+    rig.sim.run()
+    assert statuses == [int(StatusCode.SUCCESS)]
+
+
+def test_drain_fires_when_inflight_clears():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(0)
+    for _ in range(4):
+        slot.forward(fwd_sqe(), lambda s: None)
+    drained_at = []
+
+    def waiter():
+        yield slot.drain()
+        drained_at.append(rig.sim.now)
+
+    rig.sim.process(waiter())
+    rig.sim.run()
+    assert drained_at and slot.inflight == 0
+
+
+def test_drain_immediate_when_idle():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(0)
+
+    def waiter():
+        yield slot.drain()
+        return rig.sim.now
+
+    assert rig.sim.run(rig.sim.process(waiter())) == 0
+
+
+def test_io_context_snapshot_fields():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(0)
+    slot.pause()
+    slot.forward(fwd_sqe(), lambda s: None)
+    ctx = slot.io_context()
+    assert ctx["buffered"] == 1
+    assert ctx["pending_cids"] == []
+    assert {"sq_head", "sq_tail", "cq_head"} <= set(ctx)
+
+
+def test_backend_admin_roundtrip():
+    rig, adaptor = make_rig()
+    slot = adaptor.slot_for(1)
+    statuses = []
+    sqe = SQE(opcode=int(AdminOpcode.GET_LOG_PAGE), cid=0, nsid=0)
+    slot.forward_admin(sqe, statuses.append)
+    rig.sim.run()
+    assert statuses == [int(StatusCode.SUCCESS)]
+    assert rig.ssds[1].stats.admin_ops == 1
+
+
+def test_detach_attach_rebinds_queues():
+    rig, adaptor = make_rig()
+    from repro.nvme import NVMeSSD
+
+    slot = adaptor.slot_for(0)
+    old = slot.detach_ssd()
+    assert slot.ssd is None
+    new = NVMeSSD(rig.sim, rig.engine.backend_fabric, rig.streams, name="new0")
+    slot.attach_ssd(new)
+    statuses = []
+    slot.forward(fwd_sqe(), statuses.append)
+    rig.sim.run()
+    assert statuses == [int(StatusCode.SUCCESS)]
+    assert new.stats.read_ops == 1
+    assert old.stats.read_ops == 0
+
+
+def test_double_attach_rejected():
+    rig, adaptor = make_rig()
+    from repro.nvme import NVMeSSD
+    from repro.sim import SimulationError
+
+    new = NVMeSSD(rig.sim, rig.engine.backend_fabric, rig.streams, name="x")
+    with pytest.raises(SimulationError, match="already has"):
+        adaptor.slot_for(0).attach_ssd(new)
+
+
+def test_slot_for_bounds():
+    rig, adaptor = make_rig()
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        adaptor.slot_for(5)

@@ -1,0 +1,77 @@
+"""Property tests on engine namespace provisioning invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import build_bmstore
+from repro.sim import SimulationError
+from repro.sim.units import GIB
+
+CHUNK = 64 * GIB
+
+
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(1, 6)),   # size in chunks
+        st.tuples(st.just("delete"), st.integers(0, 30)),  # victim index
+    ),
+    min_size=1, max_size=40,
+))
+@settings(max_examples=20, deadline=None)
+def test_chunk_allocation_never_overlaps_and_always_recycles(ops):
+    """Under any create/delete sequence:
+    * no physical chunk is ever owned by two namespaces,
+    * deletes return every chunk,
+    * per-SSD chunk books balance exactly."""
+    rig = build_bmstore(num_ssds=4)
+    engine = rig.engine
+    total_free = [len(free) for free in engine._free_chunks]
+    live: list[str] = []
+    counter = 0
+
+    for op, arg in ops:
+        if op == "create":
+            counter += 1
+            key = f"ns{counter}"
+            try:
+                engine.create_namespace(key, arg * CHUNK)
+                live.append(key)
+            except SimulationError:
+                pass  # out of space is legal; invariants below still hold
+        else:
+            if live:
+                engine.delete_namespace(live.pop(arg % len(live)))
+
+        # invariant: every owned chunk is owned exactly once
+        owned = [
+            (ssd, chunk)
+            for ens in engine.namespaces.values()
+            for ssd, chunk in ens.chunks
+        ]
+        assert len(owned) == len(set(owned))
+        # invariant: owned + free == the initial inventory, per SSD
+        for ssd_id in range(4):
+            owned_here = sum(1 for s, _ in owned if s == ssd_id)
+            free_here = len(engine._free_chunks[ssd_id])
+            assert owned_here + free_here == total_free[ssd_id]
+            # no chunk both owned and free
+            free_set = set(engine._free_chunks[ssd_id])
+            assert not any(c in free_set for s, c in owned if s == ssd_id)
+
+    # drain: deleting everything returns the full inventory
+    for key in list(engine.namespaces):
+        engine.delete_namespace(key)
+    assert [len(f) for f in engine._free_chunks] == total_free
+
+
+@given(st.integers(1, 24), st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_mapping_table_covers_whole_namespace(nchunks, probe_chunk):
+    """Every LBA of a created namespace translates without error and
+    lands on a chunk the namespace owns."""
+    rig = build_bmstore(num_ssds=4)
+    ens = rig.engine.create_namespace("ns", nchunks * CHUNK)
+    chunk_blocks = rig.engine.chunk_blocks
+    probe = (probe_chunk % nchunks) * chunk_blocks + 17
+    ssd_id, plba = ens.table.translate(probe)
+    assert (ssd_id, plba // chunk_blocks) in ens.chunks
+    assert plba % chunk_blocks == probe % chunk_blocks

@@ -1,0 +1,77 @@
+"""QoS reconfiguration out of band: SET_QOS takes effect on live traffic."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.sim.units import GIB, MS
+
+
+def test_set_qos_applies_to_running_namespace():
+    rig = build_bmstore(num_ssds=1)
+    sim = rig.sim
+    driver = rig.baremetal_driver(rig.provision("t", 64 * GIB))
+    windows = {"before": 0, "after": 0}
+    phase = {"name": "before"}
+    stop = {"flag": False}
+
+    def io_loop(w):
+        lba = w
+        while not stop["flag"]:
+            info = yield driver.read(lba % (1 << 20), 1)
+            assert info.ok
+            windows[phase["name"]] += 1
+            lba += 101
+
+    for w in range(16):
+        sim.process(io_loop(w))
+
+    def orchestrate():
+        yield sim.timeout(20 * MS)
+        resp = yield rig.console.set_qos("t", max_iops=20_000)
+        assert resp.ok
+        phase["name"] = "after"
+        yield sim.timeout(20 * MS)
+        stop["flag"] = True
+
+    sim.run(sim.process(orchestrate()))
+    sim.run(until=sim.now + 5 * MS)
+    before_rate = windows["before"] / 0.020
+    after_rate = windows["after"] / 0.020
+    assert before_rate > 100_000  # unthrottled
+    assert after_rate == pytest.approx(20_000, rel=0.35)  # capped live
+
+
+def test_set_qos_can_lift_a_cap():
+    rig = build_bmstore(num_ssds=1)
+    sim = rig.sim
+    from repro.core import QoSLimits
+
+    driver = rig.baremetal_driver(
+        rig.provision("t", 64 * GIB, limits=QoSLimits(max_iops=10_000.0))
+    )
+    count = {"n": 0}
+    stop = {"flag": False}
+
+    def io_loop(w):
+        lba = w
+        while not stop["flag"]:
+            yield driver.read(lba % 4096, 1)
+            count["n"] += 1
+            lba += 7
+
+    for w in range(8):
+        sim.process(io_loop(w))
+
+    def orchestrate():
+        yield sim.timeout(10 * MS)
+        capped = count["n"]
+        resp = yield rig.console.set_qos("t")  # no limits -> unlimited
+        assert resp.ok
+        count["n"] = 0
+        yield sim.timeout(10 * MS)
+        stop["flag"] = True
+        return capped, count["n"]
+
+    capped, uncapped = sim.run(sim.process(orchestrate()))
+    sim.run(until=sim.now + 5 * MS)
+    assert uncapped > capped * 3  # cap demonstrably lifted

@@ -1,0 +1,76 @@
+"""Target Controller: engine-local admin fast paths and demux stats."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.nvme import AdminOpcode
+from repro.sim.units import GIB
+
+
+def rig_with_driver():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 128 * GIB)
+    driver = rig.baremetal_driver(fn)
+    return rig, fn, driver
+
+
+def test_identify_served_by_engine_fast_path():
+    rig, fn, driver = rig_with_driver()
+    buf = rig.host.memory.alloc(4096)
+
+    def flow():
+        info = yield driver.admin(AdminOpcode.IDENTIFY, prp1=buf)
+        return info
+
+    info = rig.sim.run(rig.sim.process(flow()))
+    assert info.ok
+    page = rig.engine.host_identify_pages[buf]
+    assert page["model"] == "BM-Store virtual NVMe"
+    assert page["function"] == fn.fn_id
+    assert page["namespace_blocks"] == driver.num_blocks
+    # served locally, never forwarded to the ARM controller
+    assert rig.engine.target_controller.admin_forwarded == 0
+
+
+def test_get_log_page_returns_engine_counters():
+    rig, fn, driver = rig_with_driver()
+    buf = rig.host.memory.alloc(4096)
+
+    def flow():
+        yield driver.read(0, 1)
+        yield driver.write(0, 1)
+        info = yield driver.admin(AdminOpcode.GET_LOG_PAGE, prp1=buf)
+        return info
+
+    info = rig.sim.run(rig.sim.process(flow()))
+    assert info.ok
+    stats = rig.engine.host_identify_pages[buf]
+    assert stats["read_ops"] == 1 and stats["write_ops"] == 1
+
+
+def test_queue_create_delete_acknowledged():
+    rig, fn, driver = rig_with_driver()
+
+    def flow():
+        a = yield driver.admin(AdminOpcode.CREATE_IO_CQ, cdw10=5)
+        b = yield driver.admin(AdminOpcode.DELETE_IO_SQ, cdw10=5)
+        return a, b
+
+    a, b = rig.sim.run(rig.sim.process(flow()))
+    assert a.ok and b.ok
+
+
+def test_demux_counters_track_traffic_classes():
+    rig, fn, driver = rig_with_driver()
+    tc = rig.engine.target_controller
+
+    def flow():
+        for _ in range(3):
+            yield driver.read(0, 1)
+        yield driver.admin(AdminOpcode.IDENTIFY)
+        yield driver.admin(AdminOpcode.NS_MANAGEMENT)  # vendor op -> ARM
+
+    rig.sim.run(rig.sim.process(flow()))
+    assert tc.io_commands == 3
+    assert tc.admin_commands == 2
+    assert tc.admin_forwarded == 1  # only the vendor-management one

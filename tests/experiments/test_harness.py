@@ -1,0 +1,98 @@
+"""Experiment-harness tests: result records, scheme runners, and cheap
+experiment smoke runs (the benchmarks do the full sweeps)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig8_table5,
+    fig10,
+    quick_cases,
+    run_case_bmstore,
+    run_case_native,
+    table1,
+    table2,
+    tco_analysis,
+)
+from repro.experiments.common import _WINDOWS
+from repro.workloads.fio import TABLE_IV_CASES
+
+
+# -------------------------------------------------------- result records
+def test_result_add_column_row_for():
+    res = ExperimentResult("x", "title")
+    res.add(a=1, b="one")
+    res.add(a=2, b="two")
+    assert res.column("a") == [1, 2]
+    assert res.row_for(a=2)["b"] == "two"
+    with pytest.raises(KeyError):
+        res.row_for(a=3)
+
+
+def test_result_table_renders_all_rows_and_notes():
+    res = ExperimentResult("x", "title")
+    res.add(col=1.2345, other="v")
+    res.notes.append("a note")
+    text = res.table()
+    assert "[x] title" in text
+    assert "1.23" in text
+    assert "note: a note" in text
+
+
+def test_empty_result_table():
+    res = ExperimentResult("y", "empty")
+    assert "(no rows)" in res.table()
+
+
+# ----------------------------------------------------------- quick cases
+def test_quick_cases_cover_table_iv():
+    specs = quick_cases()
+    assert {s.name for s in specs} == set(TABLE_IV_CASES)
+    for spec in specs:
+        assert spec.runtime_ns == _WINDOWS[spec.name][0]
+
+
+def test_quick_cases_subset():
+    specs = quick_cases(["rand-w-1"])
+    assert len(specs) == 1 and specs[0].op == "randwrite"
+
+
+# --------------------------------------------------------- scheme runners
+def test_runners_produce_comparable_results():
+    spec = quick_cases(["rand-w-1"])[0]
+    native = run_case_native(spec)
+    bms = run_case_bmstore(spec)
+    assert native.ios > 0 and bms.ios > 0
+    assert bms.avg_latency_us > native.avg_latency_us  # the ~3us adder
+
+
+# -------------------------------------------------------- instant artifacts
+def test_table1_experiment_has_six_schemes():
+    res = table1.run()
+    assert len(res.rows) == 6
+    assert res.row_for(scheme="BM-Store")["manageability"] == "yes"
+
+
+def test_table2_matches_paper_cells_exactly():
+    res = table2.run()
+    assert res.row_for(ssds=1)["luts"] == "216711 (41%)"
+    assert res.row_for(ssds=6)["registers"] == "446309 (43%)"
+
+
+def test_tco_experiment_delta_row():
+    res = tco_analysis.run()
+    delta = res.row_for(scheme="delta")
+    assert delta["sellable_instances"] == "+14.3%"
+
+
+# ------------------------------------------------------------- small sweeps
+def test_fig10_two_point_scaling():
+    res = fig10.run(ssd_counts=(1, 2))
+    assert res.row_for(ssds=2)["scaling"] == pytest.approx(2.0, rel=0.08)
+
+
+def test_fig8_single_case_has_paper_reference():
+    res = fig8_table5.run(cases=["rand-w-1"])
+    row = res.rows[0]
+    assert row["paper_native_lat_us"] == 11.6
+    assert 0.7 <= row["iops_ratio"] <= 0.95

@@ -1,0 +1,30 @@
+"""REPRO_TIME_SCALE: the fidelity knob stretches measurement windows."""
+
+import pytest
+
+from repro.experiments.common import scaled, time_scale
+from repro.workloads.fio import TABLE_IV_CASES
+
+
+def test_default_scale_is_one(monkeypatch):
+    monkeypatch.delenv("REPRO_TIME_SCALE", raising=False)
+    assert time_scale() == 1.0
+
+
+def test_env_var_scales_windows(monkeypatch):
+    monkeypatch.setenv("REPRO_TIME_SCALE", "2.5")
+    assert time_scale() == 2.5
+    spec = scaled(TABLE_IV_CASES["rand-r-1"], 10_000_000, 2_000_000)
+    assert spec.runtime_ns == 25_000_000
+    assert spec.ramp_ns == 5_000_000
+
+
+def test_scaled_preserves_all_other_fields(monkeypatch):
+    monkeypatch.delenv("REPRO_TIME_SCALE", raising=False)
+    base = TABLE_IV_CASES["seq-w-256"]
+    spec = scaled(base, 1_000, 100)
+    assert spec.op == base.op
+    assert spec.block_bytes == base.block_bytes
+    assert spec.iodepth == base.iodepth
+    assert spec.numjobs == base.numjobs
+    assert (spec.runtime_ns, spec.ramp_ns) == (1_000, 100)

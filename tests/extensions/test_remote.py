@@ -1,0 +1,134 @@
+"""Remote-storage extension tests (paper §VI-D future work)."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.remote import (
+    RDMA_25GBE,
+    RDMA_100GBE,
+    NetworkLink,
+    RemoteStorageTarget,
+)
+from repro.sim import Simulator, StreamFactory
+from repro.sim.units import GIB, MS, to_us
+from repro.workloads import FioSpec, run_fio
+
+
+# ------------------------------------------------------------------ network
+def test_network_link_charges_bandwidth_and_latency():
+    sim = Simulator()
+    link = NetworkLink(sim, RDMA_25GBE)
+
+    def flow():
+        yield link.send(128 * 1024)
+        return sim.now
+
+    t = sim.run(sim.process(flow()))
+    serial = (128 * 1024 + 96) / RDMA_25GBE.bytes_per_sec * 1e9
+    assert t == pytest.approx(serial + RDMA_25GBE.one_way_ns, rel=0.01)
+
+
+def test_network_directions_are_independent():
+    sim = Simulator()
+    link = NetworkLink(sim, RDMA_25GBE)
+    done = []
+
+    def fwd():
+        yield link.send(1 << 20)
+        done.append(("fwd", sim.now))
+
+    def rev():
+        yield link.respond(1 << 20)
+        done.append(("rev", sim.now))
+
+    sim.process(fwd())
+    sim.process(rev())
+    sim.run()
+    # full duplex: both complete at the same time
+    assert done[0][1] == done[1][1]
+
+
+# ------------------------------------------------------------------- target
+def test_remote_target_serves_and_persists():
+    sim = Simulator()
+    streams = StreamFactory(3)
+    target = RemoteStorageTarget(sim, streams)
+    payload = b"\xab" * 4096
+
+    def flow():
+        result = yield target.execute("write", 3, 1, payload)
+        assert result.ok
+        result = yield target.execute("read", 3, 1)
+        return result
+
+    result = sim.run(sim.process(flow()))
+    assert result.ok and result.data == payload
+    assert target.commands == 2
+
+
+def test_remote_target_bounds_checked():
+    sim = Simulator()
+    target = RemoteStorageTarget(sim, StreamFactory(3))
+
+    def flow():
+        result = yield target.execute("read", target.num_blocks, 1)
+        return result
+
+    assert not sim.run(sim.process(flow())).ok
+
+
+# ------------------------------------------------- BM-Store + remote backend
+def remote_rig(profile=RDMA_25GBE):
+    rig = build_bmstore(num_ssds=1)
+    target = RemoteStorageTarget(rig.sim, rig.streams, name="far")
+    link = NetworkLink(rig.sim, profile)
+    rig.engine.attach_remote(target, link)
+    driver = rig.baremetal_driver(rig.provision("rns", 64 * GIB, placement=[1]))
+    return rig, target, link, driver
+
+
+def test_remote_namespace_full_path_with_integrity():
+    rig, target, link, driver = remote_rig()
+    payload = bytes((7 * i) % 256 for i in range(4096))
+
+    def flow():
+        info = yield driver.write(11, 1, payload=payload)
+        assert info.ok
+        info = yield driver.read(11, 1, want_data=True)
+        return info
+
+    info = rig.sim.run(rig.sim.process(flow()))
+    assert info.ok and info.data == payload
+    assert link.bytes_moved > 8192  # data crossed the network
+
+
+def test_remote_read_latency_includes_network_rtt():
+    rig, target, link, driver = remote_rig()
+    local_driver = rig.baremetal_driver(rig.provision("lns", 64 * GIB, placement=[0]))
+
+    def flow(drv):
+        info = yield drv.read(0, 1)
+        return info.latency_ns
+
+    local = rig.sim.run(rig.sim.process(flow(local_driver)))
+    remote = rig.sim.run(rig.sim.process(flow(driver)))
+    extra_us = to_us(remote - local)
+    # 2x one-way (2.5us) + capsule serialization + target cpu ~ 7-12us
+    assert 4.0 <= extra_us <= 20.0
+
+
+def test_remote_sequential_bandwidth_is_network_bound():
+    rig, target, link, driver = remote_rig()
+    spec = FioSpec("seq", "read", 128 * 1024, iodepth=64, numjobs=2,
+                   runtime_ns=30 * MS, ramp_ns=6 * MS)
+    res = run_fio(rig.sim, [driver], spec, rig.streams)
+    # 25 GbE ~ 3.05 GB/s < the drive's 3.23 GB/s
+    assert res.bandwidth_bps == pytest.approx(3.05e9, rel=0.06)
+
+
+def test_remote_faster_network_shifts_bottleneck_to_media():
+    rig, target, link, driver = remote_rig(profile=RDMA_100GBE)
+    spec = FioSpec("seq", "read", 128 * 1024, iodepth=64, numjobs=2,
+                   runtime_ns=30 * MS, ramp_ns=6 * MS)
+    res = run_fio(rig.sim, [driver], spec, rig.streams)
+    assert res.bandwidth_bps == pytest.approx(3.23e9, rel=0.06)

@@ -1,0 +1,240 @@
+"""ZNS SSD tests: zone state machine, sequential-write rule, append,
+management commands, and resource limits (paper §VI-A)."""
+
+import pytest
+
+from repro.host import Host, NVMeDriver
+from repro.nvme.spec import IOOpcode, StatusCode
+from repro.nvme.zns import (
+    ZNS_STATUS,
+    ZNSConfig,
+    ZNSOpcode,
+    ZNSSSD,
+    ZoneSendAction,
+    ZoneState,
+)
+from repro.sim import Simulator, StreamFactory
+
+CFG = ZNSConfig(zone_blocks=64, max_open_zones=3, max_active_zones=5)
+
+
+def make_rig():
+    sim = Simulator()
+    streams = StreamFactory(13)
+    host = Host(sim, streams)
+    ssd = ZNSSSD(sim, host.fabric, streams, name="zns0", zns_config=CFG)
+    driver = NVMeDriver(host, ssd, queue_depth=64, num_io_queues=1)
+    return sim, host, ssd, driver
+
+
+def submit(driver, opcode, lba, nblocks, cdw10=0):
+    return driver._submit_io(int(opcode), lba, nblocks, None, False)
+
+
+def mgmt(sim, driver, ssd, zone_idx, action):
+    done = sim.event()
+
+    def proc():
+        qp = driver._qps[1]
+        from repro.nvme.command import SQE
+
+        cid = driver._next_cid[1] = driver._next_cid[1] + 1
+        sqe = SQE(opcode=int(ZNSOpcode.ZONE_MGMT_SEND), cid=cid, nsid=1,
+                  slba=zone_idx * CFG.zone_blocks, cdw10=int(action))
+        yield driver._slots[1].acquire()
+        qp.sq.push(sqe)
+        driver._pending[(1, cid)] = {
+            "done": done, "start": sim.now, "buf": 0, "length": 0,
+            "want_data": False, "qid": 1,
+        }
+        yield driver.host.fabric.cpu_write(qp.sq_doorbell, 4)
+
+    sim.process(proc())
+    return done
+
+
+def test_sequential_write_at_write_pointer_succeeds():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield driver.write(0, 4)
+        assert info.ok
+        info = yield driver.write(4, 4)  # exactly at the new WP
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    zone = ssd.zone(0)
+    assert zone.write_pointer == 8
+    assert zone.state == ZoneState.IMPLICITLY_OPEN
+
+
+def test_non_sequential_write_rejected():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        yield driver.write(0, 4)
+        info = yield driver.write(10, 1)  # hole: WP is at 4
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert not info.ok
+    assert info.status == int(ZNS_STATUS.ZONE_INVALID_WRITE)
+
+
+def test_write_across_zone_boundary_rejected():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        # fill zone 0 up to two blocks before its end, then overrun
+        info = yield driver.write(0, CFG.zone_blocks - 2)
+        assert info.ok
+        info = yield driver.write(CFG.zone_blocks - 2, 4)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.status == int(ZNS_STATUS.ZONE_BOUNDARY_ERROR)
+
+
+def test_zone_fills_and_rejects_further_writes():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield driver.write(0, CFG.zone_blocks)
+        assert info.ok
+        info = yield driver.write(0, 1)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert ssd.zone(0).state == ZoneState.FULL
+    assert info.status == int(ZNS_STATUS.ZONE_IS_FULL)
+
+
+def test_zone_append_returns_assigned_lbas():
+    sim, host, ssd, driver = make_rig()
+    zone2 = 2 * CFG.zone_blocks
+
+    def flow():
+        a = yield submit(driver, ZNSOpcode.ZONE_APPEND, zone2, 3)
+        b = yield submit(driver, ZNSOpcode.ZONE_APPEND, zone2, 2)
+        return a, b
+
+    a, b = sim.run(sim.process(flow()))
+    assert a.ok and b.ok
+    assert ssd.zone(2).write_pointer == 5
+
+
+def test_zone_append_requires_zone_start_lba():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield submit(driver, ZNSOpcode.ZONE_APPEND, 5, 1)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.status == int(ZNS_STATUS.ZONE_INVALID_WRITE)
+
+
+def test_reset_empties_zone_and_discards_data():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        yield driver.write(0, 4, payload=b"z" * 4 * 4096)
+        info = yield mgmt(sim, driver, ssd, 0, ZoneSendAction.RESET)
+        assert info.ok
+        info = yield driver.write(0, 1)  # WP is back at zone start
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    assert ssd.zone(0).state is not ZoneState.FULL
+    assert ssd.block_data(1) is None  # reset deallocated it
+
+
+def test_finish_moves_zone_to_full():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        yield driver.write(0, 2)
+        info = yield mgmt(sim, driver, ssd, 0, ZoneSendAction.FINISH)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    assert ssd.zone(0).state == ZoneState.FULL
+
+
+def test_explicit_open_close_cycle():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield mgmt(sim, driver, ssd, 1, ZoneSendAction.OPEN)
+        assert info.ok
+        assert ssd.zone(1).state == ZoneState.EXPLICITLY_OPEN
+        info = yield mgmt(sim, driver, ssd, 1, ZoneSendAction.CLOSE)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    assert ssd.zone(1).state == ZoneState.CLOSED
+
+
+def test_max_open_zones_enforced():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        for z in range(CFG.max_open_zones):
+            info = yield mgmt(sim, driver, ssd, z, ZoneSendAction.OPEN)
+            assert info.ok
+        info = yield mgmt(sim, driver, ssd, CFG.max_open_zones, ZoneSendAction.OPEN)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.status == int(ZNS_STATUS.TOO_MANY_OPEN_ZONES)
+
+
+def test_max_active_zones_enforced():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        # open then close zones to accumulate ACTIVE (closed) zones
+        for z in range(CFG.max_active_zones):
+            info = yield mgmt(sim, driver, ssd, z, ZoneSendAction.OPEN)
+            assert info.ok
+            info = yield mgmt(sim, driver, ssd, z, ZoneSendAction.CLOSE)
+            assert info.ok
+        info = yield mgmt(sim, driver, ssd, CFG.max_active_zones,
+                          ZoneSendAction.OPEN)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.status == int(ZNS_STATUS.TOO_MANY_ACTIVE_ZONES)
+
+
+def test_reads_work_anywhere_and_data_roundtrips():
+    sim, host, ssd, driver = make_rig()
+    payload = bytes(range(256)) * 16
+
+    def flow():
+        yield driver.write(0, 1, payload=payload)
+        info = yield driver.read(0, 1, want_data=True)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok and info.data == payload
+
+
+def test_zone_report_reflects_states():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        yield driver.write(0, 4)
+        yield mgmt(sim, driver, ssd, 1, ZoneSendAction.OPEN)
+
+    sim.run(sim.process(flow()))
+    report = ssd.zone_report()
+    by_zone = {z["zone"]: z for z in report}
+    assert by_zone[0]["state"] == "implicitly-open"
+    assert by_zone[0]["write_pointer"] == 4
+    assert by_zone[1]["state"] == "explicitly-open"
+    assert all(z["capacity"] == CFG.zone_blocks for z in report)

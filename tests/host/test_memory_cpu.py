@@ -1,0 +1,134 @@
+"""Host memory (scatter/gather, allocator) and CPU-pool tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host import HostCPU, HostMemory, PAGE_SIZE
+from repro.host.memory import BufferPool
+from repro.sim import SimulationError, Simulator
+
+
+def make_mem(size=1 << 30):
+    return HostMemory(Simulator(), size)
+
+
+# ----------------------------------------------------------------- memory
+def test_alloc_is_aligned_and_monotonic():
+    mem = make_mem()
+    a = mem.alloc(100)
+    b = mem.alloc(100)
+    assert a % PAGE_SIZE == 0
+    assert b > a
+    assert mem.allocated >= 200
+
+
+def test_alloc_exhaustion():
+    mem = make_mem(size=2 * PAGE_SIZE)
+    mem.alloc(PAGE_SIZE)
+    with pytest.raises(SimulationError, match="out of memory"):
+        mem.alloc(4 * PAGE_SIZE)
+
+
+def test_alloc_rejects_nonpositive():
+    mem = make_mem()
+    with pytest.raises(SimulationError):
+        mem.alloc(0)
+
+
+def test_write_read_roundtrip_within_page():
+    mem = make_mem()
+    mem.mem_write(0x100, 4, b"abcd")
+    assert mem.mem_read(0x100, 4) == b"abcd"
+
+
+def test_scatter_across_page_boundary():
+    mem = make_mem()
+    data = bytes(range(200)) * 41  # 8200 bytes > 2 pages
+    addr = PAGE_SIZE - 100
+    mem.mem_write(addr, len(data), data)
+    assert mem.mem_read(addr, len(data)) == data
+
+
+def test_partial_overwrite_preserves_rest():
+    mem = make_mem()
+    mem.mem_write(0, PAGE_SIZE, b"\xaa" * PAGE_SIZE)
+    mem.mem_write(100, 4, b"BBBB")
+    got = mem.mem_read(0, PAGE_SIZE)
+    assert got[100:104] == b"BBBB"
+    assert got[:100] == b"\xaa" * 100
+
+
+def test_unbacked_read_returns_none():
+    mem = make_mem()
+    assert mem.mem_read(0x5000_0000, 64) is None
+
+
+def test_elided_write_counts_bytes_but_stores_nothing():
+    mem = make_mem()
+    mem.mem_write(0x1000, 4096, None)
+    assert mem.bytes_written == 4096
+    assert mem.mem_read(0x1000, 4096) is None
+
+
+@given(st.binary(min_size=1, max_size=3 * PAGE_SIZE), st.integers(0, PAGE_SIZE))
+def test_scatter_gather_roundtrip_property(data, offset):
+    mem = make_mem()
+    mem.mem_write(offset, len(data), data)
+    assert mem.mem_read(offset, len(data)) == data
+
+
+def test_object_store_and_mem_read_priority():
+    mem = make_mem()
+    mem.store_obj(0x2000, {"k": 1})
+    assert mem.load_obj(0x2000) == {"k": 1}
+    # mem_read at an object address returns the object (queue entries)
+    assert mem.mem_read(0x2000, 64) == {"k": 1}
+    assert mem.pop_obj(0x2000) == {"k": 1}
+    assert mem.load_obj(0x2000) is None
+
+
+def test_buffer_pool_recycles():
+    mem = make_mem()
+    pool = BufferPool(mem)
+    a = pool.get(4096)
+    pool.put(a, 4096)
+    assert pool.get(4096) == a
+    b = pool.get(8192)
+    assert b != a
+
+
+# --------------------------------------------------------------------- CPU
+def test_cpu_dedication_accounting():
+    cpu = HostCPU(Simulator(), num_cores=8)
+    taken = cpu.dedicate(2, owner="vhost")
+    assert len(taken) == 2
+    assert cpu.dedicated_count == 2
+    assert cpu.dedicated_by("vhost") == 2
+    assert len(cpu.tenant_cores) == 6
+    cpu.release_dedicated("vhost")
+    assert cpu.dedicated_count == 0
+
+
+def test_cpu_over_dedication_rejected():
+    cpu = HostCPU(Simulator(), num_cores=2)
+    cpu.dedicate(2, "a")
+    with pytest.raises(SimulationError):
+        cpu.dedicate(1, "b")
+
+
+def test_core_run_occupies_and_tracks_utilization():
+    sim = Simulator()
+    cpu = HostCPU(sim, num_cores=1)
+    core = cpu.cores[0]
+
+    def proc():
+        yield sim.process(core.run(500))
+
+    sim.process(proc())
+    sim.run(until=1000)
+    assert core.utilization() == pytest.approx(0.5)
+
+
+def test_zero_core_cpu_rejected():
+    with pytest.raises(SimulationError):
+        HostCPU(Simulator(), num_cores=0)

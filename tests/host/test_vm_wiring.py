@@ -1,0 +1,45 @@
+"""VirtualMachine wiring: overhead application and queue topology."""
+
+import pytest
+
+from repro.baselines import build_bmstore, build_native
+from repro.host import KERNEL_PROFILES, VirtualMachine, VMProfile
+from repro.sim.units import GIB
+
+
+def test_vm_driver_carries_injection_and_lock_overheads():
+    rig = build_bmstore(num_ssds=1)
+    profile = VMProfile(vcpus=2, irq_injection_ns=3000, submit_extra_ns=400,
+                        lock_multiplier=2.0)
+    vm = VirtualMachine(rig.host, "vm0", profile=profile)
+    driver = rig.vm_driver(vm, rig.provision("ns", 64 * GIB))
+    assert driver.extra_completion_ns == 3000
+    assert driver.extra_submit_ns == 400
+    assert driver.contended_lock_ns == driver.lock_ns * 2
+    # one IO queue per vCPU by default
+    assert len(driver.io_queue_ids) == 2
+    assert vm.drivers == [driver]
+
+
+def test_vm_guest_kernel_profile_is_honored():
+    rig = build_bmstore(num_ssds=1)
+    fedora = KERNEL_PROFILES["fedora33-5.8.15"]
+    vm = VirtualMachine(rig.host, "vm0", guest_kernel=fedora)
+    driver = rig.vm_driver(vm, rig.provision("ns", 64 * GIB))
+    assert driver.kernel is fedora
+
+
+def test_vm_io_is_slower_than_bare_metal_same_backend():
+    rig = build_bmstore(num_ssds=1)
+    bm_driver = rig.baremetal_driver(rig.provision("a", 64 * GIB))
+    vm = VirtualMachine(rig.host, "vm0")
+    vm_driver = rig.vm_driver(vm, rig.provision("b", 64 * GIB))
+
+    def one(driver):
+        info = yield driver.read(0, 1)
+        return info.latency_ns
+
+    bm = rig.sim.run(rig.sim.process(one(bm_driver)))
+    vm_lat = rig.sim.run(rig.sim.process(one(vm_driver)))
+    # irq injection + submit extra show up
+    assert vm_lat > bm + 2000

@@ -1,0 +1,92 @@
+"""Failure injection: grown media defects through every layer.
+
+The operational story the hot-plug machinery exists for: a drive grows
+bad blocks, tenants see failed reads (not corruption), the vendor sees
+the error counters out of band, and a hot-plug replacement clears the
+fault while the tenant's logical drive survives.
+"""
+
+import pytest
+
+from repro.baselines import build_bmstore, build_native
+from repro.nvme import NVMeSSD
+from repro.sim.units import GIB
+
+
+def test_media_error_surfaces_as_failed_read_native():
+    rig = build_native(1)
+    rig.ssds[0].bad_lbas.add(500)
+
+    def flow():
+        ok_info = yield rig.driver().read(400, 1)
+        bad_info = yield rig.driver().read(500, 1)
+        return ok_info, bad_info
+
+    ok_info, bad_info = rig.sim.run(rig.sim.process(flow()))
+    assert ok_info.ok
+    assert not bad_info.ok
+    assert rig.ssds[0].stats.errors == 1
+
+
+def test_media_error_spanning_range_fails_whole_command():
+    rig = build_native(1)
+    rig.ssds[0].bad_lbas.add(102)
+
+    def flow():
+        info = yield rig.driver().read(100, 8)  # covers the bad LBA
+        return info
+
+    info = rig.sim.run(rig.sim.process(flow()))
+    assert not info.ok
+
+
+def test_writes_unaffected_by_read_defects():
+    rig = build_native(1)
+    rig.ssds[0].bad_lbas.add(7)
+
+    def flow():
+        info = yield rig.driver().write(7, 1)
+        return info
+
+    assert rig.sim.run(rig.sim.process(flow())).ok
+
+
+def test_error_propagates_through_bmstore_to_tenant_and_monitor():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+    # the physical LBA behind host LBA 123 (chunk 0 -> identity-ish map)
+    ssd_id, plba = rig.engine.namespaces["ns"].table.translate(123)
+    rig.ssds[ssd_id].bad_lbas.add(plba)
+
+    def flow():
+        bad = yield driver.read(123, 1)
+        good = yield driver.read(124, 1)
+        stats = yield rig.console.io_stats(fn.fn_id)
+        return bad, good, stats
+
+    bad, good, stats = rig.sim.run(rig.sim.process(flow()))
+    assert not bad.ok and good.ok
+    assert stats.body["errors"] == 1  # visible out of band
+
+
+def test_hot_plug_replacement_clears_grown_defects():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+    _, plba = rig.engine.namespaces["ns"].table.translate(55)
+    rig.ssds[0].bad_lbas.add(plba)
+    replacement = NVMeSSD(rig.sim, rig.engine.backend_fabric, rig.streams,
+                          name="fresh")
+    rig.controller.stage_replacement(0, replacement)
+
+    def flow():
+        info = yield driver.read(55, 1)
+        assert not info.ok  # failing drive
+        resp = yield rig.console.hot_plug_replace(0)
+        assert resp.ok
+        info = yield driver.read(55, 1)  # same logical drive, new media
+        return info
+
+    info = rig.sim.run(rig.sim.process(flow()))
+    assert info.ok

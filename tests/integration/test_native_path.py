@@ -1,0 +1,167 @@
+"""End-to-end tests of the native path: driver -> PCIe -> SSD -> flash.
+
+These also pin the P4510 calibration anchors from DESIGN.md §5 so any
+model change that breaks Table V shows up here first.
+"""
+
+import pytest
+
+from repro.host import Host, NVMeDriver
+from repro.nvme import NVMeSSD
+from repro.sim import Simulator, StreamFactory
+from repro.sim.units import to_us, us
+
+
+def make_rig(queue_depth=1024, num_io_queues=4):
+    sim = Simulator()
+    streams = StreamFactory(root_seed=7)
+    host = Host(sim, streams)
+    ssd = NVMeSSD(sim, host.fabric, streams, name="nvme-ssd")
+    driver = NVMeDriver(host, ssd, queue_depth=queue_depth, num_io_queues=num_io_queues)
+    return sim, host, ssd, driver
+
+
+def run_closed_loop(sim, driver, op, outstanding, nblocks, count, lba_span=1 << 20):
+    """Run a closed loop of `outstanding` workers until `count` I/Os done."""
+    latencies = []
+    issued = {"n": 0}
+
+    def worker(tag):
+        lba = (tag * 7919) % lba_span
+        while issued["n"] < count:
+            issued["n"] += 1
+            if op == "read":
+                info = yield driver.read(lba, nblocks)
+            else:
+                info = yield driver.write(lba, nblocks)
+            assert info.ok
+            latencies.append(info.latency_ns)
+            lba = (lba + nblocks * 13) % lba_span
+
+    procs = [sim.process(worker(i)) for i in range(outstanding)]
+    start = sim.now
+    sim.run(sim.all_of(procs))
+    elapsed = sim.now - start
+    return latencies, elapsed
+
+
+def test_single_4k_read_completes_with_native_latency():
+    sim, host, ssd, driver = make_rig()
+
+    def one():
+        info = yield driver.read(100, 1)
+        return info
+
+    info = sim.run(sim.process(one()))
+    assert info.ok
+    # DESIGN.md anchor: P4510 4K random read qd1 ~ 77.2 us
+    assert to_us(info.latency_ns) == pytest.approx(77.2, rel=0.08)
+
+
+def test_single_4k_write_latency_anchor():
+    sim, host, ssd, driver = make_rig()
+
+    def one():
+        info = yield driver.write(500, 1)
+        return info
+
+    info = sim.run(sim.process(one()))
+    assert info.ok
+    # anchor: ~11.6 us; model gives write-buffer latency + transport
+    assert to_us(info.latency_ns) == pytest.approx(11.6, rel=0.25)
+
+
+def test_random_read_saturation_iops():
+    sim, host, ssd, driver = make_rig()
+    lats, elapsed = run_closed_loop(sim, driver, "read", outstanding=512, nblocks=1, count=4000)
+    iops = len(lats) * 1e9 / elapsed
+    # anchor: ~640K IOPS at qd512
+    assert iops == pytest.approx(640_000, rel=0.10)
+    mean_lat = sum(lats) / len(lats)
+    # anchor: ~787 us average latency at qd512
+    assert to_us(mean_lat) == pytest.approx(787, rel=0.15)
+
+
+def test_random_write_saturation_iops():
+    sim, host, ssd, driver = make_rig()
+    lats, elapsed = run_closed_loop(sim, driver, "write", outstanding=64, nblocks=1, count=3000)
+    iops = len(lats) * 1e9 / elapsed
+    # anchor: ~356K IOPS at qd64 (rand-w-16 x 4 jobs)
+    assert iops == pytest.approx(356_000, rel=0.12)
+
+
+def test_sequential_read_bandwidth():
+    sim, host, ssd, driver = make_rig()
+    # 128K ops (32 blocks), high outstanding
+    lats, elapsed = run_closed_loop(sim, driver, "read", outstanding=256, nblocks=32, count=1500)
+    bw = len(lats) * 32 * 4096 * 1e9 / elapsed
+    # anchor: ~3.23 GB/s sequential read
+    assert bw == pytest.approx(3.23e9, rel=0.08)
+
+
+def test_sequential_write_bandwidth():
+    sim, host, ssd, driver = make_rig()
+    lats, elapsed = run_closed_loop(sim, driver, "write", outstanding=256, nblocks=32, count=1000)
+    bw = len(lats) * 32 * 4096 * 1e9 / elapsed
+    # anchor: ~1.42 GB/s sequential write
+    assert bw == pytest.approx(1.42e9, rel=0.08)
+
+
+def test_data_integrity_write_then_read():
+    sim, host, ssd, driver = make_rig()
+    payload = bytes(range(256)) * 16 * 2  # two blocks
+    result = {}
+
+    def flow():
+        info = yield driver.write(42, 2, payload=payload)
+        assert info.ok
+        info = yield driver.read(42, 2, want_data=True)
+        result["data"] = info.data
+
+    sim.run(sim.process(flow()))
+    assert result["data"] == payload
+
+
+def test_read_of_never_written_range_returns_no_data():
+    sim, host, ssd, driver = make_rig()
+    result = {}
+
+    def flow():
+        info = yield driver.read(9999, 1, want_data=True)
+        result["info"] = info
+
+    sim.run(sim.process(flow()))
+    assert result["info"].ok
+    assert result["info"].data is None
+
+
+def test_flush_completes():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        yield driver.write(0, 8)
+        info = yield driver.flush()
+        assert info.ok
+
+    sim.run(sim.process(flow()))
+
+
+def test_out_of_range_read_fails_cleanly():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield driver.read(driver.num_blocks - 1, 8)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert not info.ok
+    assert driver.stats.errors == 1
+
+
+def test_driver_counts_interrupts_and_ops():
+    sim, host, ssd, driver = make_rig()
+    run_closed_loop(sim, driver, "read", outstanding=8, nblocks=1, count=100)
+    assert driver.stats.submitted == 100
+    assert driver.stats.completed == 100
+    assert driver.stats.interrupts > 0
+    assert ssd.stats.read_ops == 100

@@ -1,0 +1,58 @@
+"""Concurrent out-of-band requests: correlation and ordering."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.sim.units import GIB
+
+
+def test_pipelined_mi_requests_correlate_correctly():
+    """Many in-flight NVMe-MI requests; every response matches its
+    request (the MCTP tag + request-id machinery under load)."""
+    rig = build_bmstore(num_ssds=2)
+    outcomes = {}
+
+    def requester(i):
+        resp = yield rig.console.create_namespace(f"ns{i}", 64 * GIB,
+                                                  placement=[i % 2])
+        outcomes[i] = resp.ok and resp.body.get("key") == f"ns{i}"
+
+    procs = [rig.sim.process(requester(i)) for i in range(12)]
+    rig.sim.run(rig.sim.all_of(procs))
+    assert all(outcomes.values())
+    assert len(rig.engine.namespaces) == 12
+
+
+def test_mixed_command_types_interleave_safely():
+    rig = build_bmstore(num_ssds=1)
+    results = {}
+
+    def health():
+        resp = yield rig.console.health()
+        results["health"] = resp.ok and resp.body["num_ssds"] == 1
+
+    def inventory():
+        resp = yield rig.console.controller_list()
+        results["inv"] = resp.ok and resp.body["virtual_functions"] == 124
+
+    def provision():
+        resp = yield rig.console.create_namespace("a", 64 * GIB)
+        results["prov"] = resp.ok
+
+    procs = [rig.sim.process(g()) for g in (health, inventory, provision)]
+    rig.sim.run(rig.sim.all_of(procs))
+    assert results == {"health": True, "inv": True, "prov": True}
+
+
+def test_duplicate_namespace_creation_fails_second_request():
+    rig = build_bmstore(num_ssds=1)
+    oks = []
+
+    def requester():
+        resp = yield rig.console.create_namespace("same", 64 * GIB)
+        oks.append(resp.ok)
+
+    p1 = rig.sim.process(requester())
+    p2 = rig.sim.process(requester())
+    rig.sim.run(rig.sim.all_of([p1, p2]))
+    assert sorted(oks) == [False, True]

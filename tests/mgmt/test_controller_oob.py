@@ -1,0 +1,242 @@
+"""BMS-Controller + remote console integration: the full out-of-band
+management surface (paper §IV-D), including hot-upgrade and hot-plug."""
+
+import pytest
+
+from repro.baselines import build_bmstore
+from repro.mgmt import MIOpcode, MIStatus
+from repro.nvme import NVMeSSD
+from repro.sim.units import GIB, sec, to_sec
+
+
+def run(rig, gen):
+    return rig.sim.run(rig.sim.process(gen))
+
+
+def test_health_poll_reports_all_drives():
+    rig = build_bmstore(num_ssds=4)
+
+    def flow():
+        resp = yield rig.console.health()
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.ok
+    assert resp.body["num_ssds"] == 4
+    assert len(resp.body["drives"]) == 4
+    assert all("firmware" in d for d in resp.body["drives"])
+
+
+def test_controller_list_reports_sriov_inventory():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.controller_list()
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.body == {"physical_functions": 4, "virtual_functions": 124}
+
+
+def test_oob_namespace_lifecycle():
+    rig = build_bmstore(num_ssds=2)
+
+    def flow():
+        resp = yield rig.console.create_namespace("tenant1", 128 * GIB)
+        assert resp.ok
+        resp = yield rig.console.bind_namespace("tenant1", 6)
+        assert resp.ok
+        resp = yield rig.console.request(MIOpcode.UNBIND_NAMESPACE, key="tenant1")
+        assert resp.ok
+        resp = yield rig.console.delete_namespace("tenant1")
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.ok
+    assert "tenant1" not in rig.engine.namespaces
+
+
+def test_oob_create_with_qos_limits():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.create_namespace(
+            "limited", 64 * GIB, max_iops=50_000, max_mbps=500,
+        )
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.ok
+    limits = rig.engine.qos.limits_for("limited")
+    assert limits.max_iops == 50_000
+    assert limits.max_bytes_per_sec == 500e6
+
+
+def test_invalid_request_returns_error_response():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.bind_namespace("ghost", 5)
+        return resp
+
+    resp = run(rig, flow())
+    assert not resp.ok
+    assert resp.status == int(MIStatus.INVALID_PARAMETER)
+
+
+def test_unsupported_opcode():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.request(MIOpcode.CONTROLLER_LIST)
+        assert resp.ok
+        resp = yield rig.console.request(0x7F)
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.status == int(MIStatus.UNSUPPORTED)
+
+
+def test_io_stats_via_oob_match_engine_counters():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+
+    def flow():
+        for _ in range(5):
+            yield driver.read(0, 1)
+        resp = yield rig.console.io_stats(fn.fn_id)
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.body["read_ops"] == 5
+    assert resp.body["read_bytes"] == 5 * 4096
+
+
+def test_hot_upgrade_reports_paper_timing_shape():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.hot_upgrade(0, version="NEWFW", activation_s=6.5)
+        return resp
+
+    resp = run(rig, flow())
+    assert resp.ok
+    body = resp.body
+    # Table IX shape: total 6-9 s, BM-Store processing ~100 ms
+    assert 6.0 <= body["total_s"] <= 9.0
+    assert body["processing_ms"] == pytest.approx(100, rel=0.01)
+    assert body["io_pause_s"] <= body["total_s"]
+    assert rig.ssds[0].firmware.active.version == "NEWFW"
+
+
+def test_hot_upgrade_under_io_never_errors(capfd=None):
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+    stats = {"ios": 0, "errors": 0}
+    stop = {"flag": False}
+
+    def io_loop():
+        while not stop["flag"]:
+            info = yield driver.read(0, 1)
+            stats["ios"] += 1
+            if not info.ok:
+                stats["errors"] += 1
+
+    def orchestrate():
+        yield rig.sim.timeout(sec(0.01))
+        resp = yield rig.console.hot_upgrade(0, version="V9", activation_s=1.0)
+        assert resp.ok
+        yield rig.sim.timeout(sec(0.01))
+        stop["flag"] = True
+
+    for _ in range(4):
+        rig.sim.process(io_loop())
+    done = rig.sim.process(orchestrate())
+    rig.sim.run(done)
+    rig.sim.run(until=rig.sim.now + sec(0.2))
+    assert stats["errors"] == 0
+    assert stats["ios"] > 0
+
+
+def test_hot_plug_preserves_front_end_identity():
+    rig = build_bmstore(num_ssds=2)
+    fn = rig.provision("ns", 64 * GIB, placement=[0])
+    driver = rig.baremetal_driver(fn)
+    replacement = NVMeSSD(rig.sim, rig.engine.backend_fabric, rig.streams,
+                          name="replacement")
+    rig.controller.stage_replacement(0, replacement)
+
+    def flow():
+        info = yield driver.read(0, 1)
+        assert info.ok
+        resp = yield rig.console.hot_plug_replace(0)
+        assert resp.ok
+        assert resp.body["front_end_preserved"]
+        # same driver, same logical drive — no rescan, no redeploy
+        info = yield driver.read(0, 1)
+        return info
+
+    info = run(rig, flow())
+    assert info.ok
+    assert rig.engine.adaptor.slot_for(0).ssd is replacement
+    assert replacement.stats.read_ops == 1
+
+
+def test_hot_plug_without_staged_drive_is_noop():
+    rig = build_bmstore(num_ssds=1)
+
+    def flow():
+        resp = yield rig.console.hot_plug_replace(0)
+        return resp
+
+    resp = run(rig, flow())
+    assert not resp.ok
+
+
+def test_upgrade_report_history_via_oob():
+    rig = build_bmstore(num_ssds=2)
+
+    def flow():
+        yield rig.console.hot_upgrade(0, version="A", activation_s=1.0)
+        yield rig.console.hot_upgrade(1, version="B", activation_s=1.0)
+        resp = yield rig.console.upgrade_reports()
+        return resp
+
+    resp = run(rig, flow())
+    versions = [r["version"] for r in resp.body["reports"]]
+    assert versions == ["A", "B"]
+
+
+def test_io_monitor_background_sampling():
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+    rig.controller.start_monitor(period_ns=1_000_000, fn_ids=[fn.fn_id])
+
+    def flow():
+        for _ in range(10):
+            yield driver.read(0, 1)
+
+    done = rig.sim.process(flow())
+    rig.sim.run(done)
+    rig.sim.run(until=rig.sim.now + 5_000_000)
+    history = rig.controller.monitor_history
+    assert len(history) >= 3
+    assert history[-1]["fns"][fn.fn_id]["read_ops"] == 10
+
+
+def test_inband_vendor_admin_rejected():
+    """Tenants cannot reach management functions in-band."""
+    rig = build_bmstore(num_ssds=1)
+    fn = rig.provision("ns", 64 * GIB)
+    driver = rig.baremetal_driver(fn)
+    from repro.nvme import AdminOpcode
+
+    def flow():
+        info = yield driver.admin(AdminOpcode.NS_MANAGEMENT)
+        return info
+
+    info = run(rig, flow())
+    assert not info.ok

@@ -1,0 +1,143 @@
+"""MCTP fragmentation/reassembly and NVMe-MI serialization tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mgmt import MCTP_BTU, MCTPEndpoint, MCTPPacket, MIRequest, MIResponse, MIStatus
+from repro.sim import SimulationError, Simulator
+
+
+def loopback_pair(sim):
+    """Two endpoints wired directly to each other."""
+    endpoints = {}
+
+    def make_transmit(dst_name):
+        def transmit(dst_eid, raw):
+            ev = sim.event()
+
+            def deliver(_e):
+                endpoints[dst_eid].receive_packet(raw)
+                ev.succeed()
+
+            sim.timeout(100).callbacks.append(deliver)
+            return ev
+
+        return transmit
+
+    a = MCTPEndpoint(sim, 1, make_transmit("b"), per_packet_ns=10, name="a")
+    b = MCTPEndpoint(sim, 2, make_transmit("a"), per_packet_ns=10, name="b")
+    endpoints[1] = a
+    endpoints[2] = b
+    return a, b
+
+
+def test_small_message_single_packet():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    got = []
+    b.on_message(0x04, lambda src, msg: got.append((src, msg)))
+    a.send_message(2, 0x04, b"hi")
+    sim.run()
+    assert got == [(1, b"hi")]
+    assert a.packets_sent == 1
+    assert b.messages_delivered == 1
+
+
+def test_large_message_fragments_and_reassembles():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    got = []
+    b.on_message(0x04, lambda src, msg: got.append(msg))
+    message = bytes(range(256)) * 3  # 768 bytes -> 12 packets at BTU=64
+    a.send_message(2, 0x04, message)
+    sim.run()
+    assert got == [message]
+    assert a.packets_sent == -(-len(message) // MCTP_BTU)
+
+
+def test_empty_message_still_delivers():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    got = []
+    b.on_message(0x04, lambda src, msg: got.append(msg))
+    a.send_message(2, 0x04, b"")
+    sim.run()
+    assert got == [b""]
+
+
+def test_interleaved_messages_from_two_sources():
+    sim = Simulator()
+    endpoints = {}
+
+    def transmit(dst_eid, raw):
+        ev = sim.event()
+        sim.timeout(50).callbacks.append(
+            lambda _e: (endpoints[dst_eid].receive_packet(raw), ev.succeed())
+        )
+        return ev
+
+    rx = MCTPEndpoint(sim, 9, transmit, per_packet_ns=10)
+    tx1 = MCTPEndpoint(sim, 1, transmit, per_packet_ns=13)
+    tx2 = MCTPEndpoint(sim, 2, transmit, per_packet_ns=17)
+    endpoints.update({9: rx, 1: tx1, 2: tx2})
+    got = []
+    rx.on_message(0x04, lambda src, msg: got.append((src, msg)))
+    m1 = b"A" * 300
+    m2 = b"B" * 300
+    tx1.send_message(9, 0x04, m1)
+    tx2.send_message(9, 0x04, m2)
+    sim.run()
+    assert sorted(got) == [(1, m1), (2, m2)]
+
+
+def test_wrong_destination_eid_rejected():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    packet = MCTPPacket(src_eid=1, dst_eid=99, msg_tag=0, som=True, eom=True,
+                        seq=0, msg_type=4, payload=b"x")
+    with pytest.raises(SimulationError, match="EID"):
+        b.receive_packet(packet.to_bytes())
+
+
+def test_out_of_sequence_fragment_drops_message():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    got = []
+    b.on_message(0x04, lambda src, msg: got.append(msg))
+    p1 = MCTPPacket(1, 2, msg_tag=5, som=True, eom=False, seq=0, msg_type=4, payload=b"aa")
+    p_bad = MCTPPacket(1, 2, msg_tag=5, som=False, eom=True, seq=3, msg_type=4, payload=b"bb")
+    b.receive_packet(p1.to_bytes())
+    b.receive_packet(p_bad.to_bytes())
+    assert got == []
+
+
+def test_fragment_without_som_is_dropped():
+    sim = Simulator()
+    a, b = loopback_pair(sim)
+    got = []
+    b.on_message(0x04, lambda src, msg: got.append(msg))
+    stray = MCTPPacket(1, 2, msg_tag=7, som=False, eom=True, seq=1, msg_type=4, payload=b"zz")
+    b.receive_packet(stray.to_bytes())
+    assert got == []
+
+
+@given(st.binary(min_size=0, max_size=1000))
+@settings(max_examples=30, deadline=None)
+def test_packet_serialization_roundtrip(payload):
+    pkt = MCTPPacket(src_eid=3, dst_eid=4, msg_tag=2, som=True, eom=False,
+                     seq=1, msg_type=0x04, payload=payload)
+    assert MCTPPacket.from_bytes(pkt.to_bytes()) == pkt
+
+
+# ----------------------------------------------------------------- NVMe-MI
+def test_mi_request_roundtrip():
+    req = MIRequest(opcode=0x20, request_id=7, params={"key": "ns0", "size_bytes": 123})
+    assert MIRequest.from_bytes(req.to_bytes()) == req
+
+
+def test_mi_response_roundtrip_and_ok():
+    resp = MIResponse(request_id=7, status=int(MIStatus.SUCCESS), body={"a": 1})
+    parsed = MIResponse.from_bytes(resp.to_bytes())
+    assert parsed == resp and parsed.ok
+    bad = MIResponse(request_id=7, status=int(MIStatus.INTERNAL_ERROR))
+    assert not bad.ok

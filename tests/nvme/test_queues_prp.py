@@ -1,0 +1,161 @@
+"""Queue-ring (phase bits, wrap-around) and PRP construction tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host.memory import PAGE_SIZE, HostMemory
+from repro.nvme import (
+    CQE,
+    SQE,
+    CompletionQueue,
+    SubmissionQueue,
+    build_prps,
+    pages_for,
+    walk_prps,
+)
+from repro.nvme.prp import PRPList
+from repro.sim import SimulationError, Simulator
+
+
+def make_mem():
+    sim = Simulator()
+    return sim, HostMemory(sim, 1 << 30)
+
+
+# ------------------------------------------------------------------ SQ ring
+def test_sq_push_consume_fifo():
+    sim, mem = make_mem()
+    sq = SubmissionQueue(mem, mem.alloc(8 * 64), 8, sqid=1)
+    for i in range(5):
+        sq.push(SQE(opcode=2, cid=i, nsid=1))
+    got = []
+    while not sq.is_empty:
+        addr = sq.consume_addr()
+        got.append(mem.load_obj(addr).cid)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_sq_full_detection_and_wrap():
+    sim, mem = make_mem()
+    sq = SubmissionQueue(mem, mem.alloc(4 * 64), 4, sqid=1)
+    for i in range(3):
+        sq.push(SQE(opcode=2, cid=i, nsid=1))
+    assert sq.is_full
+    with pytest.raises(SimulationError, match="full"):
+        sq.push(SQE(opcode=2, cid=9, nsid=1))
+    sq.consume_addr()
+    assert not sq.is_full
+    sq.push(SQE(opcode=2, cid=3, nsid=1))  # wraps
+    assert sq.outstanding() == 3
+
+
+def test_sq_empty_consume_rejected():
+    sim, mem = make_mem()
+    sq = SubmissionQueue(mem, mem.alloc(4 * 64), 4, sqid=1)
+    with pytest.raises(SimulationError, match="empty"):
+        sq.consume_addr()
+
+
+def test_sq_depth_minimum():
+    sim, mem = make_mem()
+    with pytest.raises(SimulationError):
+        SubmissionQueue(mem, 0, 1, sqid=1)
+
+
+# ------------------------------------------------------------------ CQ ring
+def test_cq_phase_bit_polling():
+    sim, mem = make_mem()
+    cq = CompletionQueue(mem, mem.alloc(4 * 16), 4, cqid=1)
+    assert cq.poll() is None  # nothing posted
+    cq.post_slot(CQE(cid=1))
+    cqe = cq.poll()
+    assert cqe is not None and cqe.cid == 1 and cqe.phase == 1
+    assert cq.poll() is None
+
+
+def test_cq_phase_flips_on_wrap():
+    sim, mem = make_mem()
+    cq = CompletionQueue(mem, mem.alloc(4 * 16), 4, cqid=1)
+    seen = []
+    for round_ in range(3):  # wraps twice
+        for i in range(4):
+            cq.post_slot(CQE(cid=round_ * 4 + i))
+            cqe = cq.poll()
+            seen.append((cqe.cid, cqe.phase))
+    cids = [c for c, _ in seen]
+    assert cids == list(range(12))
+    phases = [p for _, p in seen]
+    assert phases[:4] == [1] * 4 and phases[4:8] == [0] * 4 and phases[8:] == [1] * 4
+
+
+def test_cq_stale_entry_not_consumed():
+    sim, mem = make_mem()
+    cq = CompletionQueue(mem, mem.alloc(2 * 16), 2, cqid=1)
+    cq.post_slot(CQE(cid=1))
+    cq.post_slot(CQE(cid=2))
+    assert cq.poll().cid == 1
+    assert cq.poll().cid == 2
+    # ring wrapped; slot 0 still holds the old phase-1 entry, but the
+    # host now expects phase 0 -> must not re-consume
+    assert cq.poll() is None
+
+
+# --------------------------------------------------------------------- PRPs
+def test_pages_for_unaligned_buffer():
+    pages = pages_for(PAGE_SIZE + 100, 2 * PAGE_SIZE)
+    assert pages == [PAGE_SIZE + 100, 2 * PAGE_SIZE, 3 * PAGE_SIZE]
+
+
+def test_pages_for_zero_length():
+    assert pages_for(0x1000, 0) == []
+
+
+def test_build_prps_single_page():
+    sim, mem = make_mem()
+    buf = mem.alloc(PAGE_SIZE)
+    prp1, prp2 = build_prps(mem, buf, PAGE_SIZE)
+    assert prp1 == buf and prp2 == 0
+
+
+def test_build_prps_two_pages_direct():
+    sim, mem = make_mem()
+    buf = mem.alloc(2 * PAGE_SIZE)
+    prp1, prp2 = build_prps(mem, buf, 2 * PAGE_SIZE)
+    assert prp1 == buf and prp2 == buf + PAGE_SIZE
+
+
+def test_build_prps_list_for_large_transfer():
+    sim, mem = make_mem()
+    buf = mem.alloc(32 * PAGE_SIZE)
+    prp1, prp2 = build_prps(mem, buf, 32 * PAGE_SIZE)
+    assert prp1 == buf
+    entry = mem.load_obj(prp2)
+    assert isinstance(entry, PRPList)
+    assert len(entry.entries) == 31
+
+
+@given(st.integers(1, 64), st.integers(0, PAGE_SIZE - 1))
+def test_walk_prps_covers_whole_transfer(npages, offset):
+    sim = Simulator()
+    mem = HostMemory(sim, 1 << 30)
+    length = npages * PAGE_SIZE
+    buf = mem.alloc(length + PAGE_SIZE) + offset
+    prp1, prp2 = build_prps(mem, buf, length)
+    pages, _ = walk_prps(mem, prp1, prp2, length)
+    covered = 0
+    for page_addr in pages:
+        covered += min(PAGE_SIZE - page_addr % PAGE_SIZE, length - covered)
+    assert covered == length
+    assert pages[0] == buf
+
+
+def test_walk_prps_bad_list_pointer_rejected():
+    sim, mem = make_mem()
+    with pytest.raises(SimulationError, match="PRP list"):
+        walk_prps(mem, 0, 0xDEAD, 10 * PAGE_SIZE)
+
+
+def test_build_prps_zero_length_rejected():
+    sim, mem = make_mem()
+    with pytest.raises(SimulationError):
+        build_prps(mem, 0x1000, 0)

@@ -1,0 +1,148 @@
+"""NVMeSSD device tests: admin commands, firmware activation pause,
+namespace bounds, and data persistence."""
+
+import pytest
+
+from repro.host import Host, NVMeDriver
+from repro.nvme import (
+    DEFAULT_FIRMWARE,
+    AdminOpcode,
+    FirmwareImage,
+    NVMeSSD,
+    StatusCode,
+)
+from repro.sim import Simulator, StreamFactory
+from repro.sim.units import sec
+
+
+def make_rig():
+    sim = Simulator()
+    streams = StreamFactory(11)
+    host = Host(sim, streams)
+    ssd = NVMeSSD(sim, host.fabric, streams, name="unit-ssd")
+    driver = NVMeDriver(host, ssd, queue_depth=64, num_io_queues=2)
+    return sim, host, ssd, driver
+
+
+def test_identify_returns_model_and_capacity():
+    sim, host, ssd, driver = make_rig()
+    buf = host.memory.alloc(4096)
+
+    def flow():
+        info = yield driver.admin(AdminOpcode.IDENTIFY, prp1=buf)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    page = ssd.admin_payload_at(buf)
+    assert page["model"] == "intel-p4510-2tb"
+    assert page["capacity_blocks"] == ssd.namespaces[1].num_blocks
+
+
+def test_get_log_page_health():
+    sim, host, ssd, driver = make_rig()
+    buf = host.memory.alloc(4096)
+
+    def flow():
+        yield driver.write(3, 1)
+        info = yield driver.admin(AdminOpcode.GET_LOG_PAGE, prp1=buf)
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert info.ok
+    log = ssd.admin_payload_at(buf)
+    assert log["write_ops"] == 1
+    assert log["firmware"] == DEFAULT_FIRMWARE.version
+
+
+def test_unknown_admin_opcode_rejected():
+    sim, host, ssd, driver = make_rig()
+
+    def flow():
+        info = yield driver.admin(AdminOpcode.NS_ATTACH)  # unhandled
+        return info
+
+    info = sim.run(sim.process(flow()))
+    assert not info.ok
+
+
+def test_firmware_activation_pauses_then_resumes_io():
+    sim, host, ssd, driver = make_rig()
+    image = FirmwareImage(version="NEW", size_bytes=4096, activation_ns=sec(0.5))
+    buf = host.memory.alloc(4096)
+    log = []
+
+    def upgrade():
+        yield driver.admin(
+            AdminOpcode.FIRMWARE_DOWNLOAD, cdw10=4096 // 4 - 1, prp1=buf,
+            payload=b"NEW",
+        )
+        info = yield driver.admin(
+            AdminOpcode.FIRMWARE_COMMIT, cdw10=2 | (3 << 3), payload=image
+        )
+        log.append(("commit-done", sim.now, info.ok))
+
+    def io_during():
+        yield sim.timeout(1_000_000)  # after commit is in flight
+        info = yield driver.read(0, 1)
+        log.append(("read-done", sim.now, info.ok))
+
+    p1 = sim.process(upgrade())
+    p2 = sim.process(io_during())
+    sim.run(sim.all_of([p1, p2]))
+    assert ssd.firmware.active.version == "NEW"
+    commit_t = next(t for tag, t, _ in log if tag == "commit-done")
+    read_t = next(t for tag, t, _ in log if tag == "read-done")
+    assert commit_t >= sec(0.5)  # activation took its time
+    assert read_t >= commit_t  # the read waited for the reset, no error
+    assert all(ok for _, _, ok in log)
+    assert ssd.power_cycles == 2
+
+
+def test_write_zeroes_discards_data():
+    sim, host, ssd, driver = make_rig()
+    from repro.nvme import IOOpcode
+    payload = b"z" * 4096
+
+    def flow():
+        yield driver.write(7, 1, payload=payload)
+        assert ssd.block_data(7) == payload
+        info = yield driver._submit_io(int(IOOpcode.WRITE_ZEROES), 7, 1, None, False)
+        assert info.ok
+        return ssd.block_data(7)
+
+    data = sim.run(sim.process(flow()))
+    assert data is None
+
+
+def test_multiblock_write_persists_per_lba():
+    sim, host, ssd, driver = make_rig()
+    payload = bytes([1] * 4096 + [2] * 4096 + [3] * 4096)
+
+    def flow():
+        yield driver.write(100, 3, payload=payload)
+
+    sim.run(sim.process(flow()))
+    assert ssd.block_data(100) == bytes([1] * 4096)
+    assert ssd.block_data(101) == bytes([2] * 4096)
+    assert ssd.block_data(102) == bytes([3] * 4096)
+
+
+def test_large_transfer_uses_prp_list_and_roundtrips():
+    sim, host, ssd, driver = make_rig()
+    payload = bytes((i // 97) % 256 for i in range(32 * 4096))  # 128K
+
+    def flow():
+        yield driver.write(1000, 32, payload=payload)
+        info = yield driver.read(1000, 32, want_data=True)
+        return info.data
+
+    assert sim.run(sim.process(flow())) == payload
+
+
+def test_health_log_contents():
+    sim, host, ssd, driver = make_rig()
+    log = ssd.health_log()
+    assert log["firmware"] == DEFAULT_FIRMWARE.version
+    assert log["power_cycles"] == 1
+    assert log["errors"] == 0

@@ -1,0 +1,67 @@
+"""PCIe function/device coverage: BAR mapping, routing ids, errors."""
+
+import pytest
+
+from repro.host.memory import HostMemory
+from repro.pcie import ConfigSpace, PCIeDevice, PCIeFabric, PCIeFunction
+from repro.sim import SimulationError, Simulator
+
+
+class _Sink:
+    access_ns = 10
+
+    def mem_write(self, addr, length, data):
+        pass
+
+    def mem_read(self, addr, length):
+        return None
+
+
+def test_vf_requires_parent_pf():
+    cs = ConfigSpace(vendor_id=1, device_id=2)
+    with pytest.raises(SimulationError, match="parent PF"):
+        PCIeFunction(0x10, cs, is_vf=True)
+
+
+def test_map_bar_requires_configured_size():
+    sim = Simulator()
+    fabric = PCIeFabric(sim)
+    port = fabric.attach("d")
+    fn = PCIeFunction(0x10, ConfigSpace(vendor_id=1, device_id=2))
+    with pytest.raises(SimulationError, match="no size"):
+        fn.map_bar(port, 0, 0x1000_0000, _Sink())
+
+
+def test_bar_addr_before_mapping_rejected():
+    fn = PCIeFunction(0x10, ConfigSpace(vendor_id=1, device_id=2,
+                                        bar_sizes={0: 0x1000}))
+    with pytest.raises(SimulationError, match="not mapped"):
+        fn.bar_addr(0)
+
+
+def test_bar_addr_offsets_after_mapping():
+    sim = Simulator()
+    fabric = PCIeFabric(sim)
+    fabric.set_root_handler(HostMemory(sim, 1 << 20))
+    port = fabric.attach("d")
+    fn = PCIeFunction(0x10, ConfigSpace(vendor_id=1, device_id=2,
+                                        bar_sizes={0: 0x1000}))
+    fn.map_bar(port, 0, 0x1000_0000, _Sink())
+    assert fn.bar_addr(0) == 0x1000_0000
+    assert fn.bar_addr(0, 0x40) == 0x1000_0040
+
+
+def test_device_enable_sriov_requires_capability():
+    dev = PCIeDevice("d")
+    pf = dev.add_pf(0x10, 1, 2)  # no total_vfs
+    with pytest.raises(SimulationError, match="not SR-IOV capable"):
+        dev.enable_sriov(pf, 1)
+
+
+def test_vf_configurer_hook_runs_per_vf():
+    dev = PCIeDevice("d")
+    pf = dev.add_pf(0x10, 1, 2, total_vfs=4, bar_sizes={0: 0x100})
+    seen = []
+    dev.enable_sriov(pf, 3, vf_configurer=lambda vf, i: seen.append((vf.name, i)))
+    assert [i for _, i in seen] == [0, 1, 2]
+    assert all(name.startswith("d.pf0.vf") for name, _ in seen)

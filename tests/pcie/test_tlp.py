@@ -1,0 +1,56 @@
+"""TLP wire-size accounting and structure tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pcie import (
+    MAX_PAYLOAD_BYTES,
+    TLP_HEADER_BYTES,
+    Completion,
+    MemRead,
+    MemWrite,
+    TLPType,
+    VendorDefinedMessage,
+    wire_bytes,
+)
+
+
+def test_zero_length_still_costs_a_header():
+    assert wire_bytes(0) == TLP_HEADER_BYTES
+
+
+def test_single_payload_segment():
+    assert wire_bytes(128) == 128 + TLP_HEADER_BYTES
+    assert wire_bytes(MAX_PAYLOAD_BYTES) == MAX_PAYLOAD_BYTES + TLP_HEADER_BYTES
+
+
+def test_multi_segment_payload_pays_per_segment():
+    # 4 KiB at 256B MPS = 16 segments
+    assert wire_bytes(4096) == 4096 + 16 * TLP_HEADER_BYTES
+
+
+@given(st.integers(min_value=1, max_value=1 << 20))
+def test_wire_bytes_monotone_and_bounded(n):
+    w = wire_bytes(n)
+    assert w >= n + TLP_HEADER_BYTES
+    segments = -(-n // MAX_PAYLOAD_BYTES)
+    assert w == n + segments * TLP_HEADER_BYTES
+
+
+def test_memwrite_validates_data_length():
+    MemWrite(requester_id=1, address=0, length=4, data=b"abcd")
+    with pytest.raises(ValueError):
+        MemWrite(requester_id=1, address=0, length=8, data=b"abcd")
+
+
+def test_tlp_types_are_tagged():
+    assert MemWrite(requester_id=0, address=0, length=0).tlp_type == TLPType.MEM_WRITE
+    assert MemRead(requester_id=0, address=0, length=4).tlp_type == TLPType.MEM_READ
+    assert Completion(requester_id=0, length=4).tlp_type == TLPType.COMPLETION
+    assert VendorDefinedMessage(requester_id=0).tlp_type == TLPType.MESSAGE
+
+
+def test_vdm_payload_len():
+    vdm = VendorDefinedMessage(requester_id=0, payload=b"x" * 100)
+    assert vdm.payload_len == 100
+    assert vdm.wire_len == 100 + TLP_HEADER_BYTES

@@ -1,0 +1,292 @@
+"""Unit tests for the DES kernel: events, processes, conditions, run()."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+        assert sim.now == 100
+        yield sim.timeout(50)
+        return sim.now
+
+    p = sim.process(proc())
+    result = sim.run(p)
+    assert result == 150
+    assert sim.now == 150
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(5, value="hello")
+        return got
+
+    assert sim.run(sim.process(proc())) == "hello"
+
+
+def test_zero_delay_events_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter():
+        val = yield ev
+        seen.append((sim.now, val))
+
+    def trigger():
+        yield sim.timeout(42)
+        ev.succeed("done")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert seen == [(42, "done")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def trigger():
+        yield sim.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    p = sim.process(waiter())
+    sim.process(trigger())
+    assert sim.run(p) == "caught boom"
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+
+    def late_waiter():
+        yield sim.timeout(10)
+        val = yield ev  # already fired at t=0
+        assert sim.now == 10
+        return val
+
+    assert sim.run(sim.process(late_waiter())) == "early"
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(7)
+        return 99
+
+    def parent():
+        val = yield sim.process(child())
+        return val + 1
+
+    assert sim.run(sim.process(parent())) == 100
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise RuntimeError("child died")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except RuntimeError as exc:
+            return str(exc)
+
+    assert sim.run(sim.process(parent())) == "child died"
+
+
+def test_uncaught_process_failure_raises_from_run():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise RuntimeError("unwaited crash")
+
+    p = sim.process(child())
+    with pytest.raises(RuntimeError, match="unwaited crash"):
+        sim.run(p)
+
+
+def test_interrupt_mid_wait():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(10)
+        target.interrupt(cause="urgent")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [("interrupted", 10, "urgent")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(5, value="fast")
+        slow = sim.timeout(50, value="slow")
+        results = yield sim.any_of([fast, slow])
+        assert sim.now == 5
+        return list(results.values())
+
+    assert sim.run(sim.process(proc())) == ["fast"]
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        evs = [sim.timeout(d, value=d) for d in (5, 20, 10)]
+        results = yield sim.all_of(evs)
+        assert sim.now == 20
+        return sorted(results.values())
+
+    assert sim.run(sim.process(proc())) == [5, 10, 20]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield sim.all_of([])
+        return sim.now
+
+    assert sim.run(sim.process(proc())) == 0
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    ticks = []
+
+    def clock():
+        while True:
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+
+    sim.process(clock())
+    sim.run(until=35)
+    assert sim.now == 35
+    assert ticks == [10, 20, 30]
+    sim.run(until=55)
+    assert ticks == [10, 20, 30, 40, 50]
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.run(until=100)
+    with pytest.raises(SimulationError):
+        sim.run(until=50)
+
+
+def test_run_until_event_never_fires_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(ev)
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="must yield Event"):
+        sim.run()
+
+
+def test_determinism_same_seed_same_order():
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def proc(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        for tag, delay in [("a", 30), ("b", 10), ("c", 10), ("d", 20)]:
+            sim.process(proc(tag, delay))
+        sim.run()
+        return order
+
+    assert run_once() == run_once() == ["b", "c", "d", "a"]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(25)
+    assert sim.peek() == 25

@@ -1,0 +1,119 @@
+"""Extra kernel coverage: AnyOf failure, interrupts during resources,
+process interplay the storage models rely on."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+def test_any_of_fails_when_member_fails_first():
+    sim = Simulator()
+    bad = sim.event()
+    slow = sim.timeout(1000)
+
+    def trigger():
+        yield sim.timeout(5)
+        bad.fail(ValueError("member failed"))
+
+    def waiter():
+        try:
+            yield sim.any_of([bad, slow])
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    sim.process(trigger())
+    assert sim.run(sim.process(waiter())) == "caught member failed"
+
+
+def test_interrupted_holder_can_release_resource_cleanly():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    order = []
+
+    def holder():
+        yield res.acquire()
+        try:
+            yield sim.timeout(10_000)
+        except Interrupt:
+            order.append("interrupted")
+        finally:
+            res.release()
+
+    def waiter():
+        yield res.acquire()
+        order.append("acquired")
+        res.release()
+
+    h = sim.process(holder())
+    sim.process(waiter())
+
+    def interrupter():
+        yield sim.timeout(100)
+        h.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert order == ["interrupted", "acquired"]
+
+
+def test_store_get_survives_many_waiters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(i):
+        item = yield store.get()
+        got.append((i, item))
+
+    for i in range(5):
+        sim.process(consumer(i))
+
+    def producer():
+        for v in "abcde":
+            yield sim.timeout(10)
+            store.put(v)
+
+    sim.process(producer())
+    sim.run()
+    # FIFO across waiters
+    assert got == [(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]
+
+
+def test_nested_process_chain_returns_through_layers():
+    sim = Simulator()
+
+    def level3():
+        yield sim.timeout(1)
+        return 3
+
+    def level2():
+        value = yield sim.process(level3())
+        return value * 2
+
+    def level1():
+        value = yield sim.process(level2())
+        return value + 1
+
+    assert sim.run(sim.process(level1())) == 7
+
+
+def test_run_until_none_drains_everything():
+    sim = Simulator()
+    hits = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        hits.append(delay)
+
+    for delay in (30, 10, 20):
+        sim.process(proc(delay))
+    sim.run()
+    assert hits == [10, 20, 30]
+    assert sim.peek() is None

@@ -1,0 +1,50 @@
+"""CLI tests: python -m repro ..."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_artifacts(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("table1", "fig8+table5", "fig15+table9", "ablation-qos"):
+        assert exp_id in out
+
+
+def test_reproduce_only_filter(capsys):
+    assert main(["reproduce", "--only", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "[table1]" in out
+    assert "BM-Store" in out
+
+
+def test_reproduce_unknown_filter_errors(capsys):
+    assert main(["reproduce", "--only", "nonexistent"]) == 2
+
+
+def test_fio_command_runs_case(capsys):
+    assert main(["fio", "--scheme", "native", "--case", "rand-w-1"]) == 0
+    out = capsys.readouterr().out
+    assert "KIOPS" in out and "rand-w-1" in out
+
+
+def test_fio_rejects_unknown_scheme(capsys):
+    assert main(["fio", "--scheme", "warp-drive"]) == 2
+
+
+def test_fio_rejects_unknown_case(capsys):
+    assert main(["fio", "--scheme", "native", "--case", "bogus"]) == 2
+
+
+def test_tco_command(capsys):
+    assert main(["tco"]) == 0
+    out = capsys.readouterr().out
+    assert "-11.3%" in out and "+14.3%" in out
+
+
+def test_package_metadata():
+    import repro
+
+    assert repro.__version__
+    assert "BM-Store" in repro.__paper__

@@ -1,0 +1,151 @@
+"""YCSB / Sysbench / TPC-C workload-generator tests."""
+
+import pytest
+from dataclasses import replace
+
+from repro.apps.minikv import MiniKV, MiniKVConfig
+from repro.apps.minisql import MiniSQL, MiniSQLConfig
+from repro.baselines import build_native
+from repro.sim import SimulationError
+from repro.sim.units import MS
+from repro.workloads import (
+    SysbenchSpec,
+    TPCCSpec,
+    YCSB_WORKLOADS,
+    YCSBSpec,
+    run_sysbench,
+    run_tpcc,
+    run_ycsb,
+)
+
+FAST_SQL = MiniSQLConfig(buffer_pool_pages=64, stmt_cpu_ns=5_000, row_cpu_ns=200)
+
+
+# -------------------------------------------------------------------- YCSB
+def kv_world():
+    rig = build_native(1)
+    db = MiniKV(rig.sim, rig.driver(), MiniKVConfig(memtable_bytes=128 * 1024))
+    return rig, db
+
+
+def test_ycsb_mixes_are_valid():
+    for name, spec in YCSB_WORKLOADS.items():
+        total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw
+        assert total == pytest.approx(1.0), name
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(SimulationError):
+        YCSBSpec("bad", read=0.5, update=0.1, insert=0.0, scan=0.0, rmw=0.0)
+
+
+def test_ycsb_a_runs_mixed_ops_without_failed_reads():
+    rig, db = kv_world()
+    spec = replace(YCSB_WORKLOADS["A"], record_count=2000, threads=4,
+                   runtime_ns=8 * MS, ramp_ns=1 * MS)
+    res = run_ycsb(rig.sim, db, spec, rig.streams)
+    assert res.ops > 100
+    assert res.failed_reads == 0  # load phase covered the key space
+    assert set(res.per_op) <= {"read", "update"}
+    assert res.per_op["read"] == pytest.approx(res.ops * 0.5, rel=0.15)
+
+
+def test_ycsb_c_is_read_only():
+    rig, db = kv_world()
+    spec = replace(YCSB_WORKLOADS["C"], record_count=1500, threads=4,
+                   runtime_ns=6 * MS, ramp_ns=1 * MS)
+    res = run_ycsb(rig.sim, db, spec, rig.streams)
+    assert set(res.per_op) == {"read"}
+    puts_after_load = db.stats.puts - spec.record_count
+    assert puts_after_load == 0
+
+
+def test_ycsb_e_scans():
+    rig, db = kv_world()
+    spec = replace(YCSB_WORKLOADS["E"], record_count=1500, threads=2,
+                   runtime_ns=6 * MS, ramp_ns=1 * MS)
+    res = run_ycsb(rig.sim, db, spec, rig.streams)
+    assert res.per_op.get("scan", 0) > 0
+    assert db.stats.scans > 0
+
+
+def test_ycsb_zipf_skews_to_hot_keys():
+    rig, db = kv_world()
+    spec = replace(YCSB_WORKLOADS["C"], record_count=5000, threads=4,
+                   runtime_ns=8 * MS, ramp_ns=1 * MS, zipf_theta=0.99)
+    run_ycsb(rig.sim, db, spec, rig.streams)
+    # hot keys live in the memtable/low levels -> high hit counts
+    assert db.stats.hits > 0 and db.stats.misses == 0
+
+
+# ----------------------------------------------------------------- Sysbench
+def test_sysbench_read_write_counts_queries():
+    rig = build_native(1)
+    db = MiniSQL(rig.sim, rig.driver(), FAST_SQL)
+    spec = SysbenchSpec(table_size=1500, threads=4,
+                        runtime_ns=10 * MS, ramp_ns=1 * MS)
+    res = run_sysbench(rig.sim, db, spec, rig.streams)
+    assert res.transactions > 5
+    # 10 points + 1 range + 2 updates + delete/insert = 15 queries/txn
+    assert res.queries / res.transactions == pytest.approx(15, rel=0.05)
+    assert res.avg_latency_ms > 0
+    assert db.committed_txns >= res.transactions
+
+
+def test_sysbench_read_only_never_writes():
+    rig = build_native(1)
+    db = MiniSQL(rig.sim, rig.driver(), FAST_SQL)
+    spec = SysbenchSpec(name="oltp_read_only", table_size=1500, threads=4,
+                        runtime_ns=8 * MS, ramp_ns=1 * MS, read_only=True)
+    before = None
+    res = run_sysbench(rig.sim, db, spec, rig.streams)
+    assert res.transactions > 0
+    assert res.queries / res.transactions == pytest.approx(11, rel=0.05)
+
+
+# --------------------------------------------------------------------- TPC-C
+def tpcc_world():
+    rig = build_native(1)
+    db = MiniSQL(rig.sim, rig.driver(), FAST_SQL)
+    return rig, db
+
+
+def test_tpcc_loads_all_nine_tables():
+    rig, db = tpcc_world()
+    spec = TPCCSpec(warehouses=1, customers_per_district=10,
+                    stock_per_warehouse=100, items=100, threads=2,
+                    runtime_ns=10 * MS, ramp_ns=1 * MS)
+    res = run_tpcc(rig.sim, db, spec, rig.streams)
+    assert set(db.tables) == {
+        "warehouse", "district", "customer", "item", "stock",
+        "orders", "new_order", "order_line", "history",
+    }
+    assert db.tables["district"].row_count == 10
+    assert db.tables["customer"].row_count == 100
+
+
+def test_tpcc_transaction_mix_close_to_spec():
+    rig, db = tpcc_world()
+    spec = TPCCSpec(warehouses=1, customers_per_district=20,
+                    stock_per_warehouse=200, items=200, threads=8,
+                    runtime_ns=60 * MS, ramp_ns=3 * MS)
+    res = run_tpcc(rig.sim, db, spec, rig.streams)
+    assert res.total_txns > 100
+    share = res.per_type.get("new_order", 0) / res.total_txns
+    assert share == pytest.approx(0.45, abs=0.08)
+    share_pay = res.per_type.get("payment", 0) / res.total_txns
+    assert share_pay == pytest.approx(0.43, abs=0.08)
+    assert res.tpmc > 0
+
+
+def test_tpcc_new_orders_create_order_lines():
+    rig, db = tpcc_world()
+    spec = TPCCSpec(warehouses=1, customers_per_district=10,
+                    stock_per_warehouse=100, items=100, threads=4,
+                    runtime_ns=20 * MS, ramp_ns=1 * MS)
+    res = run_tpcc(rig.sim, db, spec, rig.streams)
+    orders = db.tables["orders"].row_count
+    lines = db.tables["order_line"].row_count
+    assert orders > 0
+    # ~10 lines per order
+    assert lines / orders == pytest.approx(10, rel=0.35)

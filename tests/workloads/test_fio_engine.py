@@ -1,0 +1,86 @@
+"""fio workload-engine tests."""
+
+import pytest
+
+from repro.baselines import build_native
+from repro.sim import SimulationError
+from repro.sim.units import MS
+from repro.workloads import FioSpec, TABLE_IV_CASES, run_fio
+
+
+def quick(name="q", op="randread", bs=4096, qd=4, jobs=2, rate=None):
+    return FioSpec(name, op, bs, iodepth=qd, numjobs=jobs,
+                   runtime_ns=5 * MS, ramp_ns=1 * MS, rate_mbps=rate)
+
+
+def test_table_iv_matches_paper_cases():
+    cases = TABLE_IV_CASES
+    assert cases["rand-r-1"].iodepth == 1 and cases["rand-r-1"].numjobs == 4
+    assert cases["rand-r-128"].iodepth == 128
+    assert cases["rand-w-16"].op == "randwrite" and cases["rand-w-16"].iodepth == 16
+    assert cases["seq-r-256"].block_bytes == 128 * 1024
+    assert cases["seq-r-256"].iodepth == 256
+    assert all(spec.numjobs == 4 for spec in cases.values())
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(SimulationError):
+        FioSpec("x", "bogus-op")
+    with pytest.raises(SimulationError):
+        FioSpec("x", "read", iodepth=0)
+
+
+def test_closed_loop_keeps_iodepth_outstanding():
+    rig = build_native(1)
+    res = run_fio(rig.sim, [rig.driver()], quick(qd=8, jobs=2), rig.streams)
+    # 16 outstanding 4K reads ~ 16 / ~80us
+    assert res.iops == pytest.approx(16 / 80e-6, rel=0.25)
+    assert res.errors == 0
+    assert res.latency is not None and res.latency.count == res.ios
+
+
+def test_ramp_window_excluded():
+    rig = build_native(1)
+    spec = FioSpec("r", "randread", 4096, iodepth=1, numjobs=1,
+                   runtime_ns=4 * MS, ramp_ns=100 * MS)
+    res = run_fio(rig.sim, [rig.driver()], spec, rig.streams)
+    # only ~4ms of measurement at ~12.5K IOPS
+    assert res.ios < 100
+
+
+def test_sequential_workers_do_not_rewrite_same_block():
+    rig = build_native(1)
+    res = run_fio(rig.sim, [rig.driver()], quick(op="read", qd=2, jobs=2), rig.streams)
+    assert res.ios > 0
+
+
+def test_multiple_targets_round_robin_by_job():
+    rig = build_native(2)
+    res = run_fio(rig.sim, rig.drivers, quick(jobs=4, qd=4), rig.streams)
+    assert set(res.per_target_ios) == {0, 1}
+    a, b = res.per_target_ios[0], res.per_target_ios[1]
+    assert min(a, b) / max(a, b) > 0.8
+
+
+def test_rate_cap_limits_throughput():
+    rig = build_native(1)
+    spec = FioSpec("paced", "randread", 4096, iodepth=8, numjobs=1,
+                   runtime_ns=10 * MS, ramp_ns=2 * MS, rate_mbps=40.0)
+    res = run_fio(rig.sim, [rig.driver()], spec, rig.streams)
+    # 40 MB/s at 4K ~ 9.8K IOPS (well below the closed-loop ~90K)
+    assert res.bandwidth_mbps == pytest.approx(40.0, rel=0.10)
+
+
+def test_deterministic_given_seed():
+    def once():
+        rig = build_native(1, seed=99)
+        return run_fio(rig.sim, [rig.driver()], quick(), rig.streams).ios
+
+    assert once() == once()
+
+
+def test_write_case_hits_device_write_path():
+    rig = build_native(1)
+    res = run_fio(rig.sim, [rig.driver()], quick(op="randwrite"), rig.streams)
+    assert rig.ssds[0].stats.write_ops > 0
+    assert res.iops > 0

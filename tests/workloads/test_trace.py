@@ -1,0 +1,86 @@
+"""Trace generation and replay tests."""
+
+import pytest
+
+from repro.baselines import build_bmstore, build_native
+from repro.sim import SimulationError, StreamFactory
+from repro.sim.units import GIB, MS
+from repro.workloads import TRACE_PROFILES, generate_trace, replay_trace
+
+
+def make_trace(profile="oltp", duration=10 * MS, seed=21):
+    rng = StreamFactory(seed).stream("trace")
+    return generate_trace(TRACE_PROFILES[profile], duration, 1 << 22, rng)
+
+
+# -------------------------------------------------------------- generation
+def test_trace_records_are_time_ordered_and_bounded():
+    records = make_trace()
+    assert records
+    times = [r.timestamp_ns for r in records]
+    assert times == sorted(times)
+    assert times[-1] < 10 * MS
+    assert all(0 <= r.lba and r.lba + r.nblocks <= 1 << 22 for r in records)
+
+
+def test_trace_mix_matches_profile():
+    records = make_trace("oltp", duration=40 * MS)
+    reads = sum(1 for r in records if r.op == "read")
+    assert reads / len(records) == pytest.approx(0.70, abs=0.05)
+
+
+def test_backup_profile_is_write_heavy_and_large():
+    records = make_trace("backup", duration=40 * MS)
+    writes = sum(1 for r in records if r.op == "write")
+    assert writes / len(records) > 0.9
+    avg_blocks = sum(r.nblocks for r in records) / len(records)
+    assert avg_blocks > 10
+
+
+def test_trace_spatial_skew_hits_hot_region():
+    profile = TRACE_PROFILES["oltp"]
+    records = make_trace("oltp", duration=40 * MS)
+    hot_limit = int((1 << 22) * profile.hot_region_fraction)
+    hot = sum(1 for r in records if r.lba < hot_limit)
+    assert hot / len(records) == pytest.approx(profile.hot_fraction, abs=0.07)
+
+
+def test_trace_is_deterministic():
+    assert make_trace(seed=5) == make_trace(seed=5)
+    assert make_trace(seed=5) != make_trace(seed=6)
+
+
+# ------------------------------------------------------------------ replay
+def test_replay_completes_all_records():
+    rig = build_native(1)
+    records = make_trace(duration=8 * MS)
+    result = replay_trace(rig.sim, rig.driver(), records)
+    assert result.completed == result.issued == len(records)
+    assert result.errors == 0
+    assert result.latency is not None
+    assert result.read_latency and result.write_latency
+
+
+def test_replay_is_open_loop_paced():
+    """Replay takes at least the trace duration (arrivals are timed)."""
+    rig = build_native(1)
+    records = make_trace(duration=8 * MS)
+    result = replay_trace(rig.sim, rig.driver(), records)
+    assert result.elapsed_ns >= records[-1].timestamp_ns
+
+
+def test_replay_on_bmstore_adds_constant_latency():
+    records = make_trace(duration=8 * MS)
+    nat = build_native(1)
+    r_native = replay_trace(nat.sim, nat.driver(), records)
+    rig = build_bmstore(num_ssds=1)
+    driver = rig.baremetal_driver(rig.provision("ns", 256 * GIB))
+    r_bms = replay_trace(rig.sim, driver, records)
+    delta_us = (r_bms.read_latency.mean_ns - r_native.read_latency.mean_ns) / 1e3
+    assert 0.5 <= delta_us <= 8.0  # the engine adder, not an amplification
+
+
+def test_replay_empty_trace_rejected():
+    rig = build_native(1)
+    with pytest.raises(SimulationError):
+        replay_trace(rig.sim, rig.driver(), [])
