@@ -16,13 +16,16 @@ Run:  python3 examples/quickstart.py
 
 from repro.baselines import build_bmstore
 from repro.host import NVMeDriver
+from repro.obs import MetricsRegistry
 from repro.sim.units import GIB, MS
 from repro.workloads import FioSpec, run_fio
 
 
 def main() -> None:
-    # 1. the rig: host + BMS-Engine/BMS-Controller card + 4 x P4510
-    rig = build_bmstore(num_ssds=4)
+    # 1. the rig: host + BMS-Engine/BMS-Controller card + 4 x P4510,
+    #    with a metrics registry attached (the paper's I/O monitor)
+    obs = MetricsRegistry()
+    rig = build_bmstore(num_ssds=4, obs=obs)
     sim, console = rig.sim, rig.console
 
     # 2. out-of-band provisioning: 256 GiB namespace -> VF 5
@@ -37,7 +40,7 @@ def main() -> None:
 
     # 3. the tenant's standard NVMe driver binds the VF
     fn = rig.engine.sriov.function_by_id(5)
-    driver = NVMeDriver(rig.host, fn, name="tenant-nvme")
+    driver = NVMeDriver(rig.host, fn, name="tenant-nvme", obs=obs)
     print(f"bound {fn!r}: {driver.num_blocks * 4096 / GIB:.0f} GiB")
 
     # 4. run 4K random read, qd 32 x 4 jobs
@@ -54,8 +57,18 @@ def main() -> None:
         resp = yield console.health()
         print(f"fleet health: {resp.body['num_ssds']} drives, "
               f"{resp.body['total_ios']} total I/Os")
+        resp = yield console.io_monitor()
+        ns_ops = {k: v for k, v in resp.body["counters"].items()
+                  if k.startswith("ns_ops")}
+        print(f"per-namespace ops (metrics snapshot): {ns_ops}")
 
     sim.run(sim.process(monitor()))
+
+    # 6. the same registry holds full Fig. 6 spans: per-stage latency
+    lat = obs.histograms("span_total_ns").get(())
+    if lat is not None and lat.count:
+        print(f"span latency (submit->interrupt): p50 {lat.p50 / 1e3:.1f} us, "
+              f"p99 {lat.p99 / 1e3:.1f} us over {lat.count} spans")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ inside a simulation process.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ...host.block import BlockTarget

@@ -7,7 +7,7 @@ partial-block reads exactly like an on-disk format must.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Optional
+from typing import Iterator
 
 __all__ = [
     "encode_record",

@@ -14,9 +14,7 @@ from __future__ import annotations
 import copy
 from typing import Optional
 
-from ...sim.units import PAGE_SIZE
 from .db import MiniKV
-from .encoding import TOMBSTONE
 
 __all__ = ["KVRecoveryReport", "crash_and_recover_kv"]
 

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Optional
 
 from ...host.block import BlockTarget
 from ...sim import SimulationError, Simulator
 from ...sim.units import PAGE_SIZE
 from ..blockfs import Extent, ExtentAllocator
 from .bloom import BloomFilter
-from .encoding import decode_records, encode_record, record_size
+from .encoding import decode_records, encode_record
 
 __all__ = ["SSTable", "SSTableWriter"]
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ...host.block import BlockTarget
-from ...sim import Event, SimulationError, Simulator
+from ...sim import SimulationError, Simulator
 from ...sim.units import MS
 from ..blockfs import Extent
 from .buffer_pool import BufferPool

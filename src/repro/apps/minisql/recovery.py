@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ...sim import SimulationError
 from .engine import MiniSQL
 from .redo import RedoRecord
 

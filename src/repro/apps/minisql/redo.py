@@ -9,7 +9,7 @@ checkpointer relies on and what the tests verify.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
 from ...host.block import BlockTarget
 from ...sim import Event, SimulationError, Simulator

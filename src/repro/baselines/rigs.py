@@ -7,7 +7,7 @@ host, same drives, same kernel profile, same random streams).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.controller import BMSController, ControllerTimings
@@ -20,6 +20,7 @@ from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
 from ..host.vm import VirtualMachine, VMProfile
 from ..mgmt.console import RemoteConsole
 from ..nvme.flash import FlashProfile, P4510_PROFILE
+from ..obs import MetricsRegistry
 from ..nvme.ssd import NVMeSSD
 from ..sim import Simulator, StreamFactory
 from .spdk_vhost import SPDKConfig, SPDKVhostTarget, VhostBlockDevice
@@ -56,6 +57,7 @@ class NativeRig:
     host: Host
     ssds: list[NVMeSSD]
     drivers: list[NVMeDriver]
+    obs: Optional[MetricsRegistry] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -68,6 +70,7 @@ def build_native(
     queue_depth: int = 1024,
     num_io_queues: int = 4,
     flash_profile: FlashProfile = P4510_PROFILE,
+    obs: Optional[MetricsRegistry] = None,
 ) -> NativeRig:
     """A bare-metal world: host + drives + bound drivers."""
     sim, streams, host = _base_world(seed, kernel)
@@ -77,10 +80,10 @@ def build_native(
     ]
     drivers = [
         NVMeDriver(host, ssd, queue_depth=queue_depth,
-                   num_io_queues=num_io_queues, name=f"nvme{i}")
+                   num_io_queues=num_io_queues, name=f"nvme{i}", obs=obs)
         for i, ssd in enumerate(ssds)
     ]
-    return NativeRig(sim, streams, host, ssds, drivers)
+    return NativeRig(sim, streams, host, ssds, drivers, obs=obs)
 
 
 # --------------------------------------------------------------- BM-Store
@@ -95,6 +98,7 @@ class BMStoreRig:
     controller: BMSController
     console: RemoteConsole
     ssds: list[NVMeSSD]
+    obs: Optional[MetricsRegistry] = None
     _next_vf: int = 5  # fn 1..4 are PFs; VMs get VFs from 5 up
 
     def provision(
@@ -121,6 +125,7 @@ class BMStoreRig:
         return NVMeDriver(
             self.host, fn, queue_depth=queue_depth,
             num_io_queues=num_io_queues, name=f"bms.fn{fn.fn_id}",
+            obs=self.obs,
         )
 
     def vm_driver(
@@ -129,7 +134,7 @@ class BMStoreRig:
         fn: FrontEndFunction,
         queue_depth: int = 1024,
     ) -> NVMeDriver:
-        return vm.bind_nvme(fn, queue_depth=queue_depth)
+        return vm.bind_nvme(fn, queue_depth=queue_depth, obs=self.obs)
 
 
 def build_bmstore(
@@ -141,11 +146,13 @@ def build_bmstore(
     timings: EngineTimings = EngineTimings(),
     controller_timings: ControllerTimings = ControllerTimings(),
     flash_profile: FlashProfile = P4510_PROFILE,
+    obs: Optional[MetricsRegistry] = None,
 ) -> BMStoreRig:
     """A full BM-Store world: host + engine/controller/console + drives."""
     sim, streams, host = _base_world(seed, kernel)
     engine = BMSEngine(
-        host, timings=timings, qos_enabled=qos_enabled, zero_copy=zero_copy
+        host, timings=timings, qos_enabled=qos_enabled, zero_copy=zero_copy,
+        obs=obs,
     )
     controller = BMSController(engine, timings=controller_timings)
     console = RemoteConsole(host, engine.front_port.name)
@@ -157,7 +164,8 @@ def build_bmstore(
         )
         engine.attach_ssd(ssd)
         ssds.append(ssd)
-    return BMStoreRig(sim, streams, host, engine, controller, console, ssds)
+    return BMStoreRig(sim, streams, host, engine, controller, console, ssds,
+                      obs=obs)
 
 
 # ------------------------------------------------------------------ VFIO
@@ -172,6 +180,7 @@ class VFIORig:
     vms: list[VirtualMachine]
     drivers: list[NVMeDriver]
     assignment: VFIOAssignment
+    obs: Optional[MetricsRegistry] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -185,6 +194,7 @@ def build_vfio(
     seed: int = 7,
     queue_depth: int = 1024,
     flash_profile: FlashProfile = P4510_PROFILE,
+    obs: Optional[MetricsRegistry] = None,
 ) -> VFIORig:
     """Pass-through worlds: one whole drive per VM."""
     sim, streams, host = _base_world(seed, kernel)
@@ -194,11 +204,11 @@ def build_vfio(
         ssd = NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         vm = VirtualMachine(host, f"vm{i}", profile=vm_profile,
                             guest_kernel=guest_kernel or kernel)
-        driver = assignment.assign(vm, ssd, queue_depth=queue_depth)
+        driver = assignment.assign(vm, ssd, queue_depth=queue_depth, obs=obs)
         ssds.append(ssd)
         vms.append(vm)
         drivers.append(driver)
-    return VFIORig(sim, streams, host, ssds, vms, drivers, assignment)
+    return VFIORig(sim, streams, host, ssds, vms, drivers, assignment, obs=obs)
 
 
 # ------------------------------------------------------------------ SPDK
@@ -212,6 +222,7 @@ class SPDKRig:
     ssds: list[NVMeSSD]
     target: SPDKVhostTarget
     vdevs: list[VhostBlockDevice]
+    obs: Optional[MetricsRegistry] = None
 
     def vdev(self, index: int = 0) -> VhostBlockDevice:
         return self.vdevs[index]
@@ -226,6 +237,7 @@ def build_spdk(
     seed: int = 7,
     config: SPDKConfig = SPDKConfig(),
     flash_profile: FlashProfile = P4510_PROFILE,
+    obs: Optional[MetricsRegistry] = None,
 ) -> SPDKRig:
     """An SPDK vhost world: polling cores + virtio vdevs."""
     sim, streams, host = _base_world(seed, kernel)
@@ -243,4 +255,4 @@ def build_spdk(
         per_ssd_next[ssd_index] = base + blocks
         vdevs.append(target.create_vdev(f"vd{i}", ssd_index, base, blocks))
     target.start()
-    return SPDKRig(sim, streams, host, ssds, target, vdevs)
+    return SPDKRig(sim, streams, host, ssds, target, vdevs, obs=obs)

@@ -14,7 +14,7 @@ SSDs" shape of Fig. 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..host.block import CompletionInfo

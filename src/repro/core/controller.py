@@ -15,8 +15,8 @@ here (paper §IV-D):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from ..mgmt.mctp import MCTPEndpoint
 from ..mgmt.nvme_mi import MCTP_TYPE_NVME_MI, MIOpcode, MIRequest, MIResponse, MIStatus
@@ -139,6 +139,11 @@ class BMSController:
         if op == int(MIOpcode.READ_IO_STATS):
             body = yield from self.read_io_stats(p["fn"])
             return MIStatus.SUCCESS, body
+        if op == int(MIOpcode.IO_MONITOR_SNAPSHOT):
+            body = yield from self.io_monitor_snapshot()
+            if body is None:
+                return MIStatus.UNSUPPORTED, {"error": "no metrics registry attached"}
+            return MIStatus.SUCCESS, body
         if op == int(MIOpcode.CREATE_NAMESPACE):
             limits = None
             if "max_iops" in p or "max_mbps" in p:
@@ -208,6 +213,17 @@ class BMSController:
         ):
             body[key] = yield self.engine.axi.read(base + off)
         return body
+
+    def io_monitor_snapshot(self):
+        """Full observability dump: the engine's attached registry.
+
+        Models the paper's I/O monitor export path — the sampling cost
+        is charged per metric batch before the snapshot is taken.
+        """
+        if self.engine.obs is None:
+            return None
+        yield self.sim.timeout(self.engine.timings.monitor_sample_ns)
+        return self.engine.obs.snapshot()
 
     def _health_poll(self):
         total = yield self.engine.axi.read(self.engine.AXI_TOTAL_IOS)

@@ -24,10 +24,44 @@ __all__ = [
     "FUNCTION_ID_SHIFT",
     "LIST_FLAG_SHIFT",
     "ADDRESS_MASK",
+    "RouteStats",
     "encode_global_prp",
     "decode_global_prp",
     "is_global_prp",
 ]
+
+
+class RouteStats:
+    """Counts of DMA requests the engine routed between the domains.
+
+    Fed by the engine's step-⑤ router; ``writes``/``reads`` are from
+    the SSD's point of view (a host *read* command makes the SSD issue
+    DMA *writes* into host memory).
+    """
+
+    __slots__ = ("writes", "write_bytes", "reads", "read_bytes")
+
+    def __init__(self) -> None:
+        self.writes = 0
+        self.write_bytes = 0
+        self.reads = 0
+        self.read_bytes = 0
+
+    def note_write(self, nbytes: int) -> None:
+        self.writes += 1
+        self.write_bytes += nbytes
+
+    def note_read(self, nbytes: int) -> None:
+        self.reads += 1
+        self.read_bytes += nbytes
+
+    @property
+    def total_requests(self) -> int:
+        return self.writes + self.reads
+
+    @property
+    def total_bytes(self) -> int:
+        return self.write_bytes + self.read_bytes
 
 FUNCTION_ID_BITS = 7
 FUNCTION_ID_SHIFT = 57

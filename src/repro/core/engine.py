@@ -20,20 +20,21 @@ the converted global PRP lists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..host.environment import Host
-from ..host.memory import BufferPool, HostMemory, PAGE_SIZE
+from ..host.memory import BufferPool, HostMemory
 from ..nvme.command import CQE, SQE
 from ..nvme.namespace import Namespace
 from ..nvme.prp import PRPList, pages_for
 from ..nvme.spec import CQE_BYTES, LBA_BYTES, SQE_BYTES, IOOpcode, StatusCode
 from ..nvme.ssd import NVMeSSD
+from ..obs import IOSpan, MetricsRegistry
 from ..pcie.fabric import PCIeFabric
 from ..sim import BandwidthLink, Event, Resource, SimulationError, Simulator
 from .axi import AXIBus
-from .dma_routing import decode_global_prp, encode_global_prp, is_global_prp
+from .dma_routing import RouteStats, decode_global_prp, encode_global_prp, is_global_prp
 from .host_adaptor import BackendSlot, HostAdaptor
 from .lba_mapping import CHUNK_BYTES, MappingEntry, MappingTable
 from .qos import QoSLimits, QoSModule
@@ -129,6 +130,7 @@ class BMSEngine:
         chip_memory_bytes: int = 512 * 1024 * 1024,
         chunk_bytes: int = CHUNK_BYTES,
         name: str = "bms",
+        obs: Optional[MetricsRegistry] = None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -137,6 +139,8 @@ class BMSEngine:
         self.zero_copy = zero_copy
         self.chunk_bytes = chunk_bytes
         self.chunk_blocks = chunk_bytes // LBA_BYTES
+        self.obs = obs
+        self.route_stats = RouteStats()
 
         # front end: one port on the host fabric
         self.front_port = host.fabric.attach(name, lanes=front_lanes)
@@ -161,7 +165,7 @@ class BMSEngine:
             self.sim, 6.0e9, name=f"{name}.dram"
         )
 
-        self.qos = QoSModule(self.sim, enabled=qos_enabled)
+        self.qos = QoSModule(self.sim, enabled=qos_enabled, obs=obs)
         self.target_controller = TargetController(self)
         self.axi = AXIBus(self.sim, name=f"{name}.axi")
 
@@ -172,9 +176,6 @@ class BMSEngine:
         self._fn_stats: dict[int, _FnStats] = {}
         self.host_identify_pages: dict[int, object] = {}
         self.total_ios = 0
-        #: optional per-command step timing (Fig. 6 breakdown); enable
-        #: with enable_step_trace(), read step_records
-        self.step_records: Optional[list[dict]] = None
         self._register_axi_registers()
 
     # ------------------------------------------------------------------ setup
@@ -311,25 +312,22 @@ class BMSEngine:
             self.sim.process(self._process_cmd(fn, qid, addr), name=f"{self.name}.cmd")
             yield self.sim.timeout(self.timings.issue_ns)
 
-    def enable_step_trace(self, cap: int = 10_000) -> None:
-        """Record per-command timestamps of the seven-step path."""
-        self.step_records = []
-        self._step_cap = cap
-
     def _process_cmd(self, fn: FrontEndFunction, qid: int, sqe_addr: int):
         t_start = self.sim.now
         sqe = yield self.front_port.mem_read(sqe_addr, SQE_BYTES)
         if not isinstance(sqe, SQE):
             raise SimulationError(f"{self.name}: no SQE at {sqe_addr:#x}")
-        if self.step_records is not None and qid != 0:
-            sqe.step_record = {"t_doorbell": t_start, "t_fetched": self.sim.now}
+        span = getattr(sqe, "span", None)
+        if span is not None:
+            span.stamp("doorbell", t_start)
         yield from self.target_controller.dispatch(fn, qid, sqe)
 
     # ---------------------------------------------------------------- I/O path
     def _handle_io(self, fn: FrontEndFunction, qid: int, sqe: SQE):
         ens = self.namespaces.get(fn.ns_key) if fn.ns_key else None
         if ens is None:
-            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.INVALID_NAMESPACE), 0)
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.INVALID_NAMESPACE), 0,
+                                span=getattr(sqe, "span", None))
             return
 
         # FLUSH fans out to every SSD backing the namespace
@@ -344,26 +342,32 @@ class BMSEngine:
         self._pipeline.release()
         yield self.sim.timeout(self.timings.pipeline_ns)
 
-        record = getattr(sqe, "step_record", None)
+        span = getattr(sqe, "span", None)
         # ② LBA mapping
         try:
             extents = ens.table.translate_extent(sqe.slba, nblocks)
         except SimulationError:
             self._fn_stats[fn.fn_id].errors += 1
-            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0)
+            if self.obs is not None:
+                self.obs.counter("ns_errors", ns=fn.ns_key).inc()
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0,
+                                span=span)
             return
         if sqe.slba + nblocks > ens.namespace.num_blocks:
             self._fn_stats[fn.fn_id].errors += 1
-            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0)
+            if self.obs is not None:
+                self.obs.counter("ns_errors", ns=fn.ns_key).inc()
+            self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.LBA_OUT_OF_RANGE), 0,
+                                span=span)
             return
 
-        if record is not None:
-            record["t_mapped"] = self.sim.now
+        if span is not None:
+            span.stamp("lba_map", self.sim.now)
 
         # ② QoS: over-threshold commands sit in the command buffer
         yield self.qos.admit(fn.ns_key, length)
-        if record is not None:
-            record["t_qos"] = self.sim.now
+        if span is not None:
+            span.stamp("qos", self.sim.now)
 
         # resolve the host PRP pages (fetch the PRP list if present)
         npages = len(pages_for(sqe.prp1, length))
@@ -393,13 +397,15 @@ class BMSEngine:
                 prp1=prp1g, prp2=prp2g, payload=payload,
                 submit_time_ns=self.sim.now,
             )
+            if span is not None:
+                fwd.span = span  # the back-end SSD stamps ssd_dma on it
             slot = self.adaptor.slot_for(ssd_id)
             slot.forward(fwd, self._make_fanin(fn, qid, sqe, state))
             block_off += cnt
-        if record is not None:
-            record["t_forwarded"] = self.sim.now
+        if span is not None:
+            span.stamp("forward", self.sim.now)
 
-        self._account_io(fn.fn_id, sqe.opcode, length)
+        self._account_io(fn.fn_id, sqe.opcode, length, ns_key=fn.ns_key)
 
     def _handle_flush(self, fn: FrontEndFunction, qid: int, sqe: SQE, ens: EngineNamespace):
         yield self.sim.timeout(self.timings.pipeline_ns)
@@ -422,11 +428,11 @@ class BMSEngine:
                     self._prp_pool.put(addr, size)
                 if state["status"] != int(StatusCode.SUCCESS):
                     self._fn_stats[fn.fn_id].errors += 1
-                record = getattr(sqe, "step_record", None)
-                if record is not None:
-                    record["t_backend_done"] = self.sim.now
+                span = getattr(sqe, "span", None)
+                if span is not None:
+                    span.stamp("backend_done", self.sim.now)
                 self.post_front_cqe(fn, qid, sqe.cid, state["status"], 0,
-                                    record=record)
+                                    span=span)
 
         return on_complete
 
@@ -447,6 +453,7 @@ class BMSEngine:
         """Step ⑤: SSD DMA write at a global address -> host memory."""
         fn_id, host_addr, _ = decode_global_prp(gaddr)
         self._check_fn(fn_id)
+        self.route_stats.note_write(length)
         self.sim.process(self._route_write_proc(host_addr, length, data),
                          name=f"{self.name}.dmaw")
 
@@ -463,6 +470,7 @@ class BMSEngine:
         (used by the SATA/remote adaptor stages, which need ordering)."""
         fn_id, host_addr, _ = decode_global_prp(gaddr)
         self._check_fn(fn_id)
+        self.route_stats.note_write(length)
         done = self.sim.event(name=f"{self.name}.dmawv")
 
         def runner():
@@ -476,6 +484,7 @@ class BMSEngine:
         """Step ⑤ for writes: SSD DMA read at a global address."""
         fn_id, host_addr, _ = decode_global_prp(gaddr)
         self._check_fn(fn_id)
+        self.route_stats.note_read(length)
         done = self.sim.event(name=f"{self.name}.dmar")
         self.sim.process(self._route_read_proc(host_addr, length, done),
                          name=f"{self.name}.dmarp")
@@ -495,14 +504,15 @@ class BMSEngine:
 
     # ------------------------------------------------------------- completion
     def post_front_cqe(self, fn: FrontEndFunction, qid: int, cid: int,
-                       status: int, result: int, record: Optional[dict] = None) -> None:
+                       status: int, result: int,
+                       span: Optional[IOSpan] = None) -> None:
         """Step ⑦: relay the completion into the host CQ + MSI-X."""
         self.sim.process(
-            self._post_cqe_proc(fn, qid, cid, status, result, record),
+            self._post_cqe_proc(fn, qid, cid, status, result, span),
             name=f"{self.name}.cqe",
         )
 
-    def _post_cqe_proc(self, fn, qid, cid, status, result, record=None):
+    def _post_cqe_proc(self, fn, qid, cid, status, result, span=None):
         yield self.sim.timeout(self.timings.cqe_relay_ns)
         if not self.zero_copy:
             # store-and-forward ablation: PCIe ordering means the CQE
@@ -518,15 +528,14 @@ class BMSEngine:
         target = qp.cq.slot_addr(qp.cq.tail)
         yield self.front_port.mem_write(target, CQE_BYTES, None)
         qp.cq.post_slot(cqe)
-        if record is not None and self.step_records is not None:
-            record["t_host_cqe"] = self.sim.now
-            if len(self.step_records) < self._step_cap:
-                self.step_records.append(record)
+        if span is not None:
+            span.stamp("complete", self.sim.now)
         if qp.cq.irq_vector is not None:
             fn.function.msix.raise_vector(self.front_port, qp.cq.irq_vector)
 
     # -------------------------------------------------------------- monitoring
-    def _account_io(self, fn_id: int, opcode: int, length: int) -> None:
+    def _account_io(self, fn_id: int, opcode: int, length: int,
+                    ns_key: Optional[str] = None) -> None:
         self.total_ios += 1
         stats = self._fn_stats.setdefault(fn_id, _FnStats())
         if opcode == int(IOOpcode.READ):
@@ -535,6 +544,10 @@ class BMSEngine:
         elif opcode == int(IOOpcode.WRITE):
             stats.write_ops += 1
             stats.write_bytes += length
+        if self.obs is not None and ns_key is not None:
+            direction = "read" if opcode == int(IOOpcode.READ) else "write"
+            self.obs.counter("ns_ops", ns=ns_key, op=direction).inc()
+            self.obs.counter("ns_bytes", ns=ns_key, op=direction).inc(length)
 
     def monitor_snapshot(self, fn_id: int) -> dict:
         stats = self._fn_stats.get(fn_id, _FnStats())

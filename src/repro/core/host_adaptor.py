@@ -13,16 +13,13 @@ in a pending buffer (the *I/O context*), and nothing reaches the SSD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..nvme.command import SQE
 from ..nvme.queues import CompletionQueue, SubmissionQueue
 from ..nvme.ssd import NVMeSSD
-from ..sim import Event, Resource, SimulationError, Simulator, Store
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .engine import BMSEngine
+from ..sim import Event, Resource, SimulationError, Simulator
 
 __all__ = ["BackendSlot", "HostAdaptor"]
 

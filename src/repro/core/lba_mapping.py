@@ -89,6 +89,10 @@ class MappingTable:
         self.entries_per_row = entries_per_row
         self._table: list[list[int]] = [[0] * entries_per_row for _ in range(rows)]
         self._valid: list[int] = [0] * rows  # 8-bit validation entries
+        # translation counters, read back by the engine's I/O monitor
+        self.translations = 0
+        self.extent_splits = 0
+        self.faults = 0
 
     # ------------------------------------------------------------ provisioning
     @property
@@ -142,9 +146,12 @@ class MappingTable:
         i = chunk_index // self.entries_per_row  # (1)
         j = chunk_index % self.entries_per_row  # (2)
         if not 0 <= i < self.rows:
+            self.faults += 1
             raise SimulationError(f"host LBA {host_lba} beyond mapping table")
         if not self._valid[i] & (1 << j):
+            self.faults += 1
             raise SimulationError(f"host LBA {host_lba} hits invalid mapping entry")
+        self.translations += 1
         raw = self._table[i][j]
         ssd_id = raw & _SSD_MASK  # (3)
         pl = ((raw >> ENTRY_SSD_BITS) & _BASE_MASK) * cs + host_lba % cs  # (4)
@@ -165,4 +172,6 @@ class MappingTable:
             out.append((ssd_id, pl, take))
             lba += take
             remaining -= take
+        if len(out) > 1:
+            self.extent_splits += 1
         return out

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import MetricsRegistry
 from ..sim import Event, Simulator, Store, TokenBucket
 
 __all__ = ["QoSLimits", "QoSModule"]
@@ -38,8 +39,11 @@ class QoSLimits:
 class _NamespaceQoS:
     """Buckets + command buffer + dispatcher for one namespace."""
 
-    def __init__(self, sim: Simulator, ns_key: str, limits: QoSLimits):
+    def __init__(self, sim: Simulator, ns_key: str, limits: QoSLimits,
+                 obs: Optional[MetricsRegistry] = None):
         self.sim = sim
+        self.ns_key = ns_key
+        self.obs = obs
         self.limits = limits
         self.iops_bucket = TokenBucket(
             sim, limits.max_iops, limits.burst_ios, name=f"qos.{ns_key}.iops"
@@ -63,10 +67,15 @@ class _NamespaceQoS:
             self.iops_bucket.consume(1.0)
             self.bw_bucket.consume(nbytes)
             self.passed_total += 1
+            if self.obs is not None:
+                self.obs.counter("qos_passed", ns=self.ns_key).inc()
             gate.succeed()
             return gate
         # threshold reached: into the command buffer for rescheduling
         self.buffered_total += 1
+        if self.obs is not None:
+            self.obs.counter("qos_buffered", ns=self.ns_key).inc()
+            self.obs.gauge("qos_buffer_depth", ns=self.ns_key).add(1)
         self.buffer.put((gate, nbytes))
         if not self._dispatcher_running:
             self._dispatcher_running = True
@@ -80,6 +89,9 @@ class _NamespaceQoS:
             yield self.iops_bucket.consume(1.0)
             yield self.bw_bucket.consume(nbytes)
             self.passed_total += 1
+            if self.obs is not None:
+                self.obs.counter("qos_passed", ns=self.ns_key).inc()
+                self.obs.gauge("qos_buffer_depth", ns=self.ns_key).add(-1)
             gate.succeed()
         self._dispatcher_running = False
 
@@ -87,13 +99,15 @@ class _NamespaceQoS:
 class QoSModule:
     """The engine-level QoS stage: routes commands per namespace."""
 
-    def __init__(self, sim: Simulator, enabled: bool = True):
+    def __init__(self, sim: Simulator, enabled: bool = True,
+                 obs: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.enabled = enabled
+        self.obs = obs
         self._per_ns: dict[str, _NamespaceQoS] = {}
 
     def configure(self, ns_key: str, limits: QoSLimits) -> None:
-        self._per_ns[ns_key] = _NamespaceQoS(self.sim, ns_key, limits)
+        self._per_ns[ns_key] = _NamespaceQoS(self.sim, ns_key, limits, obs=self.obs)
 
     def limits_for(self, ns_key: str) -> Optional[QoSLimits]:
         nsq = self._per_ns.get(ns_key)

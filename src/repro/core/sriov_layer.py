@@ -12,7 +12,6 @@ namespace bound to it by the BMS-Controller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..nvme.namespace import Namespace
@@ -99,6 +98,11 @@ class _FrontBarRegion:
             return  # controller-register writes (admin config) — no doorbell
         slot, kind = divmod(db_off // DOORBELL_STRIDE, 2)
         if kind == 0:
+            obs = self.layer.engine.obs
+            if obs is not None:
+                obs.counter(
+                    "sriov_doorbells", fn=str(fn_index + 1), qid=str(slot)
+                ).inc()
             self.layer.engine.on_front_doorbell(fn_index + 1, slot)
 
     def mem_read(self, addr: int, length: int):

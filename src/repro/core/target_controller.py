@@ -10,7 +10,7 @@ mirroring hardware fast paths.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..nvme.command import SQE
 from ..nvme.spec import AdminOpcode, StatusCode
@@ -56,16 +56,26 @@ class TargetController:
 
     def dispatch(self, fn: "FrontEndFunction", qid: int, sqe: SQE):
         """Process generator: route one fetched command."""
+        obs = self.engine.obs
+        span = getattr(sqe, "span", None)
+        if span is not None:
+            span.stamp("fetch", self.engine.sim.now)
         if qid != 0:
             self.io_commands += 1
+            if obs is not None:
+                obs.counter("tc_io_cmds", fn=str(fn.fn_id), qid=str(qid)).inc()
             yield from self.engine._handle_io(fn, qid, sqe)
             return
         self.admin_commands += 1
+        if obs is not None:
+            obs.counter("tc_admin_cmds", fn=str(fn.fn_id)).inc()
         handled = yield from self._engine_local_admin(fn, qid, sqe)
         if handled:
             return
         # management command: hand it to the ARM-side BMS-Controller
         self.admin_forwarded += 1
+        if obs is not None:
+            obs.counter("tc_admin_forwarded", fn=str(fn.fn_id)).inc()
         self.admin_mailbox.put(AdminRequest(self.engine, fn, qid, sqe))
 
     def _engine_local_admin(self, fn: "FrontEndFunction", qid: int, sqe: SQE):

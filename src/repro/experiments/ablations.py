@@ -14,7 +14,7 @@ from ..core.engine import EngineTimings
 from ..core.qos import QoSLimits
 from ..sim.units import GIB, MS
 from ..workloads.fio import FioRun, FioSpec
-from .common import BM_NAMESPACE_BYTES, ExperimentResult, run_case_bmstore, scaled
+from .common import ExperimentResult, run_case, scaled
 
 __all__ = ["run_zero_copy", "run_qos_isolation", "run_arm_offload", "ARM_OFFLOAD_TIMINGS"]
 
@@ -44,7 +44,7 @@ def run_zero_copy(seed: int = 7) -> ExperimentResult:
     for zero_copy in (True, False):
         # four drives: the aggregate 12.9 GB/s is far beyond what the
         # FPGA DRAM (in + out) could buffer, which is the paper's point
-        res = run_case_bmstore(spec, num_ssds=4, seed=seed, zero_copy=zero_copy)
+        res = run_case("bmstore", spec, seed=seed, num_ssds=4, zero_copy=zero_copy)
         result.add(
             zero_copy=zero_copy,
             bandwidth_gbps=res.bandwidth_bps / 1e9,
@@ -94,8 +94,8 @@ def run_arm_offload(seed: int = 7) -> ExperimentResult:
         "ablation-arm", "Datapath placement: FPGA engine vs ARM offload (LeapIO-like)"
     )
     spec = scaled(RAND, 25 * MS, 5 * MS)
-    fpga = run_case_bmstore(spec, seed=seed)
-    arm = run_case_bmstore(spec, seed=seed, timings=ARM_OFFLOAD_TIMINGS)
+    fpga = run_case("bmstore", spec, seed=seed)
+    arm = run_case("bmstore", spec, seed=seed, timings=ARM_OFFLOAD_TIMINGS)
     result.add(datapath="FPGA (BM-Store)", kiops=fpga.iops / 1e3,
                lat_us=fpga.avg_latency_us, vs_fpga=1.0)
     result.add(datapath="ARM offload (LeapIO-like)", kiops=arm.iops / 1e3,

@@ -4,13 +4,22 @@ Every table/figure reproduction returns an :class:`ExperimentResult`
 (id, rows, notes) that benchmarks print and EXPERIMENTS.md quotes.
 Runtime windows are simulation-time; they are chosen so steady-state
 rates converge while benchmark wall time stays in seconds.
+
+Scheme runners: :data:`SCHEMES` maps a scheme name ("native",
+"bmstore", "vfio-vm", "bmstore-vm", "spdk-vm") to a builder that runs
+one fio case in a freshly built world.  :func:`run_case` is the single
+entry point; it attaches a :class:`~repro.obs.MetricsRegistry` to the
+world and returns a :class:`CaseResult` bundling the fio measurement
+with the observability snapshot.  The old ``run_case_*`` functions
+remain as deprecated wrappers.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..baselines import (
     BMStoreRig,
@@ -22,6 +31,7 @@ from ..baselines import (
 from ..host.driver import NVMeDriver
 from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
 from ..host.vm import VirtualMachine
+from ..obs import MetricsRegistry
 from ..sim.units import GIB, MS
 from ..workloads.fio import FioResult, FioRun, FioSpec, TABLE_IV_CASES
 
@@ -30,6 +40,9 @@ __all__ = [
     "time_scale",
     "scaled",
     "quick_cases",
+    "CaseResult",
+    "SCHEMES",
+    "run_case",
     "run_case_native",
     "run_case_bmstore",
     "run_case_vfio_vm",
@@ -97,7 +110,13 @@ class ExperimentResult:
     def table(self) -> str:
         if not self.rows:
             return f"[{self.experiment_id}] {self.title}: (no rows)"
-        keys = list(self.rows[0])
+        # union of keys over all rows, in first-seen order (rows added
+        # later may carry extra columns)
+        keys: list[str] = []
+        for row in self.rows:
+            for k in row:
+                if k not in keys:
+                    keys.append(k)
         widths = {
             k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows)) for k in keys
         }
@@ -123,64 +142,187 @@ def _fmt(value: Any) -> str:
 # scheme runners: one fio case on one scheme, freshly built worlds
 # ---------------------------------------------------------------------------
 
-def run_case_native(spec: FioSpec, num_ssds: int = 1, seed: int = 7,
-                    kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
-    """One fio case on bare-metal native drives."""
-    rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel)
-    run = FioRun(rig.sim, rig.drivers, spec, rig.streams)
-    rig.sim.run(run.finished)
+@dataclass
+class CaseResult:
+    """One fio case on one scheme: measurement + observability.
+
+    ``fio`` is the throughput/latency measurement; ``obs`` is the live
+    registry the world wrote into (spans, stage histograms, per-ns
+    counters) and ``snapshot`` its JSON-able dump taken right after the
+    run.  The common FioResult accessors are forwarded for convenience.
+    """
+
+    scheme: str
+    spec: FioSpec
+    fio: FioResult
+    obs: MetricsRegistry
+    snapshot: dict[str, Any]
+
+    @property
+    def iops(self) -> float:
+        return self.fio.iops
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.fio.bandwidth_bps
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        return self.fio.bandwidth_mbps
+
+    @property
+    def avg_latency_us(self) -> float:
+        return self.fio.avg_latency_us
+
+    @property
+    def latency(self):
+        return self.fio.latency
+
+
+def _finish(sim, run: FioRun) -> FioResult:
+    sim.run(run.finished)
     return run.result()
 
 
+def _scheme_native(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                   obs: MetricsRegistry, num_ssds: int = 1) -> FioResult:
+    """Bare-metal: the host NVMe driver directly on physical drives."""
+    rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs)
+    return _finish(rig.sim, FioRun(rig.sim, rig.drivers, spec, rig.streams))
+
+
 def _bmstore_baremetal(num_ssds: int, seed: int, kernel: KernelProfile,
+                       obs: Optional[MetricsRegistry] = None,
                        **rig_kwargs) -> tuple[BMStoreRig, NVMeDriver]:
-    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, **rig_kwargs)
+    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
+                        **rig_kwargs)
     size = min(BM_NAMESPACE_BYTES, num_ssds * 28 * 64 * GIB)
     fn = rig.provision("ns0", size)
     return rig, rig.baremetal_driver(fn)
 
 
+def _scheme_bmstore(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                    obs: MetricsRegistry, num_ssds: int = 1,
+                    **rig_kwargs) -> FioResult:
+    """Bare-metal BM-Store: host driver on an engine PF/VF namespace."""
+    rig, driver = _bmstore_baremetal(num_ssds, seed, kernel, obs=obs, **rig_kwargs)
+    return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
+
+
+def _scheme_vfio_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                    obs: MetricsRegistry) -> FioResult:
+    """In-VM on a VFIO-assigned whole drive."""
+    rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel,
+                     obs=obs)
+    return _finish(rig.sim, FioRun(rig.sim, [rig.driver()], spec, rig.streams))
+
+
+def _scheme_bmstore_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                       obs: MetricsRegistry, num_ssds: int = 1) -> FioResult:
+    """In-VM on a BM-Store VF."""
+    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs)
+    vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
+    driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
+    return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
+
+
+def _scheme_spdk_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                    obs: MetricsRegistry, num_cores: int = 1) -> FioResult:
+    """In-VM on an SPDK vhost virtio disk."""
+    rig = build_spdk(
+        num_ssds=1, num_cores=num_cores, num_vdevs=1,
+        vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
+        obs=obs,
+    )
+    return _finish(rig.sim, FioRun(rig.sim, [rig.vdev()], spec, rig.streams))
+
+
+#: scheme name -> runner; extend this to add a new scheme to every
+#: experiment and to ``python -m repro fio/stats``
+SCHEMES: dict[str, Callable[..., FioResult]] = {
+    "native": _scheme_native,
+    "bmstore": _scheme_bmstore,
+    "vfio-vm": _scheme_vfio_vm,
+    "bmstore-vm": _scheme_bmstore_vm,
+    "spdk-vm": _scheme_spdk_vm,
+}
+
+
+def run_case(
+    scheme: str,
+    spec: FioSpec,
+    *,
+    seed: int = 7,
+    kernel: KernelProfile = DEFAULT_KERNEL,
+    obs: Optional[MetricsRegistry] = None,
+    **scheme_kwargs: Any,
+) -> CaseResult:
+    """Run one fio case on one scheme in a freshly built world.
+
+    ``obs`` is attached to every instrumented layer of that world (pass
+    your own registry to control span capacity, or let this create
+    one).  Extra keyword arguments go to the scheme runner (e.g.
+    ``num_ssds=4`` for "native"/"bmstore", ``zero_copy=False`` for
+    "bmstore", ``num_cores=2`` for "spdk-vm").
+    """
+    runner = SCHEMES.get(scheme)
+    if runner is None:
+        known = ", ".join(sorted(SCHEMES))
+        raise ValueError(f"unknown scheme {scheme!r} (known: {known})")
+    if obs is None:
+        obs = MetricsRegistry()
+    fio = runner(spec, seed=seed, kernel=kernel, obs=obs, **scheme_kwargs)
+    return CaseResult(scheme=scheme, spec=spec, fio=fio, obs=obs,
+                      snapshot=obs.snapshot())
+
+
+# ------------------------------------------------------- deprecated wrappers
+def _deprecated(old: str, scheme: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use run_case({scheme!r}, spec).fio",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_case_native(spec: FioSpec, num_ssds: int = 1, seed: int = 7,
+                    kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
+    """Deprecated: use ``run_case("native", spec)``."""
+    _deprecated("run_case_native", "native")
+    return run_case("native", spec, seed=seed, kernel=kernel,
+                    num_ssds=num_ssds).fio
+
+
 def run_case_bmstore(spec: FioSpec, num_ssds: int = 1, seed: int = 7,
                      kernel: KernelProfile = DEFAULT_KERNEL,
                      **rig_kwargs) -> FioResult:
-    """One fio case on a bare-metal BM-Store namespace."""
-    rig, driver = _bmstore_baremetal(num_ssds, seed, kernel, **rig_kwargs)
-    run = FioRun(rig.sim, [driver], spec, rig.streams)
-    rig.sim.run(run.finished)
-    return run.result()
+    """Deprecated: use ``run_case("bmstore", spec)``."""
+    _deprecated("run_case_bmstore", "bmstore")
+    return run_case("bmstore", spec, seed=seed, kernel=kernel,
+                    num_ssds=num_ssds, **rig_kwargs).fio
 
 
 def run_case_vfio_vm(spec: FioSpec, seed: int = 7,
                      kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
-    """One fio case inside a VM on a VFIO-assigned drive."""
-    rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel)
-    run = FioRun(rig.sim, [rig.driver()], spec, rig.streams)
-    rig.sim.run(run.finished)
-    return run.result()
+    """Deprecated: use ``run_case("vfio-vm", spec)``."""
+    _deprecated("run_case_vfio_vm", "vfio-vm")
+    return run_case("vfio-vm", spec, seed=seed, kernel=kernel).fio
 
 
 def run_case_bmstore_vm(spec: FioSpec, seed: int = 7,
                         kernel: KernelProfile = DEFAULT_KERNEL) -> FioResult:
-    """One fio case inside a VM on a BM-Store VF."""
-    rig = build_bmstore(num_ssds=1, seed=seed, kernel=kernel)
-    vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
-    driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
-    run = FioRun(rig.sim, [driver], spec, rig.streams)
-    rig.sim.run(run.finished)
-    return run.result()
+    """Deprecated: use ``run_case("bmstore-vm", spec)``."""
+    _deprecated("run_case_bmstore_vm", "bmstore-vm")
+    return run_case("bmstore-vm", spec, seed=seed, kernel=kernel).fio
 
 
 def run_case_spdk_vm(spec: FioSpec, seed: int = 7,
                      kernel: KernelProfile = DEFAULT_KERNEL,
                      num_cores: int = 1) -> FioResult:
-    """One fio case on an SPDK vhost virtio disk."""
-    rig = build_spdk(
-        num_ssds=1, num_cores=num_cores, num_vdevs=1,
-        vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
-    )
-    run = FioRun(rig.sim, [rig.vdev()], spec, rig.streams)
-    rig.sim.run(run.finished)
-    return run.result()
+    """Deprecated: use ``run_case("spdk-vm", spec)``."""
+    _deprecated("run_case_spdk_vm", "spdk-vm")
+    return run_case("spdk-vm", spec, seed=seed, kernel=kernel,
+                    num_cores=num_cores).fio
 
 
 VM_SCHEMES = ("vfio", "bmstore", "spdk")

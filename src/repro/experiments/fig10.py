@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..sim.units import GIB, MS
+from ..sim.units import MS
 from ..workloads.fio import FioSpec
-from .common import ExperimentResult, run_case_bmstore, scaled
+from .common import ExperimentResult, run_case, scaled
 
 __all__ = ["run"]
 
@@ -26,7 +26,7 @@ def run(ssd_counts: Sequence[int] = (1, 2, 3, 4), seed: int = 7) -> ExperimentRe
     spec = scaled(SPEC, 150 * MS, 40 * MS)
     single = None
     for n in ssd_counts:
-        res = run_case_bmstore(spec, num_ssds=n, seed=seed)
+        res = run_case("bmstore", spec, seed=seed, num_ssds=n)
         bw = res.bandwidth_bps
         if single is None:
             single = bw

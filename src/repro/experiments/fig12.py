@@ -14,7 +14,7 @@ from ..analysis.metrics import LatencyStats
 from ..baselines import build_bmstore
 from ..host.vm import VirtualMachine
 from ..sim.units import GIB, MS
-from ..workloads.fio import FioRun, FioSpec, TABLE_IV_CASES
+from ..workloads.fio import FioRun, TABLE_IV_CASES
 from .common import ExperimentResult, scaled
 
 __all__ = ["run"]

@@ -15,7 +15,7 @@ from ..apps.minikv import MiniKV, MiniKVConfig
 from ..apps.minisql import MiniSQL, MiniSQLConfig
 from ..sim.units import MS
 from ..workloads.sysbench import SysbenchRun, SysbenchSpec
-from ..workloads.ycsb import YCSBRun, YCSBSpec, YCSB_WORKLOADS
+from ..workloads.ycsb import YCSBRun, YCSB_WORKLOADS
 from .common import ExperimentResult, VM_SCHEMES, build_vm_targets, time_scale
 
 __all__ = ["run"]

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from ..baselines import build_bmstore
 from ..sim import SeriesRecorder
-from ..sim.units import GIB, MS, sec
-from ..workloads.fio import FioSpec
+from ..sim.units import MS, sec
 from .common import BM_NAMESPACE_BYTES, ExperimentResult
 
 __all__ = ["run"]

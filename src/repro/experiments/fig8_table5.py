@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import ExperimentResult, quick_cases, run_case_bmstore, run_case_native
+from .common import ExperimentResult, quick_cases, run_case
 
 __all__ = ["run", "PAPER_LATENCY_US"]
 
@@ -32,8 +32,8 @@ def run(cases: Optional[Sequence[str]] = None, seed: int = 7) -> ExperimentResul
         "fig8+table5", "Bare-metal performance with 1 disk: Native vs BM-Store"
     )
     for spec in quick_cases(cases):
-        native = run_case_native(spec, seed=seed)
-        bms = run_case_bmstore(spec, seed=seed)
+        native = run_case("native", spec, seed=seed)
+        bms = run_case("bmstore", spec, seed=seed)
         paper = PAPER_LATENCY_US.get(spec.name, (None, None))
         result.add(
             case=spec.name,

@@ -10,13 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import (
-    ExperimentResult,
-    quick_cases,
-    run_case_bmstore_vm,
-    run_case_spdk_vm,
-    run_case_vfio_vm,
-)
+from .common import ExperimentResult, quick_cases, run_case
 
 __all__ = ["run", "PAPER_LATENCY_US"]
 
@@ -37,9 +31,9 @@ def run(cases: Optional[Sequence[str]] = None, seed: int = 7) -> ExperimentResul
         "fig9+table7", "Single-VM performance with one disk: VFIO / BM-Store / SPDK vhost"
     )
     for spec in quick_cases(cases):
-        vfio = run_case_vfio_vm(spec, seed=seed)
-        bms = run_case_bmstore_vm(spec, seed=seed)
-        spdk = run_case_spdk_vm(spec, seed=seed)
+        vfio = run_case("vfio-vm", spec, seed=seed)
+        bms = run_case("bmstore-vm", spec, seed=seed)
+        spdk = run_case("spdk-vm", spec, seed=seed)
         paper = PAPER_LATENCY_US.get(spec.name, (None, None, None))
         result.add(
             case=spec.name,

@@ -1,6 +1,7 @@
 """Per-stage latency breakdown of the BMS-Engine path (Fig. 6 steps).
 
-Where the "about 3 us" of §V-B actually goes: per-command timestamps
+Where the "about 3 us" of §V-B actually goes: derived from the
+:class:`~repro.obs.IOSpan` records every observed command carries
 through doorbell/fetch -> map+QoS pipeline -> back-end (adaptor + SSD +
 zero-copy DMA) -> CQE relay, compared against the native path's total.
 """
@@ -8,22 +9,23 @@ zero-copy DMA) -> CQE relay, compared against the native path's total.
 from __future__ import annotations
 
 from ..baselines import build_bmstore, build_native
-from ..sim.units import GIB
+from ..obs import MetricsRegistry
 from .common import BM_NAMESPACE_BYTES, ExperimentResult
 
 __all__ = ["run"]
 
+#: (row label, span start stage, span end stage)
 STEPS = (
-    ("fetch", "t_doorbell", "t_fetched"),
-    ("map+qos pipeline", "t_fetched", "t_qos"),
-    ("forward to adaptor", "t_qos", "t_forwarded"),
-    ("backend (SSD + zero-copy DMA)", "t_forwarded", "t_backend_done"),
-    ("CQE relay to host", "t_backend_done", "t_host_cqe"),
+    ("fetch", "doorbell", "fetch"),
+    ("map+qos pipeline", "fetch", "qos"),
+    ("forward to adaptor", "qos", "forward"),
+    ("backend (SSD + zero-copy DMA)", "forward", "backend_done"),
+    ("CQE relay to host", "backend_done", "complete"),
 )
 
 
-def _mean_us(records: list[dict], a: str, b: str) -> float:
-    deltas = [r[b] - r[a] for r in records if a in r and b in r]
+def _mean_us(spans, a: str, b: str) -> float:
+    deltas = [d for d in (s.duration_ns(a, b) for s in spans) if d is not None]
     return sum(deltas) / len(deltas) / 1e3 if deltas else 0.0
 
 
@@ -45,9 +47,9 @@ def run(samples: int = 300, seed: int = 7) -> ExperimentResult:
 
     native_total_ns = nat.sim.run(nat.sim.process(native_flow()))
 
-    # BM-Store with step tracing
-    rig = build_bmstore(num_ssds=1, seed=seed)
-    rig.engine.enable_step_trace()
+    # BM-Store with span recording
+    obs = MetricsRegistry()
+    rig = build_bmstore(num_ssds=1, seed=seed, obs=obs)
     driver = rig.baremetal_driver(rig.provision("ns0", BM_NAMESPACE_BYTES))
 
     def bms_flow():
@@ -58,11 +60,11 @@ def run(samples: int = 300, seed: int = 7) -> ExperimentResult:
         return total / samples
 
     bms_total_ns = rig.sim.run(rig.sim.process(bms_flow()))
-    records = rig.engine.step_records or []
+    spans = obs.spans.complete()
 
     for label, a, b in STEPS:
-        result.add(stage=label, mean_us=round(_mean_us(records, a, b), 3))
-    engine_span = _mean_us(records, "t_doorbell", "t_host_cqe")
+        result.add(stage=label, mean_us=round(_mean_us(spans, a, b), 3))
+    engine_span = _mean_us(spans, "doorbell", "complete")
     result.add(stage="engine span (doorbell->host CQE)",
                mean_us=round(engine_span, 3))
     result.add(stage="BM-Store end-to-end", mean_us=round(bms_total_ns / 1e3, 3))

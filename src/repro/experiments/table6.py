@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..host.kernel_profile import KERNEL_PROFILES
 from ..sim.units import MS
 from ..workloads.fio import FioSpec
-from .common import ExperimentResult, run_case_bmstore, scaled
+from .common import ExperimentResult, run_case, scaled
 
 __all__ = ["run", "PAPER_ROWS"]
 
@@ -35,7 +35,7 @@ def run(seed: int = 7) -> ExperimentResult:
     )
     spec = scaled(SPEC, 25 * MS, 5 * MS)
     for key, profile in KERNEL_PROFILES.items():
-        res = run_case_bmstore(spec, seed=seed, kernel=profile)
+        res = run_case("bmstore", spec, seed=seed, kernel=profile)
         paper = PAPER_ROWS[key]
         result.add(
             os=profile.os_name,

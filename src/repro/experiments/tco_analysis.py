@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..analysis.tco import BMSTORE_SCHEME, SPDK_SCHEME, TCOModel
+from ..analysis.tco import TCOModel
 from .common import ExperimentResult
 
 __all__ = ["run"]

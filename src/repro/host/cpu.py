@@ -9,7 +9,6 @@ time for utilization reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim import Resource, SimulationError, Simulator

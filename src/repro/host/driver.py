@@ -20,12 +20,13 @@ from ..nvme.namespace import Namespace
 from ..nvme.prp import build_prps
 from ..nvme.queues import CompletionQueue, QueuePair, SubmissionQueue
 from ..nvme.spec import AdminOpcode, IOOpcode, StatusCode
+from ..obs import IOSpan, MetricsRegistry
 from ..pcie.function import PCIeFunction
 from ..sim import Event, Resource, SimulationError, Simulator, Store
 from .block import CompletionInfo
 from .environment import Host
 from .kernel_profile import KernelProfile
-from .memory import BufferPool, HostMemory
+from .memory import BufferPool
 
 __all__ = ["NVMeControllerTarget", "NVMeDriver", "DriverStats"]
 
@@ -73,6 +74,7 @@ class NVMeDriver:
         lock_ns: Optional[int] = None,
         contended_lock_ns: Optional[int] = None,
         name: str = "nvme0",
+        obs: Optional[MetricsRegistry] = None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -89,6 +91,7 @@ class NVMeDriver:
             contended_lock_ns if contended_lock_ns is not None else self.lock_ns
         )
         self.stats = DriverStats()
+        self.obs = obs
         self._pool = BufferPool(host.memory)
         self._lock = Resource(self.sim, 1, name=f"{name}.sqlock")
         self._pending: dict[tuple[int, int], dict[str, Any]] = {}
@@ -173,8 +176,18 @@ class NVMeDriver:
         self._rr = (self._rr + 1) % len(qids)
         return qids[self._rr]
 
+    _SPAN_OPS = {
+        int(IOOpcode.READ): "read",
+        int(IOOpcode.WRITE): "write",
+        int(IOOpcode.FLUSH): "flush",
+    }
+
     def _submit_proc(self, opcode, lba, nblocks, payload, want_data, done):
         start = self.sim.now
+        span = None
+        if self.obs is not None:
+            span = IOSpan(self._SPAN_OPS.get(opcode, hex(opcode)), origin=self.name)
+            span.stamp("submit", start)
         yield self.sim.timeout(self.kernel.submit_overhead_ns + self.extra_submit_ns)
         qid = self._pick_queue()
         yield self._slots[qid].acquire()
@@ -199,18 +212,25 @@ class NVMeDriver:
             prp1=prp1, prp2=prp2, payload=payload,
             submit_time_ns=start,
         )
+        if span is not None:
+            sqe.span = span
         qp.sq.push(sqe)
         self._pending[(qid, cid)] = {
             "done": done, "start": start, "buf": buf,
             "length": length, "want_data": want_data, "qid": qid,
+            "span": span,
         }
         self.stats.submitted += 1
+        if self.obs is not None:
+            self.obs.counter("driver_submitted", driver=self.name, qid=str(qid)).inc()
         self._lock.release()
         yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)
 
     # ------------------------------------------------------------- completion
     def _on_interrupt(self, qid: int) -> None:
         self.stats.interrupts += 1
+        if self.obs is not None:
+            self.obs.counter("driver_interrupts", driver=self.name, qid=str(qid)).inc()
         self.sim.process(self._irq_proc(qid), name=f"{self.name}.irq")
 
     def _irq_proc(self, qid: int):
@@ -254,6 +274,14 @@ class NVMeDriver:
         if qid in self._slots:
             self._slots[qid].release()
         latency = self.sim.now - ctx["start"]
+        span = ctx.get("span")
+        if span is not None and self.obs is not None:
+            span.stamp("interrupt", self.sim.now)
+            self.obs.finish_span(span)
+            self.obs.counter("driver_completed", driver=self.name, qid=str(qid)).inc()
+            if not ok:
+                self.obs.counter("driver_errors", driver=self.name).inc()
+            self.obs.histogram("io_latency_ns", driver=self.name).observe(latency)
         ctx["done"].succeed(CompletionInfo(ok, cqe.status, data, latency))
 
     # ----------------------------------------------------------------- admin

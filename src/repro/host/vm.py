@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import MetricsRegistry
 from ..sim import Simulator
 from .driver import NVMeControllerTarget, NVMeDriver
 from .environment import Host
@@ -63,6 +64,7 @@ class VirtualMachine:
         nsid: int = 1,
         num_io_queues: Optional[int] = None,
         queue_depth: int = 1024,
+        obs: Optional[MetricsRegistry] = None,
     ) -> NVMeDriver:
         """Attach a passthrough NVMe controller (VFIO or BM-Store VF)."""
         contended = int(self.guest_kernel.submit_lock_ns * self.profile.lock_multiplier)
@@ -78,6 +80,7 @@ class VirtualMachine:
             lock_ns=self.guest_kernel.submit_lock_ns,
             contended_lock_ns=contended,
             name=f"{self.name}.nvme",
+            obs=obs,
         )
         self.drivers.append(driver)
         return driver

@@ -73,6 +73,10 @@ class RemoteConsole:
     def io_stats(self, fn: int) -> Event:
         return self.request(MIOpcode.READ_IO_STATS, fn=fn)
 
+    def io_monitor(self) -> Event:
+        """Fetch the engine's full metrics snapshot out of band."""
+        return self.request(MIOpcode.IO_MONITOR_SNAPSHOT)
+
     def create_namespace(
         self,
         key: str,

@@ -10,8 +10,8 @@ with SOM/EOM/sequence semantics and reassembled at the receiver.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
 from ..sim import Event, SimulationError, Simulator
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["MIOpcode", "MIStatus", "MIRequest", "MIResponse", "MCTP_TYPE_NVME_MI"]
 
@@ -24,7 +24,8 @@ class MIOpcode(enum.IntEnum):
 
     HEALTH_STATUS_POLL = 0x01
     CONTROLLER_LIST = 0x02
-    READ_IO_STATS = 0x10  # BM-Store I/O monitor
+    READ_IO_STATS = 0x10  # BM-Store I/O monitor (per-function AXI counters)
+    IO_MONITOR_SNAPSHOT = 0x11  # full metrics-registry dump, when attached
     CREATE_NAMESPACE = 0x20
     DELETE_NAMESPACE = 0x21
     BIND_NAMESPACE = 0x22

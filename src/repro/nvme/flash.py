@@ -17,7 +17,7 @@ have realistic tails without destroying determinism (dedicated stream).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim import BandwidthLink, RandomStream, Resource, Simulator
 from ..sim.units import us

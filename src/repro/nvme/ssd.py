@@ -14,8 +14,8 @@ data.  Performance runs elide payloads and only timing is charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..sim.units import PAGE_SIZE
 from ..pcie.config_space import ConfigSpace
@@ -206,8 +206,11 @@ class NVMeSSD:
         if ns is None:
             return int(StatusCode.INVALID_NAMESPACE), 0
         opcode = sqe.opcode
+        span = getattr(sqe, "span", None)
         if opcode == int(IOOpcode.FLUSH):
             yield from self.flash.flush()
+            if span is not None:
+                span.stamp("ssd_dma", self.sim.now)
             return int(StatusCode.SUCCESS), 0
         nblocks = sqe.num_blocks
         if not ns.contains(sqe.slba, nblocks):
@@ -225,6 +228,8 @@ class NVMeSSD:
             yield from self.flash.read(length)
             payload = self._load_blocks(sqe.slba, nblocks)
             yield from self._dma_out(pages, length, payload)
+            if span is not None:
+                span.stamp("ssd_dma", self.sim.now)
             self.stats.read_ops += 1
             self.stats.read_bytes += length
             return int(StatusCode.SUCCESS), 0
@@ -236,6 +241,8 @@ class NVMeSSD:
             if payload is not None:
                 self._store_blocks(sqe.slba, nblocks, payload)
             yield from self.flash.write(length)
+            if span is not None:
+                span.stamp("ssd_dma", self.sim.now)
             self.stats.write_ops += 1
             self.stats.write_bytes += length
             return int(StatusCode.SUCCESS), 0

@@ -17,7 +17,7 @@ from typing import Optional
 
 from ..sim import SimulationError
 from .command import SQE
-from .spec import IOOpcode, LBA_BYTES, StatusCode
+from .spec import IOOpcode, StatusCode
 from .ssd import NVMeSSD
 
 __all__ = [

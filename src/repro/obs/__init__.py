@@ -1,0 +1,34 @@
+"""Observability layer: metrics registry + I/O-path span tracing.
+
+The paper's BMS-Controller ships an out-of-band I/O monitor, and the
+evaluation leans on per-stage latency breakdowns of the seven-step
+datapath (Fig. 6) and tail-latency timelines.  This package is that
+measurement substrate for the reproduction:
+
+* :class:`MetricsRegistry` — counters, gauges, and log-bucketed
+  latency histograms with p50/p95/p99/p99.9 queries, labeled per
+  namespace / per queue / per driver.
+* :class:`IOSpan` / :class:`SpanLog` — each NVMe command carries a
+  span that stamps the Fig. 6 stages as it moves driver -> SR-IOV
+  doorbell -> target-controller fetch -> LBA map -> SSD DMA ->
+  completion -> interrupt.
+
+Attach a registry to any rig (``build_bmstore(obs=reg)``) or let
+:func:`repro.experiments.run_case` create one per run; read it back as
+tables (:meth:`MetricsRegistry.render_table`) or JSON
+(:meth:`MetricsRegistry.snapshot`), in-band via the experiment result
+or out-of-band through the BMS-Controller's I/O monitor.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import STAGES, IOSpan, SpanLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGES",
+    "IOSpan",
+    "SpanLog",
+]

@@ -1,0 +1,270 @@
+"""Metrics primitives: counters, gauges, log-bucketed histograms.
+
+The registry is deliberately simulation-agnostic: values are plain
+numbers (the callers stamp simulated nanoseconds).  Histograms use
+geometric buckets with 16 sub-buckets per octave (~4.4% wide), so any
+percentile estimate is within one bucket — well under the ±7% the
+experiment assertions allow — while an entire latency distribution
+costs a handful of dict entries instead of a sample list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Optional
+
+from .spans import IOSpan, SpanLog
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: sub-buckets per octave; bucket boundary ratio = 2**(1/16) ~ 1.0443
+BUCKETS_PER_OCTAVE = 16
+_LOG_GROWTH = math.log(2.0) / BUCKETS_PER_OCTAVE
+
+
+def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (ops, bytes, errors...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, buffered commands...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A log-bucketed distribution with percentile queries.
+
+    ``observe`` costs one dict update; ``percentile`` walks the sorted
+    buckets and returns the geometric midpoint of the bucket holding
+    the requested rank (max error: half a bucket, ~2.2%).
+    """
+
+    __slots__ = ("name", "labels", "_buckets", "_zeros", "count", "total", "_min", "_max")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0  # observations <= 0 (zero-latency fast paths)
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value <= 0:
+            self._zeros += 1
+            return
+        idx = int(math.floor(math.log(value) / _LOG_GROWTH))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` (0..100], nearest-rank."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        seen = self._zeros
+        if rank <= seen:
+            return 0.0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if rank <= seen:
+                # geometric midpoint of [growth**idx, growth**(idx+1))
+                return math.exp((idx + 0.5) * _LOG_GROWTH)
+        return self.max  # pragma: no cover - unreachable
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labeled metrics + the span log.
+
+    One registry measures one run (one simulated world): rigs and the
+    datapath layers all write into the same instance, so a snapshot is
+    the complete observability picture of that world.
+    """
+
+    def __init__(self, span_capacity: int = 10_000):
+        self._metrics: dict[tuple[str, str, tuple], Any] = {}
+        self.spans = SpanLog(capacity=span_capacity)
+
+    # ------------------------------------------------------------- factories
+    def _get(self, kind: str, cls, name: str, labels: dict[str, str]):
+        key = (kind, name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[2])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
+
+    # ----------------------------------------------------------------- spans
+    def finish_span(self, span: IOSpan) -> None:
+        """File a completed span: log it + feed the stage histograms."""
+        self.spans.add(span)
+        for stage, delta in span.stage_deltas():
+            self.histogram("span_stage_ns", stage=stage).observe(delta)
+        total = span.total_ns()
+        if total is not None:
+            self.histogram("span_total_ns").observe(total)
+
+    # ------------------------------------------------------------- inspection
+    def iter_metrics(self) -> Iterator[tuple[str, str, Any]]:
+        """Yields (kind, formatted_name, metric) sorted by kind then name."""
+        for (kind, name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            yield kind, _format_name(name, labels), metric
+
+    def counters(self, name: str) -> dict[tuple[tuple[str, str], ...], Counter]:
+        """All counters of one name, keyed by their label tuples."""
+        return {
+            key[2]: metric
+            for key, metric in self._metrics.items()
+            if key[0] == "counter" and key[1] == name
+        }
+
+    def histograms(self, name: str) -> dict[tuple[tuple[str, str], ...], Histogram]:
+        """All histograms of one name, keyed by their label tuples."""
+        return {
+            key[2]: metric
+            for key, metric in self._metrics.items()
+            if key[0] == "histogram" and key[1] == name
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable dump of every metric + span accounting."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for kind, label, metric in self.iter_metrics():
+            if kind == "counter":
+                out["counters"][label] = metric.value
+            elif kind == "gauge":
+                out["gauges"][label] = metric.value
+            else:
+                out["histograms"][label] = metric.summary()
+        out["spans"] = {
+            "recorded": len(self.spans),
+            "dropped": self.spans.dropped,
+            "complete": sum(1 for s in self.spans if s.is_complete),
+        }
+        return out
+
+    def render_table(self) -> str:
+        """Human-readable dump (the ``repro stats`` default output)."""
+        lines = []
+        snap = self.snapshot()
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(k) for k in snap["counters"])
+            for key, value in snap["counters"].items():
+                lines.append(f"  {key.ljust(width)}  {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(k) for k in snap["gauges"])
+            for key, value in snap["gauges"].items():
+                lines.append(f"  {key.ljust(width)}  {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms (ns):")
+            width = max(len(k) for k in snap["histograms"])
+            header = f"  {'name'.ljust(width)}  {'count':>7} {'mean':>10} {'p50':>10} {'p99':>10} {'p99.9':>10} {'max':>10}"
+            lines.append(header)
+            for key, s in snap["histograms"].items():
+                lines.append(
+                    f"  {key.ljust(width)}  {s['count']:>7} {s['mean']:>10.0f} "
+                    f"{s['p50']:>10.0f} {s['p99']:>10.0f} {s['p99.9']:>10.0f} {s['max']:>10.0f}"
+                )
+        spans = snap["spans"]
+        lines.append(
+            f"spans: {spans['recorded']} recorded "
+            f"({spans['complete']} complete, {spans['dropped']} dropped)"
+        )
+        return "\n".join(lines)

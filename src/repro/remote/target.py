@@ -11,7 +11,6 @@ from typing import Optional
 
 from ..nvme.flash import FlashBackend, FlashProfile, P4510_PROFILE
 from ..sim import Event, Simulator, StreamFactory
-from ..sim.units import PAGE_SIZE
 
 __all__ = ["RemoteCompletion", "RemoteStorageTarget"]
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Event, RandomStream, Resource, SimulationError, Simulator
+from ..sim import Event, RandomStream, Resource, Simulator
 from ..sim.units import ms, us
 
 __all__ = ["SATAProfile", "HDD_7200_PROFILE", "SATA_SSD_PROFILE", "SATADisk"]

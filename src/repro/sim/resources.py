@@ -8,6 +8,7 @@ bandwidth pipes (:class:`BandwidthLink`), and rate limiters
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Deque, Optional
 
@@ -161,7 +162,9 @@ class BandwidthLink:
         return self._bytes_moved
 
     def serialization_ns(self, nbytes: int) -> int:
-        return int(round(nbytes * 1e9 / self.bytes_per_sec))
+        # ceiling, not rounding: a transfer must never finish early, or
+        # short transfers would beat the configured line rate
+        return math.ceil(nbytes * 1e9 / self.bytes_per_sec)
 
     def transfer(self, nbytes: int, value: Any = None) -> Event:
         """Move ``nbytes`` through the link; event fires at arrival time."""

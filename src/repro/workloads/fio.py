@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 from ..analysis.metrics import LatencyStats
 from ..host.block import BlockTarget
 from ..sim import Event, RandomStream, SimulationError, Simulator, StreamFactory
-from ..sim.units import MS, SEC
+from ..sim.units import MS
 
 __all__ = ["FioSpec", "FioResult", "FioRun", "run_fio", "TABLE_IV_CASES"]
 

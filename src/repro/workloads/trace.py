@@ -10,13 +10,13 @@ bursts (where scheme differences compound).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..analysis.metrics import LatencyStats
 from ..host.block import BlockTarget
-from ..sim import Event, RandomStream, SimulationError, Simulator, StreamFactory
-from ..sim.units import MS, US
+from ..sim import RandomStream, SimulationError, Simulator
+from ..sim.units import MS
 
 __all__ = [
     "TraceRecord",

@@ -1,6 +1,5 @@
 """MiniKV database-level tests: flush, compaction, consistency."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.minikv import MiniKV, MiniKVConfig

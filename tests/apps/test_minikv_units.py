@@ -17,7 +17,6 @@ from repro.apps.minikv import (
 )
 from repro.baselines import build_native
 from repro.sim import SimulationError
-from repro.sim.units import PAGE_SIZE
 
 
 # ------------------------------------------------------------------ encoding

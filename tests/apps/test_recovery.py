@@ -6,7 +6,6 @@ The durability contract under test:
 * for the LSM store, synced puts survive and the unsynced tail is lost.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.minikv import MiniKV, MiniKVConfig, crash_and_recover_kv

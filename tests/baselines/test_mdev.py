@@ -1,7 +1,6 @@
 """MDev-NVMe mediated-passthrough baseline tests."""
 
 import pytest
-from dataclasses import replace
 
 from repro.baselines import MDevNVMeTarget, build_native
 from repro.sim import SimulationError

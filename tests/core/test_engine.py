@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import build_bmstore, build_native
 from repro.core import NUM_PFS, NUM_VFS, QoSLimits
-from repro.host import NVMeDriver
 from repro.nvme import LBA_BYTES
 from repro.sim import SimulationError
 from repro.sim.units import GIB, to_us

@@ -1,6 +1,5 @@
 """Scale tests: many front-end functions active on one engine."""
 
-import pytest
 
 from repro.baselines import build_bmstore
 from repro.sim.units import GIB

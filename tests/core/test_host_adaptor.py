@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import build_bmstore
 from repro.nvme import AdminOpcode, IOOpcode, SQE, StatusCode
-from repro.sim.units import GIB
 
 
 def make_rig():

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import build_bmstore
 from repro.core.sriov_layer import FN_BAR_BYTES
-from repro.nvme import SQE, IOOpcode
 from repro.sim.units import GIB
 
 

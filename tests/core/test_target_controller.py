@@ -1,6 +1,5 @@
 """Target Controller: engine-local admin fast paths and demux stats."""
 
-import pytest
 
 from repro.baselines import build_bmstore
 from repro.nvme import AdminOpcode

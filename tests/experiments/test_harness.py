@@ -8,8 +8,7 @@ from repro.experiments import (
     fig8_table5,
     fig10,
     quick_cases,
-    run_case_bmstore,
-    run_case_native,
+    run_case,
     table1,
     table2,
     tco_analysis,
@@ -60,9 +59,9 @@ def test_quick_cases_subset():
 # --------------------------------------------------------- scheme runners
 def test_runners_produce_comparable_results():
     spec = quick_cases(["rand-w-1"])[0]
-    native = run_case_native(spec)
-    bms = run_case_bmstore(spec)
-    assert native.ios > 0 and bms.ios > 0
+    native = run_case("native", spec)
+    bms = run_case("bmstore", spec)
+    assert native.fio.ios > 0 and bms.fio.ios > 0
     assert bms.avg_latency_us > native.avg_latency_us  # the ~3us adder
 
 

@@ -1,6 +1,5 @@
 """REPRO_TIME_SCALE: the fidelity knob stretches measurement windows."""
 
-import pytest
 
 from repro.experiments.common import scaled, time_scale
 from repro.workloads.fio import TABLE_IV_CASES

@@ -1,10 +1,8 @@
 """ZNS SSD tests: zone state machine, sequential-write rule, append,
 management commands, and resource limits (paper §VI-A)."""
 
-import pytest
 
 from repro.host import Host, NVMeDriver
-from repro.nvme.spec import IOOpcode, StatusCode
 from repro.nvme.zns import (
     ZNS_STATUS,
     ZNSConfig,

@@ -1,10 +1,7 @@
 """NVMe-driver edge cases: backpressure, cid management, concurrency."""
 
-import pytest
 
 from repro.baselines import build_native
-from repro.sim import Simulator
-from repro.sim.units import MS
 
 
 def test_queue_depth_backpressure_blocks_excess_submissions():

@@ -1,8 +1,7 @@
 """VirtualMachine wiring: overhead application and queue topology."""
 
-import pytest
 
-from repro.baselines import build_bmstore, build_native
+from repro.baselines import build_bmstore
 from repro.host import KERNEL_PROFILES, VirtualMachine, VMProfile
 from repro.sim.units import GIB
 

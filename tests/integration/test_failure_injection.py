@@ -6,7 +6,6 @@ the error counters out of band, and a hot-plug replacement clears the
 fault while the tenant's logical drive survives.
 """
 
-import pytest
 
 from repro.baselines import build_bmstore, build_native
 from repro.nvme import NVMeSSD

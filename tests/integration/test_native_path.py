@@ -9,7 +9,7 @@ import pytest
 from repro.host import Host, NVMeDriver
 from repro.nvme import NVMeSSD
 from repro.sim import Simulator, StreamFactory
-from repro.sim.units import to_us, us
+from repro.sim.units import to_us
 
 
 def make_rig(queue_depth=1024, num_io_queues=4):

@@ -1,6 +1,5 @@
 """Concurrent out-of-band requests: correlation and ordering."""
 
-import pytest
 
 from repro.baselines import build_bmstore
 from repro.sim.units import GIB

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import build_bmstore
 from repro.mgmt import MIOpcode, MIStatus
 from repro.nvme import NVMeSSD
-from repro.sim.units import GIB, sec, to_sec
+from repro.sim.units import GIB, sec
 
 
 def run(rig, gen):

@@ -1,16 +1,9 @@
 """NVMeSSD device tests: admin commands, firmware activation pause,
 namespace bounds, and data persistence."""
 
-import pytest
 
 from repro.host import Host, NVMeDriver
-from repro.nvme import (
-    DEFAULT_FIRMWARE,
-    AdminOpcode,
-    FirmwareImage,
-    NVMeSSD,
-    StatusCode,
-)
+from repro.nvme import DEFAULT_FIRMWARE, AdminOpcode, FirmwareImage, NVMeSSD
 from repro.sim import Simulator, StreamFactory
 from repro.sim.units import sec
 

@@ -1,0 +1,117 @@
+"""Span tracing: IOSpan/SpanLog units plus end-to-end stamping through
+the simulated BM-Store datapath (the Fig. 6 stages)."""
+
+
+from repro.obs import STAGES, IOSpan, MetricsRegistry, SpanLog
+from repro.sim.units import MS
+from repro.workloads.fio import FioSpec
+
+
+# ----------------------------------------------------------------- units
+def test_span_completeness_requires_all_seven_stages():
+    span = IOSpan("read")
+    for i, stage in enumerate(STAGES[:-1]):
+        span.stamp(stage, i * 10)
+        assert not span.is_complete
+    span.stamp(STAGES[-1], 100)
+    assert span.is_complete
+
+
+def test_span_monotonicity_and_deltas():
+    span = IOSpan("read")
+    span.stamp("submit", 0)
+    span.stamp("doorbell", 40)
+    span.stamp("fetch", 90)
+    assert span.is_monotone
+    assert span.stage_deltas() == [("doorbell", 40), ("fetch", 50)]
+    assert span.duration_ns("submit", "fetch") == 90
+    assert span.duration_ns("submit", "complete") is None
+    span.stamp("lba_map", 50)  # earlier than the prior stage
+    assert not span.is_monotone
+
+
+def test_span_restamp_keeps_latest():
+    span = IOSpan("write")
+    span.stamp("ssd_dma", 10)
+    span.stamp("ssd_dma", 30)  # e.g. multi-extent fan-out, last fragment
+    assert span.get("ssd_dma") == 30
+
+
+def test_span_total_is_submit_to_interrupt():
+    span = IOSpan("read")
+    span.stamp("submit", 100)
+    span.stamp("interrupt", 4100)
+    assert span.total_ns() == 4000
+
+
+def test_spanlog_caps_and_counts_drops():
+    log = SpanLog(capacity=2)
+    for i in range(5):
+        span = IOSpan("read")
+        span.stamp("submit", i)
+        log.add(span)
+    assert len(log) == 2
+    assert log.dropped == 3
+    assert log[0].get("submit") == 0
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
+
+
+# ----------------------------------------------- end-to-end through the sim
+def _small_spec():
+    return FioSpec("span-probe", "randread", 4096, iodepth=4, numjobs=1,
+                   runtime_ns=2 * MS, ramp_ns=MS // 2)
+
+
+def test_bmstore_spans_cover_all_stages_and_are_monotone():
+    from repro.experiments.common import run_case
+
+    case = run_case("bmstore", _small_spec(), seed=3)
+    spans = list(case.obs.spans)
+    assert spans, "a bmstore run must record spans"
+    for span in spans:
+        assert span.is_complete, f"missing stages: {span!r}"
+        assert span.is_monotone, f"time went backwards: {span!r}"
+    # every canonical inter-stage delta fed its histogram
+    hists = case.obs.histograms("span_stage_ns")
+    for stage in STAGES[1:]:
+        h = hists.get((("stage", stage),))
+        assert h is not None and h.count == len(spans), stage
+
+
+def test_bmstore_run_populates_namespace_counters():
+    from repro.experiments.common import run_case
+
+    case = run_case("bmstore", _small_spec(), seed=3)
+    ops = case.obs.counters("ns_ops")
+    assert ops, "the engine I/O monitor must count per-namespace ops"
+    (labels, counter), = ops.items()
+    tags = dict(labels)
+    assert tags["op"] == "read"
+    assert counter.value > 0
+    # total latency histogram agrees with the span log
+    total = case.obs.histograms("span_total_ns")[()]
+    assert total.count == len(case.obs.spans) + case.obs.spans.dropped
+
+
+def test_native_spans_lack_engine_stages():
+    from repro.experiments.common import run_case
+
+    case = run_case("native", _small_spec(), seed=3)
+    spans = list(case.obs.spans)
+    assert spans, "the native driver still records spans"
+    for span in spans:
+        assert "submit" in span and "interrupt" in span
+        assert "doorbell" not in span  # no BMS-Engine on the native path
+        assert not span.is_complete
+
+
+def test_finish_span_accounts_incomplete_spans_too():
+    reg = MetricsRegistry()
+    span = IOSpan("read")
+    span.stamp("submit", 0)
+    span.stamp("interrupt", 500)
+    reg.finish_span(span)
+    assert len(reg.spans) == 1
+    assert reg.spans.complete() == []
+    assert reg.histograms("span_total_ns")[()].count == 1

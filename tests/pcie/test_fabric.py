@@ -11,7 +11,7 @@ from repro.pcie import (
     SRIOVCapability,
     VendorDefinedMessage,
 )
-from repro.sim import SimulationError, Simulator, StreamFactory
+from repro.sim import SimulationError, Simulator
 
 
 class _Sink:

@@ -1,0 +1,146 @@
+"""Kernel edge cases: interrupting a process parked on an
+already-processed event, and composite conditions with failing members."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, SimulationError, Simulator
+
+
+# ------------------------------------------------------- interrupt edges
+def test_interrupt_while_waiting_on_processed_event():
+    # A process that yields an event which already fired waits on the
+    # kernel's internal replay poke; interrupting in that window must
+    # deliver the Interrupt, not the stale replay value.
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    sim.run(until=0)  # ev is now processed
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+            log.append("resumed")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause))
+
+    p = sim.process(waiter())
+    sim.step()  # bootstrap: waiter yields the processed event
+    p.interrupt("urgent")
+    sim.run()
+    assert log == [("interrupted", "urgent")]
+    assert not p.is_alive
+
+
+def test_interrupt_default_cause_is_none():
+    sim = Simulator()
+    causes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as intr:
+            causes.append(intr.cause)
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1)
+        p.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert causes == [None]
+
+
+def test_interrupted_process_can_keep_running():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt:
+            log.append(("caught", sim.now))
+        yield sim.timeout(5)
+        log.append(("done", sim.now))
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(10)
+        p.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("caught", 10), ("done", 15)]
+
+
+# ------------------------------------------------- conditions with failures
+def test_all_of_fails_fast_on_member_failure():
+    # AllOf must deliver the failure as soon as one member fails, not
+    # wait for the stragglers.
+    sim = Simulator()
+    slow = sim.timeout(1000)
+    bad = sim.event()
+    bad.fail(RuntimeError("member died"), delay=5)
+
+    def waiter():
+        try:
+            yield sim.all_of([slow, bad])
+        except RuntimeError as exc:
+            return (sim.now, str(exc))
+
+    assert sim.run(sim.process(waiter())) == (5, "member died")
+
+
+def test_all_of_with_already_failed_member():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(ValueError("pre-failed"))
+    sim.run(until=0)
+
+    def waiter():
+        try:
+            yield sim.all_of([sim.timeout(100), bad])
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run(sim.process(waiter())) == "pre-failed"
+
+
+def test_any_of_with_already_failed_member():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(ValueError("pre-failed"))
+    sim.run(until=0)
+
+    def waiter():
+        try:
+            yield sim.any_of([sim.timeout(100), bad])
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run(sim.process(waiter())) == "pre-failed"
+
+
+def test_any_of_success_beats_later_failure():
+    sim = Simulator()
+    fast = sim.timeout(1, value="ok")
+    bad = sim.event()
+    bad.fail(RuntimeError("too late"), delay=50)
+
+    def waiter():
+        results = yield sim.any_of([fast, bad])
+        yield sim.timeout(100)  # outlive the failure; it must not re-raise
+        return list(results.values())
+
+    assert sim.run(sim.process(waiter())) == ["ok"]
+
+
+def test_condition_rejects_foreign_simulator_events():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim_a, [sim_a.timeout(1), sim_b.timeout(1)])
+    with pytest.raises(SimulationError):
+        AllOf(sim_a, [sim_a.timeout(1), sim_b.timeout(1)])

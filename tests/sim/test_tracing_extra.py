@@ -1,16 +1,8 @@
 """Extra kernel coverage: AnyOf failure, interrupts during resources,
 process interplay the storage models rely on."""
 
-import pytest
 
-from repro.sim import (
-    AnyOf,
-    Interrupt,
-    Resource,
-    SimulationError,
-    Simulator,
-    Store,
-)
+from repro.sim import Interrupt, Resource, Simulator, Store
 
 
 def test_any_of_fails_when_member_fails_first():

@@ -1,6 +1,5 @@
 """CLI tests: python -m repro ..."""
 
-import pytest
 
 from repro.cli import main
 
@@ -35,6 +34,29 @@ def test_fio_rejects_unknown_scheme(capsys):
 
 def test_fio_rejects_unknown_case(capsys):
     assert main(["fio", "--scheme", "native", "--case", "bogus"]) == 2
+
+
+def test_stats_command_prints_stage_and_namespace_stats(capsys):
+    assert main(["stats", "--scheme", "bmstore", "--case", "rand-w-1"]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage latency" in out
+    assert "ssd_dma" in out and "doorbell" in out
+    assert "per-namespace I/O" in out and "KIOPS" in out
+    assert "spans:" in out
+
+
+def test_stats_json_dump_is_parseable(capsys):
+    import json
+
+    assert main(["stats", "--scheme", "native", "--case", "rand-w-1",
+                 "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["spans"]["recorded"] > 0
+    assert any(k.startswith("io_latency_ns") for k in snap["histograms"])
+
+
+def test_stats_rejects_unknown_scheme(capsys):
+    assert main(["stats", "--scheme", "warp-drive"]) == 2
 
 
 def test_tco_command(capsys):
