@@ -14,7 +14,9 @@ Quick start::
     driver = rig.baremetal_driver(fn)
 """
 
-__version__ = "1.0.0"
+#: single source of truth for the package version; pyproject.toml reads
+#: it back via ``[tool.setuptools.dynamic]``
+__version__ = "0.1.0"
 __paper__ = (
     "BM-Store: A Transparent and High-performance Local Storage "
     "Architecture for Bare-metal Clouds Enabling Large-scale Deployment "

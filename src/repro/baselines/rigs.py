@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..core.controller import BMSController, ControllerTimings
 from ..core.engine import BMSEngine, EngineTimings
+from ..faults import DriverFaultPolicy, FaultInjector, FaultPlan
 from ..core.qos import QoSLimits
 from ..core.sriov_layer import FrontEndFunction
 from ..host.driver import NVMeDriver
@@ -47,6 +48,26 @@ def _base_world(
     return sim, streams, host
 
 
+def _make_injector(
+    sim: Simulator,
+    faults: Optional[FaultPlan],
+    obs: Optional[MetricsRegistry],
+) -> Optional[FaultInjector]:
+    """An injector only exists when the plan actually schedules faults.
+
+    A plan holding nothing but a driver policy arms host-side
+    supervision without creating any injector, so the datapath hooks
+    stay on their ``faults is None`` fast path.
+    """
+    if faults is None or not faults.specs:
+        return None
+    return FaultInjector(sim, faults, obs=obs)
+
+
+def _driver_policy(faults: Optional[FaultPlan]) -> Optional[DriverFaultPolicy]:
+    return faults.driver_policy if faults is not None else None
+
+
 # ---------------------------------------------------------------- native
 @dataclass
 class NativeRig:
@@ -58,6 +79,7 @@ class NativeRig:
     ssds: list[NVMeSSD]
     drivers: list[NVMeDriver]
     obs: Optional[MetricsRegistry] = None
+    faults: Optional[FaultInjector] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -71,6 +93,7 @@ def build_native(
     num_io_queues: int = 4,
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> NativeRig:
     """A bare-metal world: host + drives + bound drivers."""
     sim, streams, host = _base_world(seed, kernel)
@@ -78,12 +101,20 @@ def build_native(
         NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         for i in range(num_ssds)
     ]
+    injector = _make_injector(sim, faults, obs)
+    if injector is not None:
+        for ssd in ssds:
+            injector.bind_ssd(ssd)
+        injector.bind_fabric(host.fabric)
+        injector.start()
+    policy = _driver_policy(faults)
     drivers = [
         NVMeDriver(host, ssd, queue_depth=queue_depth,
-                   num_io_queues=num_io_queues, name=f"nvme{i}", obs=obs)
+                   num_io_queues=num_io_queues, name=f"nvme{i}", obs=obs,
+                   fault_policy=policy)
         for i, ssd in enumerate(ssds)
     ]
-    return NativeRig(sim, streams, host, ssds, drivers, obs=obs)
+    return NativeRig(sim, streams, host, ssds, drivers, obs=obs, faults=injector)
 
 
 # --------------------------------------------------------------- BM-Store
@@ -99,6 +130,8 @@ class BMStoreRig:
     console: RemoteConsole
     ssds: list[NVMeSSD]
     obs: Optional[MetricsRegistry] = None
+    faults: Optional[FaultInjector] = None
+    fault_policy: Optional[DriverFaultPolicy] = None
     _next_vf: int = 5  # fn 1..4 are PFs; VMs get VFs from 5 up
 
     def provision(
@@ -125,7 +158,7 @@ class BMStoreRig:
         return NVMeDriver(
             self.host, fn, queue_depth=queue_depth,
             num_io_queues=num_io_queues, name=f"bms.fn{fn.fn_id}",
-            obs=self.obs,
+            obs=self.obs, fault_policy=self.fault_policy,
         )
 
     def vm_driver(
@@ -134,7 +167,8 @@ class BMStoreRig:
         fn: FrontEndFunction,
         queue_depth: int = 1024,
     ) -> NVMeDriver:
-        return vm.bind_nvme(fn, queue_depth=queue_depth, obs=self.obs)
+        return vm.bind_nvme(fn, queue_depth=queue_depth, obs=self.obs,
+                            fault_policy=self.fault_policy)
 
 
 def build_bmstore(
@@ -147,6 +181,7 @@ def build_bmstore(
     controller_timings: ControllerTimings = ControllerTimings(),
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> BMStoreRig:
     """A full BM-Store world: host + engine/controller/console + drives."""
     sim, streams, host = _base_world(seed, kernel)
@@ -164,8 +199,19 @@ def build_bmstore(
         )
         engine.attach_ssd(ssd)
         ssds.append(ssd)
+    injector = _make_injector(sim, faults, obs)
+    if injector is not None:
+        injector.bind_engine(engine, controller=controller)
+        injector.bind_fabric(host.fabric)
+        injector.bind_fabric(engine.backend_fabric)
+        for ssd in ssds:
+            injector.bind_ssd(ssd)
+        injector.start()
+        if any(spec.kind == "hot_remove" for spec in faults.specs):
+            controller.start_watchdog()
     return BMStoreRig(sim, streams, host, engine, controller, console, ssds,
-                      obs=obs)
+                      obs=obs, faults=injector,
+                      fault_policy=_driver_policy(faults))
 
 
 # ------------------------------------------------------------------ VFIO
@@ -181,6 +227,7 @@ class VFIORig:
     drivers: list[NVMeDriver]
     assignment: VFIOAssignment
     obs: Optional[MetricsRegistry] = None
+    faults: Optional[FaultInjector] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -195,20 +242,30 @@ def build_vfio(
     queue_depth: int = 1024,
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> VFIORig:
     """Pass-through worlds: one whole drive per VM."""
     sim, streams, host = _base_world(seed, kernel)
     assignment = VFIOAssignment()
+    policy = _driver_policy(faults)
     ssds, vms, drivers = [], [], []
     for i in range(num_vms):
         ssd = NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         vm = VirtualMachine(host, f"vm{i}", profile=vm_profile,
                             guest_kernel=guest_kernel or kernel)
-        driver = assignment.assign(vm, ssd, queue_depth=queue_depth, obs=obs)
+        driver = assignment.assign(vm, ssd, queue_depth=queue_depth, obs=obs,
+                                   fault_policy=policy)
         ssds.append(ssd)
         vms.append(vm)
         drivers.append(driver)
-    return VFIORig(sim, streams, host, ssds, vms, drivers, assignment, obs=obs)
+    injector = _make_injector(sim, faults, obs)
+    if injector is not None:
+        for ssd in ssds:
+            injector.bind_ssd(ssd)
+        injector.bind_fabric(host.fabric)
+        injector.start()
+    return VFIORig(sim, streams, host, ssds, vms, drivers, assignment, obs=obs,
+                   faults=injector)
 
 
 # ------------------------------------------------------------------ SPDK
@@ -223,6 +280,7 @@ class SPDKRig:
     target: SPDKVhostTarget
     vdevs: list[VhostBlockDevice]
     obs: Optional[MetricsRegistry] = None
+    faults: Optional[FaultInjector] = None
 
     def vdev(self, index: int = 0) -> VhostBlockDevice:
         return self.vdevs[index]
@@ -238,6 +296,7 @@ def build_spdk(
     config: SPDKConfig = SPDKConfig(),
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SPDKRig:
     """An SPDK vhost world: polling cores + virtio vdevs."""
     sim, streams, host = _base_world(seed, kernel)
@@ -245,6 +304,12 @@ def build_spdk(
         NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         for i in range(num_ssds)
     ]
+    injector = _make_injector(sim, faults, obs)
+    if injector is not None:
+        for ssd in ssds:
+            injector.bind_ssd(ssd)
+        injector.bind_fabric(host.fabric)
+        injector.start()
     target = SPDKVhostTarget(host, ssds, num_cores=num_cores, config=config)
     vdevs = []
     blocks = vdev_blocks or (256 * 1024**3 // 4096)
@@ -255,4 +320,5 @@ def build_spdk(
         per_ssd_next[ssd_index] = base + blocks
         vdevs.append(target.create_vdev(f"vd{i}", ssd_index, base, blocks))
     target.start()
-    return SPDKRig(sim, streams, host, ssds, target, vdevs, obs=obs)
+    return SPDKRig(sim, streams, host, ssds, target, vdevs, obs=obs,
+                   faults=injector)

@@ -87,6 +87,10 @@ class BMSController:
         self._staged_replacements: dict[int, NVMeSSD] = {}
         self._monitor_history: list[dict] = []
         self._monitor_task = None
+        self._watchdog_task = None
+        #: out-of-band fault visibility: injected faults and recoveries
+        self.fault_log: list[dict] = []
+        self.recoveries = 0
         self._image_buffer = engine.chip_memory.alloc(timings.download_chunk_bytes)
 
         # MCTP endpoint: VDMs arriving at the engine's front port are
@@ -199,6 +203,21 @@ class BMSController:
         if op == int(MIOpcode.GET_UPGRADE_REPORT):
             return MIStatus.SUCCESS, {
                 "reports": [_report_body(r) for r in self.upgrade_reports]
+            }
+        if op == int(MIOpcode.GET_FAULT_LOG):
+            yield self.sim.timeout(self.engine.timings.monitor_sample_ns)
+            slots = [
+                {
+                    "index": slot.index,
+                    "attached": slot.ssd is not None,
+                    "inflight": getattr(slot, "inflight", 0),
+                }
+                for slot in self.engine.adaptor.slots
+            ]
+            return MIStatus.SUCCESS, {
+                "events": list(self.fault_log),
+                "slots": slots,
+                "recoveries": self.recoveries,
             }
         return MIStatus.UNSUPPORTED, {}
 
@@ -354,6 +373,57 @@ class BMSController:
         report.ok = True
         self.hotplug_reports.append(report)
         done.succeed(report)
+
+    # ------------------------------------------------- fault observation
+    FAULT_LOG_CAPACITY = 256
+
+    def note_fault(self, kind: str, target: str) -> None:
+        """Record an observed fault (called by the FaultInjector and by
+        recovery paths); bounded so long fault storms stay cheap."""
+        if len(self.fault_log) < self.FAULT_LOG_CAPACITY:
+            self.fault_log.append({"t": self.sim.now, "kind": kind,
+                                   "target": target})
+
+    def start_watchdog(self, period_ns: int = ms(20)):
+        """Periodic slot-health scan: when a surprise-removed slot has a
+        staged replacement seated, drive the re-attach (namespace
+        re-attach without disturbing the front end).  Idempotent."""
+        if self._watchdog_task is not None:
+            return self._watchdog_task
+
+        def loop():
+            while True:
+                yield self.sim.timeout(period_ns)
+                for slot in self.engine.adaptor.slots:
+                    if slot.ssd is None and slot.index in self._staged_replacements:
+                        yield from self._reseat(slot.index)
+
+        self._watchdog_task = self.sim.process(loop(), name=f"{self.name}.watchdog")
+        return self._watchdog_task
+
+    def _reseat(self, ssd_id: int):
+        """Recovery from surprise removal: attach the re-seated drive
+        back into its slot.  Nothing is in flight (the removal failed
+        everything), so no drain is needed — just the hot-plug
+        pre/post software costs around the attach."""
+        new_ssd = self._staged_replacements.pop(ssd_id, None)
+        if new_ssd is None:
+            return
+        report = HotPlugReport(ssd_id=ssd_id)
+        slot = self.engine.adaptor.slot_for(ssd_id)
+        pause_t0 = self.sim.now
+        self.engine.pause_backend(ssd_id)
+        yield self.sim.timeout(self.timings.hotplug_pre_ns)
+        slot.attach_ssd(new_ssd)
+        yield self.sim.timeout(self.timings.hotplug_post_ns)
+        self.engine.resume_backend(ssd_id)
+        report.io_pause_ns = self.sim.now - pause_t0
+        report.ok = True
+        self.hotplug_reports.append(report)
+        self.recoveries += 1
+        self.note_fault("reattach", str(ssd_id))
+        if self.engine.obs is not None:
+            self.engine.obs.counter("bmsc_recoveries", slot=str(ssd_id)).inc()
 
     # --------------------------------------------------------- in-band admin
     def _inband_admin_loop(self):

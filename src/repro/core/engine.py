@@ -141,6 +141,9 @@ class BMSEngine:
         self.chunk_blocks = chunk_bytes // LBA_BYTES
         self.obs = obs
         self.route_stats = RouteStats()
+        #: bound FaultInjector (hook points engine.dispatch /
+        #: engine.backend); None = dormant, zero-cost
+        self.faults = None
 
         # front end: one port on the host fabric
         self.front_port = host.fabric.attach(name, lanes=front_lanes)
@@ -598,3 +601,12 @@ class BMSEngine:
 
     def store_io_context(self, ssd_id: int) -> dict:
         return self.adaptor.slot_for(ssd_id).io_context()
+
+    def surprise_remove(self, ssd_id: int) -> Optional[NVMeSSD]:
+        """Surprise hot-remove of a backend drive: every in-flight and
+        buffered command fails with NAMESPACE_NOT_READY; the front end
+        survives and the slot awaits a replacement."""
+        removed = self.adaptor.slot_for(ssd_id).surprise_remove()
+        if self.obs is not None:
+            self.obs.counter("engine_surprise_removes", slot=str(ssd_id)).inc()
+        return removed

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from ..nvme.command import SQE
 from ..nvme.queues import CompletionQueue, SubmissionQueue
+from ..nvme.spec import StatusCode
 from ..nvme.ssd import NVMeSSD
 from ..sim import Event, Resource, SimulationError, Simulator
 
@@ -86,6 +87,33 @@ class BackendSlot:
         self.ssd = None
         return old
 
+    def surprise_remove(self) -> Optional[NVMeSSD]:
+        """Surprise hot-remove: detach without a drain, failing every
+        in-flight and pause-buffered command with NAMESPACE_NOT_READY.
+
+        CQEs the removed drive already DMA'd (or late ones from a race)
+        become stale: :meth:`_reap` ignores them because their pending
+        contexts are gone.  The accounting (inflight, ring slots) is
+        settled here so the sim kernel never deadlocks on a drained
+        event or a leaked slot.
+        """
+        removed = self.detach_ssd()
+        failed, self.pending = self.pending, {}
+        buffered, self.pause_buffer = self.pause_buffer, []
+        for cid in sorted(failed):
+            self.inflight -= 1
+            self.slots.release()
+            failed[cid].on_complete(int(StatusCode.NAMESPACE_NOT_READY))
+        for req in buffered:
+            req.on_complete(int(StatusCode.NAMESPACE_NOT_READY))
+        admin_failed, self._admin_pending = self._admin_pending, {}
+        for cid in sorted(admin_failed):
+            admin_failed[cid](int(StatusCode.NAMESPACE_NOT_READY))
+        if self.inflight == 0 and self._drain_event is not None:
+            ev, self._drain_event = self._drain_event, None
+            ev.succeed()
+        return removed
+
     # ---------------------------------------------------------- admin path
     def forward_admin(self, sqe: SQE, on_complete: Callable[[int], None]) -> None:
         """Issue an admin command to the drive (BMS-Controller use)."""
@@ -93,12 +121,14 @@ class BackendSlot:
 
     def _forward_admin(self, sqe: SQE, on_complete: Callable[[int], None]):
         yield self.sim.timeout(self.adaptor.push_ns)
+        if self.ssd is None:
+            # surprise-removed drive: the admin command fails fast
+            on_complete(int(StatusCode.NAMESPACE_NOT_READY))
+            return
         self._next_admin_cid = (self._next_admin_cid + 1) % 0xFFFF
         sqe.cid = self._next_admin_cid
         self._admin_pending[sqe.cid] = on_complete
         self.admin_sq.push(sqe)
-        if self.ssd is None:
-            raise SimulationError(f"slot {self.index}: admin with no SSD attached")
         yield self.adaptor.backend_fabric.cpu_write(self.ssd.doorbell_addr(0), 4)
 
     def on_admin_cq_write(self) -> None:
@@ -164,6 +194,12 @@ class BackendSlot:
             return
         yield self.slots.acquire()
         yield self.sim.timeout(self.adaptor.push_ns)
+        if self.ssd is None:
+            # surprise-removed drive: fail fast with a real NVMe status
+            # so the host driver's retry/requeue policy can engage
+            self.slots.release()
+            req.on_complete(int(StatusCode.NAMESPACE_NOT_READY))
+            return
         self._next_cid = (self._next_cid + 1) % 0xFFFF
         cid = self._next_cid
         sqe = req.sqe
@@ -172,8 +208,6 @@ class BackendSlot:
         self.inflight += 1
         self.forwarded += 1
         self.sq.push(sqe)
-        if self.ssd is None:
-            raise SimulationError(f"slot {self.index}: forward with no SSD attached")
         yield self.adaptor.backend_fabric.cpu_write(
             self.ssd.doorbell_addr(BACKEND_QID), 4
         )
@@ -190,14 +224,18 @@ class BackendSlot:
             if cqe is None:
                 return
             ctx = self.pending.pop(cqe.cid, None)
+            if ctx is None:
+                # stale CQE: the command was already failed by a
+                # surprise removal — its slot/inflight accounting is
+                # settled, so this completion must not double-release
+                continue
             self.inflight -= 1
             self.completed += 1
             self.slots.release()
             if self.inflight == 0 and self._drain_event is not None:
                 ev, self._drain_event = self._drain_event, None
                 ev.succeed()
-            if ctx is not None:
-                ctx.on_complete(cqe.status)
+            ctx.on_complete(cqe.status)
 
 
 @dataclass

@@ -60,6 +60,11 @@ class TargetController:
         span = getattr(sqe, "span", None)
         if span is not None:
             span.stamp("fetch", self.engine.sim.now)
+        faults = self.engine.faults
+        if faults is not None:
+            stall = faults.engine_stall_ns(span=span)
+            if stall:
+                yield self.engine.sim.timeout(stall)
         if qid != 0:
             self.io_commands += 1
             if obs is not None:
@@ -106,6 +111,7 @@ class TargetController:
             int(AdminOpcode.DELETE_IO_CQ),
             int(AdminOpcode.SET_FEATURES),
             int(AdminOpcode.GET_FEATURES),
+            int(AdminOpcode.ABORT),
         ):
             yield self.engine.sim.timeout(self.engine.timings.pipeline_ns)
             self.engine.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.SUCCESS), 0)

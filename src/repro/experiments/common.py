@@ -28,6 +28,7 @@ from ..baselines import (
     build_spdk,
     build_vfio,
 )
+from ..faults import FaultPlan
 from ..host.driver import NVMeDriver
 from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
 from ..host.vm import VirtualMachine
@@ -178,6 +179,11 @@ class CaseResult:
     def latency(self):
         return self.fio.latency
 
+    @property
+    def errors(self) -> int:
+        """I/Os that completed with a non-success NVMe status."""
+        return getattr(self.fio, "errors", 0)
+
 
 def _finish(sim, run: FioRun) -> FioResult:
     sim.run(run.finished)
@@ -185,9 +191,11 @@ def _finish(sim, run: FioRun) -> FioResult:
 
 
 def _scheme_native(spec: FioSpec, *, seed: int, kernel: KernelProfile,
-                   obs: MetricsRegistry, num_ssds: int = 1) -> FioResult:
+                   obs: MetricsRegistry, num_ssds: int = 1,
+                   faults: Optional[FaultPlan] = None) -> FioResult:
     """Bare-metal: the host NVMe driver directly on physical drives."""
-    rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs)
+    rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
+                       faults=faults)
     return _finish(rig.sim, FioRun(rig.sim, rig.drivers, spec, rig.streams))
 
 
@@ -210,29 +218,33 @@ def _scheme_bmstore(spec: FioSpec, *, seed: int, kernel: KernelProfile,
 
 
 def _scheme_vfio_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
-                    obs: MetricsRegistry) -> FioResult:
+                    obs: MetricsRegistry,
+                    faults: Optional[FaultPlan] = None) -> FioResult:
     """In-VM on a VFIO-assigned whole drive."""
     rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel,
-                     obs=obs)
+                     obs=obs, faults=faults)
     return _finish(rig.sim, FioRun(rig.sim, [rig.driver()], spec, rig.streams))
 
 
 def _scheme_bmstore_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
-                       obs: MetricsRegistry, num_ssds: int = 1) -> FioResult:
+                       obs: MetricsRegistry, num_ssds: int = 1,
+                       faults: Optional[FaultPlan] = None) -> FioResult:
     """In-VM on a BM-Store VF."""
-    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs)
+    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
+                        faults=faults)
     vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
     driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
     return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
 
 
 def _scheme_spdk_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
-                    obs: MetricsRegistry, num_cores: int = 1) -> FioResult:
+                    obs: MetricsRegistry, num_cores: int = 1,
+                    faults: Optional[FaultPlan] = None) -> FioResult:
     """In-VM on an SPDK vhost virtio disk."""
     rig = build_spdk(
         num_ssds=1, num_cores=num_cores, num_vdevs=1,
         vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
-        obs=obs,
+        obs=obs, faults=faults,
     )
     return _finish(rig.sim, FioRun(rig.sim, [rig.vdev()], spec, rig.streams))
 
@@ -263,7 +275,8 @@ def run_case(
     your own registry to control span capacity, or let this create
     one).  Extra keyword arguments go to the scheme runner (e.g.
     ``num_ssds=4`` for "native"/"bmstore", ``zero_copy=False`` for
-    "bmstore", ``num_cores=2`` for "spdk-vm").
+    "bmstore", ``num_cores=2`` for "spdk-vm", ``faults=FaultPlan(...)``
+    for any scheme to arm deterministic fault injection).
     """
     runner = SCHEMES.get(scheme)
     if runner is None:

@@ -1,0 +1,20 @@
+"""Deterministic, seeded fault injection for the BM-Store datapath.
+
+``FaultPlan`` (:mod:`repro.faults.plan`) is the data model,
+``FaultInjector`` (:mod:`repro.faults.injector`) arms it into a rig,
+and :mod:`repro.faults.presets` has canned plans for the CLI.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, DriverFaultPolicy, FaultPlan, FaultSpec
+from .presets import PRESETS, get_preset
+
+__all__ = [
+    "FAULT_KINDS",
+    "DriverFaultPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,190 @@
+"""Deterministic fault plans: *what* breaks, *where*, and *when*.
+
+A :class:`FaultPlan` is pure data — a composable schedule of
+:class:`FaultSpec` entries plus an optional :class:`DriverFaultPolicy`
+describing how the host driver should defend itself.  Plans carry no
+randomness of their own: every fault fires at an explicit simulated
+time (or on an explicit command-count trigger), so the same seed plus
+the same plan always produces the identical event sequence.
+
+The plan is armed into a simulated world by a
+:class:`~repro.faults.injector.FaultInjector`; an un-armed world (no
+injector, ``faults=None`` everywhere) executes exactly the pre-fault
+code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional
+
+from ..nvme.spec import StatusCode
+from ..sim.units import MS, ms
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "DriverFaultPolicy", "FaultPlan"]
+
+FAULT_KINDS = (
+    "media_error",      # NVMe media/data-transfer error on matching I/O
+    "die_stall",        # extra per-command flash latency (busy die / GC)
+    "cmd_drop",         # command swallowed: no CQE is ever posted
+    "link_flap",        # PCIe link down for a window (both directions)
+    "width_degrade",    # PCIe link re-trains at fewer lanes
+    "firmware_stall",   # firmware activation takes longer than advertised
+    "engine_stall",     # BMS-Engine pipeline hiccup per dispatched command
+    "hot_remove",       # surprise removal of a backend SSD (and re-seat)
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  Field meaning varies slightly per kind."""
+
+    kind: str
+    target: str = ""          # SSD/port name; backend slot id for hot_remove; "" = any
+    at_ns: int = 0            # window start (simulated time)
+    duration_ns: int = 0      # window length; 0 = open-ended (or re-seat delay)
+    count: int = 0            # max firings inside the window; 0 = unlimited
+    op: str = "any"           # media_error: "read" | "write" | "any"
+    lba: int = -1             # media_error: bad range start; -1 = any LBA
+    nblocks: int = 1          # media_error: bad range length
+    status: int = int(StatusCode.DATA_TRANSFER_ERROR)
+    stall_ns: int = 0         # die_stall / engine_stall per command; firmware extra
+    lanes: int = 0            # width_degrade: degraded link width
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if self.at_ns < 0 or self.duration_ns < 0:
+            raise ValueError(f"{self.kind}: fault times must be non-negative")
+
+
+@dataclass(frozen=True)
+class DriverFaultPolicy:
+    """Production-shaped error handling knobs for the host NVMe driver.
+
+    When set, every I/O is supervised: if no completion arrives within
+    ``timeout_ns`` the driver sends an NVMe Abort and retries with
+    bounded exponential backoff (``backoff_base_ns * 2**attempt``,
+    capped at ``backoff_cap_ns``); completions whose status is in
+    ``retryable`` are retried the same way.  ``max_retries`` bounds the
+    extra attempts before the failure surfaces to the caller.
+    """
+
+    timeout_ns: int = 50 * MS
+    max_retries: int = 5
+    backoff_base_ns: int = ms(5)
+    backoff_cap_ns: int = ms(80)
+    retryable: tuple[int, ...] = (
+        int(StatusCode.NAMESPACE_NOT_READY),
+        int(StatusCode.ABORTED_BY_REQUEST),
+    )
+
+
+class FaultPlan:
+    """A composable schedule of faults.  Builders chain:
+
+    >>> plan = (FaultPlan()
+    ...         .media_error(ssd="bssd0", at_ns=ms(10), count=2, op="read")
+    ...         .link_flap("bssd0", at_ns=ms(20), duration_ns=ms(5))
+    ...         .with_driver_policy(timeout_ns=ms(10), max_retries=4))
+    """
+
+    def __init__(self, driver_policy: Optional[DriverFaultPolicy] = None):
+        self.specs: list[FaultSpec] = []
+        self.driver_policy = driver_policy
+
+    # ------------------------------------------------------------- plumbing
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def kinds(self) -> set[str]:
+        return {s.kind for s in self.specs}
+
+    def describe(self) -> list[dict]:
+        """Stable, JSON-able view of the schedule (docs / CLI)."""
+        return [asdict(s) for s in sorted(self.specs, key=lambda s: (s.at_ns, s.kind))]
+
+    # ------------------------------------------------------------- builders
+    def media_error(
+        self,
+        ssd: str = "",
+        at_ns: int = 0,
+        duration_ns: int = 0,
+        count: int = 0,
+        op: str = "read",
+        lba: int = -1,
+        nblocks: int = 1,
+        status: int = int(StatusCode.DATA_TRANSFER_ERROR),
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "media_error", target=ssd, at_ns=at_ns, duration_ns=duration_ns,
+            count=count, op=op, lba=lba, nblocks=nblocks, status=status,
+        ))
+
+    def die_stall(
+        self, ssd: str = "", at_ns: int = 0, duration_ns: int = 0,
+        stall_ns: int = ms(2),
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "die_stall", target=ssd, at_ns=at_ns, duration_ns=duration_ns,
+            stall_ns=stall_ns,
+        ))
+
+    def cmd_drop(
+        self, ssd: str = "", at_ns: int = 0, duration_ns: int = 0, count: int = 1,
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "cmd_drop", target=ssd, at_ns=at_ns, duration_ns=duration_ns,
+            count=count,
+        ))
+
+    def link_flap(
+        self, port: str, at_ns: int = 0, duration_ns: int = ms(1),
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "link_flap", target=port, at_ns=at_ns, duration_ns=duration_ns,
+        ))
+
+    def width_degrade(
+        self, port: str, at_ns: int = 0, lanes: int = 1, duration_ns: int = 0,
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "width_degrade", target=port, at_ns=at_ns, lanes=lanes,
+            duration_ns=duration_ns,
+        ))
+
+    def firmware_stall(
+        self, ssd: str = "", extra_ns: int = ms(500), count: int = 1,
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "firmware_stall", target=ssd, stall_ns=extra_ns, count=count,
+        ))
+
+    def engine_stall(
+        self, at_ns: int = 0, duration_ns: int = ms(1), stall_ns: int = 10_000,
+    ) -> "FaultPlan":
+        return self.add(FaultSpec(
+            "engine_stall", at_ns=at_ns, duration_ns=duration_ns, stall_ns=stall_ns,
+        ))
+
+    def hot_remove(
+        self, slot: int, at_ns: int = 0, reattach_after_ns: int = 0,
+    ) -> "FaultPlan":
+        """Surprise-remove backend ``slot``; if ``reattach_after_ns`` is
+        nonzero, the drive is re-seated that long after removal and the
+        BMS-Controller watchdog re-attaches the namespace."""
+        return self.add(FaultSpec(
+            "hot_remove", target=str(slot), at_ns=at_ns,
+            duration_ns=reattach_after_ns,
+        ))
+
+    def with_driver_policy(self, **kwargs) -> "FaultPlan":
+        self.driver_policy = DriverFaultPolicy(**kwargs)
+        return self

@@ -1,0 +1,72 @@
+"""Canned fault plans for the CLI (``python -m repro fio --faults X``).
+
+Timings are sized for the quick fio cases (tens of milliseconds of
+simulated time); port/slot targets assume the ``bmstore`` scheme,
+whose single-SSD backend drive and PCIe port are both named
+``bssd0``.  Every preset that can leave a command without a CQE also
+carries a driver policy, otherwise closed-loop workers would wait
+forever.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import MS
+from .plan import FaultPlan
+
+__all__ = ["PRESETS", "get_preset"]
+
+
+def _media_burst() -> FaultPlan:
+    return (FaultPlan()
+            .media_error(at_ns=8 * MS, duration_ns=10 * MS, op="any")
+            .with_driver_policy(timeout_ns=5 * MS, max_retries=3,
+                                backoff_base_ns=200_000, backoff_cap_ns=MS))
+
+
+def _die_stall() -> FaultPlan:
+    return FaultPlan().die_stall(at_ns=8 * MS, duration_ns=6 * MS, stall_ns=500_000)
+
+
+def _cmd_drop() -> FaultPlan:
+    return (FaultPlan()
+            .cmd_drop(at_ns=10 * MS, count=4)
+            .with_driver_policy(timeout_ns=2 * MS, max_retries=4,
+                                backoff_base_ns=100_000, backoff_cap_ns=500_000))
+
+
+def _link_flap() -> FaultPlan:
+    return (FaultPlan()
+            .link_flap("bssd0", at_ns=10 * MS, duration_ns=2 * MS)
+            .with_driver_policy(timeout_ns=5 * MS, max_retries=4,
+                                backoff_base_ns=500_000, backoff_cap_ns=2 * MS))
+
+
+def _width_degrade() -> FaultPlan:
+    return FaultPlan().width_degrade("bssd0", at_ns=8 * MS, lanes=1,
+                                     duration_ns=10 * MS)
+
+
+def _hot_remove() -> FaultPlan:
+    return (FaultPlan()
+            .hot_remove(0, at_ns=10 * MS, reattach_after_ns=5 * MS)
+            .with_driver_policy(timeout_ns=10 * MS, max_retries=8,
+                                backoff_base_ns=500_000, backoff_cap_ns=2 * MS))
+
+
+PRESETS = {
+    "media-burst": _media_burst,
+    "die-stall": _die_stall,
+    "cmd-drop": _cmd_drop,
+    "link-flap": _link_flap,
+    "width-degrade": _width_degrade,
+    "hot-remove": _hot_remove,
+}
+
+
+def get_preset(name: str) -> FaultPlan:
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fault preset {name!r}; one of {sorted(PRESETS)}"
+        ) from None

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Protocol
 
+from ..faults.plan import DriverFaultPolicy
 from ..nvme.command import CQE, SQE
 from ..nvme.namespace import Namespace
 from ..nvme.prp import build_prps
@@ -49,13 +50,18 @@ class NVMeControllerTarget(Protocol):
 
 class DriverStats:
     """Submission/completion/interrupt counters of one bound driver."""
-    __slots__ = ("submitted", "completed", "errors", "interrupts")
+    __slots__ = ("submitted", "completed", "errors", "interrupts",
+                 "timeouts", "aborts", "retries", "retries_exhausted")
 
     def __init__(self) -> None:
         self.submitted = 0
         self.completed = 0
         self.errors = 0
         self.interrupts = 0
+        self.timeouts = 0
+        self.aborts = 0
+        self.retries = 0
+        self.retries_exhausted = 0
 
 
 class NVMeDriver:
@@ -75,6 +81,7 @@ class NVMeDriver:
         contended_lock_ns: Optional[int] = None,
         name: str = "nvme0",
         obs: Optional[MetricsRegistry] = None,
+        fault_policy: Optional[DriverFaultPolicy] = None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -92,6 +99,9 @@ class NVMeDriver:
         )
         self.stats = DriverStats()
         self.obs = obs
+        # production-shaped error handling; None = legacy trusting path
+        # with zero extra events per I/O
+        self.fault_policy = fault_policy
         self._pool = BufferPool(host.memory)
         self._lock = Resource(self.sim, 1, name=f"{name}.sqlock")
         self._pending: dict[tuple[int, int], dict[str, Any]] = {}
@@ -165,10 +175,16 @@ class NVMeDriver:
         want_data: bool,
     ) -> Event:
         done = self.sim.event(name=f"{self.name}.io")
-        self.sim.process(
-            self._submit_proc(opcode, lba, nblocks, payload, want_data, done),
-            name=f"{self.name}.submit",
-        )
+        if self.fault_policy is not None:
+            self.sim.process(
+                self._supervised_proc(opcode, lba, nblocks, payload, want_data, done),
+                name=f"{self.name}.iosup",
+            )
+        else:
+            self.sim.process(
+                self._submit_proc(opcode, lba, nblocks, payload, want_data, done),
+                name=f"{self.name}.submit",
+            )
         return done
 
     def _pick_queue(self) -> int:
@@ -182,7 +198,85 @@ class NVMeDriver:
         int(IOOpcode.FLUSH): "flush",
     }
 
-    def _submit_proc(self, opcode, lba, nblocks, payload, want_data, done):
+    def _supervised_proc(self, opcode, lba, nblocks, payload, want_data, done):
+        """Error-hardened submission: per-command timeout, Abort +
+        bounded exponential-backoff retry, requeue on hot-plug errors.
+
+        The same command is re-driven through the normal submission
+        path on each attempt; the caller's ``done`` event fires exactly
+        once, with the final (possibly failed) :class:`CompletionInfo`.
+        """
+        policy = self.fault_policy
+        start = self.sim.now
+        last_status = int(StatusCode.ABORTED_BY_REQUEST)
+        attempts = max(1, policy.max_retries + 1)
+        for attempt in range(attempts):
+            handle: dict[str, Any] = {}
+            inner = self.sim.event(name=f"{self.name}.attempt")
+            self.sim.process(
+                self._submit_proc(opcode, lba, nblocks, payload, want_data,
+                                  inner, handle),
+                name=f"{self.name}.submit",
+            )
+            if policy.timeout_ns:
+                yield self.sim.any_of([inner, self.sim.timeout(policy.timeout_ns)])
+            else:
+                yield inner
+            if inner.triggered:
+                info: CompletionInfo = inner.value
+                last_status = int(info.status)
+                if info.ok:
+                    done.succeed(CompletionInfo(
+                        True, info.status, info.data, self.sim.now - start))
+                    return
+                if last_status not in policy.retryable:
+                    done.succeed(CompletionInfo(
+                        False, info.status, None, self.sim.now - start))
+                    return
+            else:
+                # per-command deadline fired before any CQE arrived
+                self.stats.timeouts += 1
+                if self.obs is not None:
+                    self.obs.counter("driver_timeouts", driver=self.name).inc()
+                yield from self._abort_attempt(handle)
+                last_status = int(StatusCode.ABORTED_BY_REQUEST)
+            if attempt == attempts - 1:
+                break
+            delay = min(policy.backoff_cap_ns, policy.backoff_base_ns * (1 << attempt))
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.stats.retries += 1
+            if self.obs is not None:
+                self.obs.counter("driver_retries", driver=self.name).inc()
+        self.stats.retries_exhausted += 1
+        if self.obs is not None:
+            self.obs.counter("driver_retries_exhausted", driver=self.name).inc()
+        done.succeed(CompletionInfo(False, last_status, None, self.sim.now - start))
+
+    def _abort_attempt(self, handle: dict):
+        """Host-side cleanup + NVMe Abort for a timed-out command."""
+        qid, cid = handle.get("qid"), handle.get("cid")
+        if qid is None or cid is None:
+            # the attempt never reached the SQ (e.g. queued on a full
+            # queue); it will complete on its own and be ignored
+            return
+        ctx = self._pending.pop((qid, cid), None)
+        if ctx is not None:
+            if ctx["buf"]:
+                self._pool.put(ctx["buf"], ctx["length"])
+            if qid in self._slots:
+                self._slots[qid].release()
+            span = ctx.get("span")
+            if span is not None and self.obs is not None:
+                span.note_fault("host_timeout")
+                self.obs.finish_span(span)
+        self.stats.aborts += 1
+        if self.obs is not None:
+            self.obs.counter("driver_aborts", driver=self.name).inc()
+        yield self.admin(AdminOpcode.ABORT, cdw10=(cid & 0xFFFF) | (qid << 16))
+
+    def _submit_proc(self, opcode, lba, nblocks, payload, want_data, done,
+                     handle: Optional[dict] = None):
         start = self.sim.now
         span = None
         if self.obs is not None:
@@ -206,6 +300,8 @@ class NVMeDriver:
         yield self.sim.timeout(self.contended_lock_ns if contended else self.lock_ns)
         qp = self._qps[qid]
         cid = self._next_cid[qid] = (self._next_cid[qid] + 1) % 0xFFFF
+        if handle is not None:
+            handle["qid"], handle["cid"] = qid, cid
         sqe = SQE(
             opcode=opcode, cid=cid, nsid=self.nsid,
             slba=lba, nlb=max(0, nblocks - 1),

@@ -65,6 +65,7 @@ class VirtualMachine:
         num_io_queues: Optional[int] = None,
         queue_depth: int = 1024,
         obs: Optional[MetricsRegistry] = None,
+        fault_policy=None,
     ) -> NVMeDriver:
         """Attach a passthrough NVMe controller (VFIO or BM-Store VF)."""
         contended = int(self.guest_kernel.submit_lock_ns * self.profile.lock_multiplier)
@@ -81,6 +82,7 @@ class VirtualMachine:
             contended_lock_ns=contended,
             name=f"{self.name}.nvme",
             obs=obs,
+            fault_policy=fault_policy,
         )
         self.drivers.append(driver)
         return driver

@@ -122,3 +122,7 @@ class RemoteConsole:
 
     def upgrade_reports(self) -> Event:
         return self.request(MIOpcode.GET_UPGRADE_REPORT)
+
+    def fault_log(self) -> Event:
+        """Observed faults, slot health, and recovery count (out of band)."""
+        return self.request(MIOpcode.GET_FAULT_LOG)

@@ -34,6 +34,7 @@ class MIOpcode(enum.IntEnum):
     FIRMWARE_HOT_UPGRADE = 0x30
     HOT_PLUG_REPLACE = 0x31
     GET_UPGRADE_REPORT = 0x32
+    GET_FAULT_LOG = 0x33  # injected faults, slot health, recovery count
 
 
 class MIStatus(enum.IntEnum):

@@ -34,6 +34,7 @@ class AdminOpcode(enum.IntEnum):
     DELETE_IO_CQ = 0x04
     CREATE_IO_CQ = 0x05
     IDENTIFY = 0x06
+    ABORT = 0x08
     SET_FEATURES = 0x09
     GET_FEATURES = 0x0A
     NS_MANAGEMENT = 0x0D

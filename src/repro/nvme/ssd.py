@@ -114,6 +114,9 @@ class NVMeSSD:
         self._data_ranges_written = False
         #: failure injection: LBAs whose media reads fail (grown defects)
         self.bad_lbas: set[int] = set()
+        #: bound FaultInjector (hook points ssd.media / ssd.fetch /
+        #: ssd.firmware); None = dormant, zero-cost
+        self.faults = None
         # firmware-activation gate
         self._paused = False
         self._resume_event: Optional[Event] = None
@@ -175,18 +178,30 @@ class NVMeSSD:
         if self._paused:
             yield self._wait_resume()
         self.stats.inflight += 1
+        dropped = False
         try:
             sqe = yield self.port.mem_read(sqe_addr, SQE_BYTES)
             if not isinstance(sqe, SQE):
                 raise SimulationError(f"{self.name}: no SQE at {sqe_addr:#x}")
             yield self.sim.timeout(DECODE_NS)
-            if qid == 0:
+            if (
+                qid != 0
+                and self.faults is not None
+                and self.faults.drop_command(self.name, span=getattr(sqe, "span", None))
+            ):
+                # injected command loss: the drive swallows the command
+                # and never posts a CQE; only a host-side timeout recovers
+                dropped = True
+                status, result = int(StatusCode.SUCCESS), 0
+            elif qid == 0:
                 status, result = yield from self._admin(sqe)
             else:
                 status, result = yield from self._io(sqe)
         finally:
             self.stats.inflight -= 1
             self._check_drained()
+        if dropped:
+            return
         yield from self._complete(qid, qp, sqe, status, result)
 
     def _complete(self, qid: int, qp: QueuePair, sqe: SQE, status: int, result: int):
@@ -217,6 +232,21 @@ class NVMeSSD:
             return int(StatusCode.LBA_OUT_OF_RANGE), 0
         length = nblocks * ns.block_bytes
         pages, prp_list = yield from self._resolve_prps(sqe, length)
+
+        if self.faults is not None:
+            stall = self.faults.media_stall_ns(self.name, span=span)
+            if stall:
+                yield self.sim.timeout(stall)
+            forced = self.faults.media_error(
+                self.name, opcode, sqe.slba, nblocks, span=span
+            )
+            if forced is not None:
+                # the failing media op still burns its access time
+                if opcode == int(IOOpcode.WRITE):
+                    yield from self.flash.write(length)
+                else:
+                    yield from self.flash.read(length)
+                return forced, 0
 
         if opcode == int(IOOpcode.READ):
             if self.bad_lbas and any(
@@ -345,6 +375,13 @@ class NVMeSSD:
             if action >= 2:  # activate (with reset)
                 yield from self._activate_firmware(slot)
             return int(StatusCode.SUCCESS), 0
+        if opcode == int(AdminOpcode.ABORT):
+            # cdw10 = cid | (sqid << 16).  The command model executes
+            # each fetched SQE to completion, so by the time an Abort
+            # arrives the target either finished or was dropped; the
+            # Abort itself always succeeds (result 1 = not found).
+            yield self.sim.timeout(DECODE_NS)
+            return int(StatusCode.SUCCESS), 1
         if opcode in (int(AdminOpcode.CREATE_IO_SQ), int(AdminOpcode.CREATE_IO_CQ),
                       int(AdminOpcode.DELETE_IO_SQ), int(AdminOpcode.DELETE_IO_CQ),
                       int(AdminOpcode.SET_FEATURES), int(AdminOpcode.GET_FEATURES)):
@@ -382,6 +419,8 @@ class NVMeSSD:
             yield self._drained_event
         image = self.firmware.slots.get(slot)
         activation = image.activation_ns if image else DEFAULT_FIRMWARE.activation_ns
+        if self.faults is not None:
+            activation += self.faults.firmware_stall_ns(self.name)
         yield self.sim.timeout(activation)
         self.firmware.activate(slot)
         self.power_cycles += 1

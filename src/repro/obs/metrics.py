@@ -191,6 +191,9 @@ class MetricsRegistry:
     def finish_span(self, span: IOSpan) -> None:
         """File a completed span: log it + feed the stage histograms."""
         self.spans.add(span)
+        if span.faults:
+            for kind in span.faults:
+                self.counter("span_faults", kind=kind).inc()
         for stage, delta in span.stage_deltas():
             self.histogram("span_stage_ns", stage=stage).observe(delta)
         total = span.total_ns()
@@ -236,6 +239,11 @@ class MetricsRegistry:
             "dropped": self.spans.dropped,
             "complete": sum(1 for s in self.spans if s.is_complete),
         }
+        # only present when faults were injected, so fault-free snapshots
+        # stay byte-identical to pre-fault-layer output
+        with_faults = sum(1 for s in self.spans if s.faults)
+        if with_faults:
+            out["spans"]["with_faults"] = with_faults
         return out
 
     def render_table(self) -> str:

@@ -62,16 +62,21 @@ _ORDER_INDEX = {name: i for i, name in enumerate(STAMP_ORDER)}
 class IOSpan:
     """Stage timestamps of one command's trip through the datapath."""
 
-    __slots__ = ("op", "origin", "stamps")
+    __slots__ = ("op", "origin", "stamps", "faults")
 
     def __init__(self, op: str, origin: str = ""):
         self.op = op  # "read" | "write" | "flush" | opcode repr
         self.origin = origin  # submitting driver's name
         self.stamps: dict[str, int] = {}
+        self.faults: list[str] = []  # injected-fault kinds this span hit
 
     def stamp(self, stage: str, time_ns: int) -> None:
         """Record ``stage`` at ``time_ns`` (re-stamping keeps the latest)."""
         self.stamps[stage] = time_ns
+
+    def note_fault(self, kind: str) -> None:
+        """Mark this command as having hit an injected fault."""
+        self.faults.append(kind)
 
     def __contains__(self, stage: str) -> bool:
         return stage in self.stamps

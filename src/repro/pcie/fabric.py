@@ -103,6 +103,22 @@ class Port:
     def on_vdm(self, handler: Callable[[VendorDefinedMessage], None]) -> None:
         self._vdm_handler = handler
 
+    # -- fault injection (pcie.link hook point) ----------------------------
+    def link_down(self, duration_ns: int) -> None:
+        """Link flap: both directions unavailable for ``duration_ns``;
+        queued transfers resume when the link retrains."""
+        self.tx.stall(duration_ns)
+        self.rx.stall(duration_ns)
+
+    def set_lanes(self, lanes: int) -> None:
+        """Retrain at a different width (fault: width degrade)."""
+        if lanes < 1:
+            raise SimulationError(f"{self.name}: link width must be >= 1")
+        self.lanes = lanes
+        bw = PCIE_GEN3_BYTES_PER_SEC_PER_LANE * lanes
+        self.tx.set_rate(bw)
+        self.rx.set_rate(bw)
+
 
 class PCIeFabric:
     """One PCIe domain: a root complex plus its endpoints."""
@@ -121,6 +137,13 @@ class PCIeFabric:
         port = Port(self, name, lanes, self.hop_latency_ns)
         self._ports.append(port)
         return port
+
+    def port(self, name: str) -> Port:
+        """Look up an attached endpoint's port by name."""
+        for port in self._ports:
+            if port.name == name:
+                return port
+        raise SimulationError(f"{self.name}: no port named {name!r}")
 
     def set_root_handler(self, handler: AddressHandler) -> None:
         """Claim all unclaimed addresses (host DRAM / engine chip space)."""

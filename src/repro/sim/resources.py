@@ -182,6 +182,20 @@ class BandwidthLink:
     def busy_until(self) -> int:
         return self._free_at
 
+    def stall(self, duration_ns: int) -> None:
+        """Hold the link busy for ``duration_ns`` from now (fault
+        injection: link down / retraining).  In-flight serializations
+        are unaffected; new transfers queue behind the stall."""
+        if duration_ns < 0:
+            raise SimulationError(f"negative stall duration {duration_ns}")
+        self._free_at = max(self._free_at, self.sim.now + int(duration_ns))
+
+    def set_rate(self, bytes_per_sec: float) -> None:
+        """Change the line rate (fault injection: width degrade)."""
+        if bytes_per_sec <= 0:
+            raise SimulationError("link bandwidth must be positive")
+        self.bytes_per_sec = float(bytes_per_sec)
+
     def throughput(self, since: int = 0) -> float:
         """Average bytes/sec moved over [since, now]."""
         elapsed = self.sim.now - since

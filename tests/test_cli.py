@@ -70,3 +70,89 @@ def test_package_metadata():
 
     assert repro.__version__
     assert "BM-Store" in repro.__paper__
+
+
+def test_version_flag_matches_package(capsys):
+    import pytest
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+def test_version_matches_pyproject():
+    import pathlib
+
+    import repro
+
+    pyproject = pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    text = pyproject.read_text()
+    assert 'version = {attr = "repro.__version__"}' in text
+    assert repro.__version__ == "0.1.0"
+
+
+def test_fio_json_is_parseable_and_deterministic(capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.2")
+    assert main(["fio", "--scheme", "native", "--case", "rand-w-1",
+                 "--json"]) == 0
+    first = capsys.readouterr().out
+    out = json.loads(first)
+    assert out["scheme"] == "native" and out["case"] == "rand-w-1"
+    assert out["ios"] > 0 and out["errors"] == 0
+    assert main(["fio", "--scheme", "native", "--case", "rand-w-1",
+                 "--json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_fio_faults_preset_counts_injections(capsys, monkeypatch):
+    import json
+
+    # full-scale windows so the preset's 10 ms fault time lands in-run
+    monkeypatch.delenv("REPRO_TIME_SCALE", raising=False)
+    assert main(["fio", "--scheme", "bmstore", "--case", "rand-r-1",
+                 "--faults", "cmd-drop", "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["faults"] == "cmd-drop"
+    injected = sum(
+        v for k, v in out["fault_counters"].items()
+        if k.startswith("faults_injected")
+    )
+    assert injected >= 1
+    assert any(k.startswith("driver_timeouts")
+               for k in out["fault_counters"])
+
+
+def test_fio_rejects_unknown_faults_preset(capsys):
+    assert main(["fio", "--scheme", "bmstore", "--faults", "nope"]) == 2
+
+
+def test_faults_command_reports_recovery(capsys):
+    import json
+
+    assert main(["faults", "--only", "cmd-drop", "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["experiment_id"] == "fault-recovery"
+    [row] = out["rows"]
+    assert row["fault"] == "cmd-drop"
+    assert row["recovered"] is True
+    assert row["recovery_ms"] >= 0
+    assert row["injected"] >= 1
+
+
+def test_faults_command_unknown_class(capsys):
+    assert main(["faults", "--only", "asteroid"]) == 2
+
+
+def test_reproduce_json_output(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.2")
+    path = tmp_path / "rows.json"
+    assert main(["reproduce", "--only", "table1", "--json", str(path)]) == 0
+    [payload] = json.loads(path.read_text())
+    assert payload["experiment_id"] == "table1"
+    assert payload["rows"]
