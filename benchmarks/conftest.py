@@ -6,7 +6,11 @@ pytest-benchmark ``extra_info`` (so ``--benchmark-json`` captures the
 data), and asserts the paper's qualitative shape.
 
 ``REPRO_TIME_SCALE`` (float, default 1.0) stretches the simulated
-measurement windows for higher-fidelity runs.
+measurement windows for higher-fidelity runs.  ``REPRO_WORKERS``
+(int, default 1) fans the grid experiments (fig8/fig9/fault-recovery)
+over worker processes; reproduced rows are byte-identical either way,
+but note that parallel runs make the pytest-benchmark *wall times*
+incomparable to sequential ones.
 """
 
 from __future__ import annotations

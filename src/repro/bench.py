@@ -1,0 +1,170 @@
+"""Kernel benchmark harness: ``python -m repro bench``.
+
+Measures what the simulation kernel actually delivers — events per
+wall-clock second and wall time per quick fio case — and writes a
+``BENCH_<stamp>.json`` snapshot.  A committed snapshot becomes the
+regression gate: ``--check baseline.json`` fails the run when any
+case's events/sec drops more than the tolerance below its baseline, so
+kernel slowdowns surface in CI instead of in somebody's overnight
+sweep.
+
+Runs are sequential on purpose (parallel workers contend for cores and
+poison the wall-clock numbers) and default to the "counters"
+observability mode so the gate tracks kernel throughput, not span
+bookkeeping.  ``REPRO_TIME_SCALE`` shrinks the measured windows for
+smoke use; the scale is recorded in the snapshot, and ``--check``
+refuses to compare snapshots taken at different scales.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Optional, Sequence
+
+from .experiments.common import time_scale
+from .runner import RunSpec, run_one
+
+__all__ = ["BENCH_SCHEMES", "QUICK_BENCH_CASES", "run_bench", "compare",
+           "bench_filename"]
+
+#: schemes the gate tracks: the native fast path and the full engine
+BENCH_SCHEMES = ("native", "bmstore")
+#: --quick subset: one shallow and one deep random case per scheme
+QUICK_BENCH_CASES = ("rand-r-1", "rand-r-128")
+#: default regression tolerance on events/sec, as a fraction
+DEFAULT_TOLERANCE = 0.25
+
+
+def bench_filename(stamp: Optional[str] = None) -> str:
+    """``BENCH_<UTC stamp>.json`` (stamp format 20260806T174500Z)."""
+    if stamp is None:
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    return f"BENCH_{stamp}.json"
+
+
+def run_bench(
+    schemes: Sequence[str] = BENCH_SCHEMES,
+    cases: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 7,
+    obs_mode: str = "counters",
+) -> dict[str, Any]:
+    """Run the benchmark grid sequentially; returns the snapshot dict."""
+    if cases is None:
+        cases = QUICK_BENCH_CASES
+    runs = []
+    for case in cases:
+        for scheme in schemes:
+            spec = RunSpec(scheme=scheme, case=case, seed=seed,
+                           obs_mode=obs_mode)
+            t0 = time.perf_counter()
+            payload = run_one(spec)
+            wall_s = time.perf_counter() - t0
+            events = payload["sim_events"]
+            runs.append({
+                "scheme": scheme,
+                "case": case,
+                "seed": seed,
+                "wall_s": round(wall_s, 4),
+                "sim_events": events,
+                "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+                "ios": payload["ios"],
+                "iops": round(payload["iops"], 1),
+            })
+    total_events = sum(r["sim_events"] for r in runs)
+    total_wall = sum(r["wall_s"] for r in runs)
+    return {
+        "kind": "repro-bench",
+        "obs_mode": obs_mode,
+        "time_scale": time_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+        "totals": {
+            "wall_s": round(total_wall, 4),
+            "sim_events": total_events,
+            "events_per_sec": (
+                round(total_events / total_wall) if total_wall > 0 else 0
+            ),
+        },
+    }
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any],
+            tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Regression check; returns human-readable failures (empty = pass).
+
+    A run regresses when its events/sec falls more than ``tolerance``
+    below the baseline's for the same (scheme, case).  Cases present
+    only on one side are reported too — a silently dropped case would
+    otherwise make the gate vacuous.
+    """
+    failures: list[str] = []
+    if current.get("time_scale") != baseline.get("time_scale"):
+        failures.append(
+            f"time_scale mismatch: current {current.get('time_scale')} vs "
+            f"baseline {baseline.get('time_scale')}; re-run with the "
+            "baseline's REPRO_TIME_SCALE"
+        )
+        return failures
+    base_by_cell = {(r["scheme"], r["case"]): r for r in baseline["runs"]}
+    seen = set()
+    for run in current["runs"]:
+        cell = (run["scheme"], run["case"])
+        seen.add(cell)
+        base = base_by_cell.get(cell)
+        if base is None:
+            failures.append(f"{cell[0]}/{cell[1]}: no baseline entry")
+            continue
+        if run["sim_events"] != base["sim_events"]:
+            failures.append(
+                f"{cell[0]}/{cell[1]}: event count changed "
+                f"{base['sim_events']} -> {run['sim_events']} "
+                "(simulation behaviour drifted; refresh the baseline "
+                "deliberately if intended)"
+            )
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        if run["events_per_sec"] < floor:
+            failures.append(
+                f"{cell[0]}/{cell[1]}: {run['events_per_sec']:,} events/s "
+                f"< {floor:,.0f} (baseline {base['events_per_sec']:,} "
+                f"- {tolerance:.0%})"
+            )
+    for cell in base_by_cell:
+        if cell not in seen:
+            failures.append(f"{cell[0]}/{cell[1]}: in baseline but not run")
+    return failures
+
+
+def render(snapshot: dict[str, Any]) -> str:
+    """One-line-per-run table for terminal output."""
+    lines = [
+        f"kernel bench (obs={snapshot['obs_mode']}, "
+        f"time_scale={snapshot['time_scale']})"
+    ]
+    lines.append(
+        f"  {'scheme':<12} {'case':<12} {'wall_s':>8} {'events':>10} "
+        f"{'events/s':>10} {'KIOPS':>8}"
+    )
+    for r in snapshot["runs"]:
+        lines.append(
+            f"  {r['scheme']:<12} {r['case']:<12} {r['wall_s']:>8.2f} "
+            f"{r['sim_events']:>10,} {r['events_per_sec']:>10,} "
+            f"{r['iops'] / 1e3:>8.1f}"
+        )
+    t = snapshot["totals"]
+    lines.append(
+        f"  {'total':<25} {t['wall_s']:>8.2f} {t['sim_events']:>10,} "
+        f"{t['events_per_sec']:>10,}"
+    )
+    return "\n".join(lines)
+
+
+def load(path: str) -> dict[str, Any]:
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    if snapshot.get("kind") != "repro-bench":
+        raise ValueError(f"{path} is not a repro bench snapshot")
+    return snapshot

@@ -140,6 +140,9 @@ class BMSEngine:
         self.chunk_bytes = chunk_bytes
         self.chunk_blocks = chunk_bytes // LBA_BYTES
         self.obs = obs
+        #: (ns_key, direction) -> (ops counter, bytes counter) handles,
+        #: cached so per-IO accounting skips the labeled-key build
+        self._ns_io_counters: dict = {}
         self.route_stats = RouteStats()
         #: bound FaultInjector (hook points engine.dispatch /
         #: engine.backend); None = dormant, zero-cost
@@ -549,8 +552,14 @@ class BMSEngine:
             stats.write_bytes += length
         if self.obs is not None and ns_key is not None:
             direction = "read" if opcode == int(IOOpcode.READ) else "write"
-            self.obs.counter("ns_ops", ns=ns_key, op=direction).inc()
-            self.obs.counter("ns_bytes", ns=ns_key, op=direction).inc(length)
+            handles = self._ns_io_counters.get((ns_key, direction))
+            if handles is None:
+                handles = self._ns_io_counters[(ns_key, direction)] = (
+                    self.obs.counter("ns_ops", ns=ns_key, op=direction),
+                    self.obs.counter("ns_bytes", ns=ns_key, op=direction),
+                )
+            handles[0].inc()
+            handles[1].inc(length)
 
     def monitor_snapshot(self, fn_id: int) -> dict:
         stats = self._fn_stats.get(fn_id, _FnStats())

@@ -55,6 +55,10 @@ class _NamespaceQoS:
         self.buffered_total = 0
         self.passed_total = 0
         self._dispatcher_running = False
+        if obs is not None:
+            self._c_passed = obs.counter("qos_passed", ns=ns_key)
+            self._c_buffered = obs.counter("qos_buffered", ns=ns_key)
+            self._g_depth = obs.gauge("qos_buffer_depth", ns=ns_key)
 
     def over_threshold(self, nbytes: int) -> bool:
         return self.iops_bucket.would_block(1.0) or self.bw_bucket.would_block(nbytes)
@@ -68,14 +72,14 @@ class _NamespaceQoS:
             self.bw_bucket.consume(nbytes)
             self.passed_total += 1
             if self.obs is not None:
-                self.obs.counter("qos_passed", ns=self.ns_key).inc()
+                self._c_passed.inc()
             gate.succeed()
             return gate
         # threshold reached: into the command buffer for rescheduling
         self.buffered_total += 1
         if self.obs is not None:
-            self.obs.counter("qos_buffered", ns=self.ns_key).inc()
-            self.obs.gauge("qos_buffer_depth", ns=self.ns_key).add(1)
+            self._c_buffered.inc()
+            self._g_depth.add(1)
         self.buffer.put((gate, nbytes))
         if not self._dispatcher_running:
             self._dispatcher_running = True
@@ -90,8 +94,8 @@ class _NamespaceQoS:
             yield self.bw_bucket.consume(nbytes)
             self.passed_total += 1
             if self.obs is not None:
-                self.obs.counter("qos_passed", ns=self.ns_key).inc()
-                self.obs.gauge("qos_buffer_depth", ns=self.ns_key).add(-1)
+                self._c_passed.inc()
+                self._g_depth.add(-1)
             gate.succeed()
         self._dispatcher_running = False
 

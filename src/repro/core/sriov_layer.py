@@ -85,6 +85,7 @@ class _FrontBarRegion:
     def __init__(self, layer: "SRIOVLayer", access_ns: int = 20):
         self.layer = layer
         self._access_ns = access_ns
+        self._c_doorbells: dict = {}  # (fn, slot) -> counter handle
 
     @property
     def access_ns(self) -> int:
@@ -100,9 +101,12 @@ class _FrontBarRegion:
         if kind == 0:
             obs = self.layer.engine.obs
             if obs is not None:
-                obs.counter(
-                    "sriov_doorbells", fn=str(fn_index + 1), qid=str(slot)
-                ).inc()
+                c = self._c_doorbells.get((fn_index, slot))
+                if c is None:
+                    c = self._c_doorbells[(fn_index, slot)] = obs.counter(
+                        "sriov_doorbells", fn=str(fn_index + 1), qid=str(slot)
+                    )
+                c.inc()
             self.layer.engine.on_front_doorbell(fn_index + 1, slot)
 
     def mem_read(self, addr: int, length: int):

@@ -53,6 +53,10 @@ class TargetController:
         self.io_commands = 0
         self.admin_commands = 0
         self.admin_forwarded = 0
+        # per-(fn, qid) counter handles; building the labeled key on
+        # every fetched command is measurable at millions of events
+        self._c_io: dict = {}
+        self._c_admin: dict = {}
 
     def dispatch(self, fn: "FrontEndFunction", qid: int, sqe: SQE):
         """Process generator: route one fetched command."""
@@ -68,12 +72,20 @@ class TargetController:
         if qid != 0:
             self.io_commands += 1
             if obs is not None:
-                obs.counter("tc_io_cmds", fn=str(fn.fn_id), qid=str(qid)).inc()
+                c = self._c_io.get((fn.fn_id, qid))
+                if c is None:
+                    c = self._c_io[(fn.fn_id, qid)] = obs.counter(
+                        "tc_io_cmds", fn=str(fn.fn_id), qid=str(qid))
+                c.inc()
             yield from self.engine._handle_io(fn, qid, sqe)
             return
         self.admin_commands += 1
         if obs is not None:
-            obs.counter("tc_admin_cmds", fn=str(fn.fn_id)).inc()
+            c = self._c_admin.get(fn.fn_id)
+            if c is None:
+                c = self._c_admin[fn.fn_id] = obs.counter(
+                    "tc_admin_cmds", fn=str(fn.fn_id))
+            c.inc()
         handled = yield from self._engine_local_admin(fn, qid, sqe)
         if handled:
             return

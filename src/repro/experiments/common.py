@@ -55,6 +55,9 @@ __all__ = [
 #: the paper binds a 1536 GB namespace from one backend SSD
 BM_NAMESPACE_BYTES = 1536 * GIB
 
+#: sentinel distinguishing "no default given" from ``default=None``
+_RAISE = object()
+
 
 def time_scale() -> float:
     """REPRO_TIME_SCALE stretches every measurement window (default 1)."""
@@ -80,8 +83,17 @@ _WINDOWS = {
 
 
 def quick_cases(names: Optional[Sequence[str]] = None) -> list[FioSpec]:
-    """Table IV specs with benchmark-friendly measurement windows."""
-    names = list(names or TABLE_IV_CASES)
+    """Table IV specs with benchmark-friendly measurement windows.
+
+    ``None`` means every Table IV case; an explicit empty sequence means
+    no cases (so callers can filter down to zero without silently
+    getting the full grid back).
+    """
+    names = list(TABLE_IV_CASES) if names is None else list(names)
+    unknown = [n for n in names if n not in TABLE_IV_CASES]
+    if unknown:
+        known = ", ".join(TABLE_IV_CASES)
+        raise KeyError(f"unknown case name(s) {unknown} (known: {known})")
     return [
         scaled(TABLE_IV_CASES[name], *_WINDOWS[name]) for name in names
     ]
@@ -99,8 +111,27 @@ class ExperimentResult:
     def add(self, **row: Any) -> None:
         self.rows.append(row)
 
-    def column(self, key: str) -> list[Any]:
-        return [row[key] for row in self.rows]
+    def column(self, key: str, default: Any = _RAISE) -> list[Any]:
+        """Values of one column across all rows.
+
+        Rows may be ragged (rows added later can carry extra columns).
+        With no ``default``, a missing key raises a ``KeyError`` naming
+        the offending row instead of a bare index blow-up; passing
+        ``default`` fills the holes.
+        """
+        if default is not _RAISE:
+            return [row.get(key, default) for row in self.rows]
+        out = []
+        for i, row in enumerate(self.rows):
+            try:
+                out.append(row[key])
+            except KeyError:
+                raise KeyError(
+                    f"[{self.experiment_id}] row {i} has no column {key!r} "
+                    f"(row keys: {sorted(row)}); pass default= to tolerate "
+                    "ragged rows"
+                ) from None
+        return out
 
     def row_for(self, **match: Any) -> dict[str, Any]:
         for row in self.rows:
@@ -187,7 +218,9 @@ class CaseResult:
 
 def _finish(sim, run: FioRun) -> FioResult:
     sim.run(run.finished)
-    return run.result()
+    result = run.result()
+    result.sim_events = sim.events_processed
+    return result
 
 
 def _scheme_native(spec: FioSpec, *, seed: int, kernel: KernelProfile,
@@ -267,13 +300,18 @@ def run_case(
     seed: int = 7,
     kernel: KernelProfile = DEFAULT_KERNEL,
     obs: Optional[MetricsRegistry] = None,
+    obs_mode: str = "full",
+    span_sample: int = 16,
     **scheme_kwargs: Any,
 ) -> CaseResult:
     """Run one fio case on one scheme in a freshly built world.
 
     ``obs`` is attached to every instrumented layer of that world (pass
     your own registry to control span capacity, or let this create
-    one).  Extra keyword arguments go to the scheme runner (e.g.
+    one).  ``obs_mode``/``span_sample`` configure the created registry
+    ("full", "sampled", or "counters" — see
+    :class:`~repro.obs.MetricsRegistry`) and are ignored when ``obs``
+    is supplied.  Extra keyword arguments go to the scheme runner (e.g.
     ``num_ssds=4`` for "native"/"bmstore", ``zero_copy=False`` for
     "bmstore", ``num_cores=2`` for "spdk-vm", ``faults=FaultPlan(...)``
     for any scheme to arm deterministic fault injection).
@@ -283,7 +321,7 @@ def run_case(
         known = ", ".join(sorted(SCHEMES))
         raise ValueError(f"unknown scheme {scheme!r} (known: {known})")
     if obs is None:
-        obs = MetricsRegistry()
+        obs = MetricsRegistry(mode=obs_mode, span_sample=span_sample)
     fio = runner(spec, seed=seed, kernel=kernel, obs=obs, **scheme_kwargs)
     return CaseResult(scheme=scheme, spec=spec, fio=fio, obs=obs,
                       snapshot=obs.snapshot())

@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterator, Optional
 from ..baselines import build_bmstore
 from ..faults import FaultPlan
 from ..obs import MetricsRegistry
+from ..runner import parallel_map
 from ..sim import SeriesRecorder
 from ..sim.units import MS, ms, sec, to_ms
 from .common import BM_NAMESPACE_BYTES, ExperimentResult
@@ -166,15 +167,30 @@ def _run_class(name: str, plan: FaultPlan, orchestrate: Optional[Callable],
     return out
 
 
-def run(seed: int = 7, only: Optional[str] = None) -> ExperimentResult:
-    """Regenerate this artifact; returns the ExperimentResult."""
+def _run_class_by_name(args: tuple[str, int]) -> dict[str, Any]:
+    """Worker entry: rebuild the (unpicklable) plan from its class name."""
+    name, seed = args
+    for cls_name, plan, orchestrate in _classes():
+        if cls_name == name:
+            return _run_class(name, plan, orchestrate, seed)
+    raise ValueError(f"unknown fault class {name!r}")
+
+
+def run(seed: int = 7, only: Optional[str] = None,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult.
+
+    ``workers`` fans the fault classes over processes (default:
+    REPRO_WORKERS or sequential); each class builds its own world, so
+    the report is identical either way.
+    """
     result = ExperimentResult(
         "fault-recovery", "availability under injected faults (bmstore)"
     )
-    for name, plan, orchestrate in _classes():
-        if only and only not in name:
-            continue
-        data = _run_class(name, plan, orchestrate, seed)
+    names = [name for name in FAULT_CLASS_NAMES if not only or only in name]
+    for data in parallel_map(
+        _run_class_by_name, [(name, seed) for name in names], workers=workers
+    ):
         result.add(
             fault=data["fault"],
             baseline_kiops=round(data["baseline_iops"] / 1e3, 2),

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import ExperimentResult, quick_cases, run_case
+from ..runner import RunSpec, run_specs
+from .common import ExperimentResult, quick_cases
 
 __all__ = ["run", "PAPER_LATENCY_US"]
 
@@ -26,24 +27,36 @@ PAPER_LATENCY_US = {
 }
 
 
-def run(cases: Optional[Sequence[str]] = None, seed: int = 7) -> ExperimentResult:
-    """Regenerate this artifact; returns the ExperimentResult."""
+def run(cases: Optional[Sequence[str]] = None, seed: int = 7,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult.
+
+    ``workers`` fans the (scheme x case) grid over processes (default:
+    REPRO_WORKERS or sequential); results are identical either way.
+    """
     result = ExperimentResult(
         "fig8+table5", "Bare-metal performance with 1 disk: Native vs BM-Store"
     )
-    for spec in quick_cases(cases):
-        native = run_case("native", spec, seed=seed)
-        bms = run_case("bmstore", spec, seed=seed)
+    specs = quick_cases(cases)
+    grid = run_specs(
+        [RunSpec(scheme=scheme, case=spec.name, seed=seed)
+         for spec in specs for scheme in ("native", "bmstore")],
+        workers=workers,
+    )
+    by_cell = {(p["scheme"], p["case"]): p for p in grid}
+    for spec in specs:
+        native = by_cell[("native", spec.name)]
+        bms = by_cell[("bmstore", spec.name)]
         paper = PAPER_LATENCY_US.get(spec.name, (None, None))
         result.add(
             case=spec.name,
-            native_kiops=native.iops / 1e3,
-            bmstore_kiops=bms.iops / 1e3,
-            native_mbps=native.bandwidth_mbps,
-            bmstore_mbps=bms.bandwidth_mbps,
-            iops_ratio=bms.iops / native.iops if native.iops else 0.0,
-            native_lat_us=native.avg_latency_us,
-            bmstore_lat_us=bms.avg_latency_us,
+            native_kiops=native["iops"] / 1e3,
+            bmstore_kiops=bms["iops"] / 1e3,
+            native_mbps=native["bandwidth_mbps"],
+            bmstore_mbps=bms["bandwidth_mbps"],
+            iops_ratio=bms["iops"] / native["iops"] if native["iops"] else 0.0,
+            native_lat_us=native["avg_latency_us"],
+            bmstore_lat_us=bms["avg_latency_us"],
             paper_native_lat_us=paper[0],
             paper_bmstore_lat_us=paper[1],
         )

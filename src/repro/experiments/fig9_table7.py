@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import ExperimentResult, quick_cases, run_case
+from ..runner import RunSpec, run_specs
+from .common import ExperimentResult, quick_cases
 
 __all__ = ["run", "PAPER_LATENCY_US"]
 
@@ -25,26 +26,39 @@ PAPER_LATENCY_US = {
 }
 
 
-def run(cases: Optional[Sequence[str]] = None, seed: int = 7) -> ExperimentResult:
-    """Regenerate this artifact; returns the ExperimentResult."""
+def run(cases: Optional[Sequence[str]] = None, seed: int = 7,
+        workers: Optional[int] = None) -> ExperimentResult:
+    """Regenerate this artifact; returns the ExperimentResult.
+
+    ``workers`` fans the (scheme x case) grid over processes (default:
+    REPRO_WORKERS or sequential); results are identical either way.
+    """
     result = ExperimentResult(
         "fig9+table7", "Single-VM performance with one disk: VFIO / BM-Store / SPDK vhost"
     )
-    for spec in quick_cases(cases):
-        vfio = run_case("vfio-vm", spec, seed=seed)
-        bms = run_case("bmstore-vm", spec, seed=seed)
-        spdk = run_case("spdk-vm", spec, seed=seed)
+    specs = quick_cases(cases)
+    schemes = ("vfio-vm", "bmstore-vm", "spdk-vm")
+    grid = run_specs(
+        [RunSpec(scheme=scheme, case=spec.name, seed=seed)
+         for spec in specs for scheme in schemes],
+        workers=workers,
+    )
+    by_cell = {(p["scheme"], p["case"]): p for p in grid}
+    for spec in specs:
+        vfio = by_cell[("vfio-vm", spec.name)]
+        bms = by_cell[("bmstore-vm", spec.name)]
+        spdk = by_cell[("spdk-vm", spec.name)]
         paper = PAPER_LATENCY_US.get(spec.name, (None, None, None))
         result.add(
             case=spec.name,
-            vfio_kiops=vfio.iops / 1e3,
-            bmstore_kiops=bms.iops / 1e3,
-            spdk_kiops=spdk.iops / 1e3,
-            bmstore_vs_vfio=bms.iops / vfio.iops if vfio.iops else 0.0,
-            spdk_vs_vfio=spdk.iops / vfio.iops if vfio.iops else 0.0,
-            vfio_lat_us=vfio.avg_latency_us,
-            bmstore_lat_us=bms.avg_latency_us,
-            spdk_lat_us=spdk.avg_latency_us,
+            vfio_kiops=vfio["iops"] / 1e3,
+            bmstore_kiops=bms["iops"] / 1e3,
+            spdk_kiops=spdk["iops"] / 1e3,
+            bmstore_vs_vfio=bms["iops"] / vfio["iops"] if vfio["iops"] else 0.0,
+            spdk_vs_vfio=spdk["iops"] / vfio["iops"] if vfio["iops"] else 0.0,
+            vfio_lat_us=vfio["avg_latency_us"],
+            bmstore_lat_us=bms["avg_latency_us"],
+            spdk_lat_us=spdk["avg_latency_us"],
             paper_lat_us=paper,
         )
     result.notes.append(

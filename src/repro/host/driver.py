@@ -99,6 +99,18 @@ class NVMeDriver:
         )
         self.stats = DriverStats()
         self.obs = obs
+        # handles + names resolved once; the submission/completion path
+        # must not rebuild labeled metric keys or f-strings per I/O
+        self._io_event_name = name + ".io"
+        self._submit_pname = name + ".submit"
+        self._iosup_pname = name + ".iosup"
+        self._irq_pname = name + ".irq"
+        self._c_submitted: dict[int, Any] = {}
+        self._c_interrupts: dict[int, Any] = {}
+        self._c_completed: dict[int, Any] = {}
+        if obs is not None:
+            self._c_errors = obs.counter("driver_errors", driver=name)
+            self._h_latency = obs.histogram("io_latency_ns", driver=name)
         # production-shaped error handling; None = legacy trusting path
         # with zero extra events per I/O
         self.fault_policy = fault_policy
@@ -124,6 +136,15 @@ class NVMeDriver:
         cq.irq_vector = qid
         self._qps[qid] = qp
         self._next_cid[qid] = 0
+        if self.obs is not None:
+            q = str(qid)
+            self._c_interrupts[qid] = self.obs.counter(
+                "driver_interrupts", driver=self.name, qid=q)
+            if qid != 0:  # the admin queue never submits/completes I/O
+                self._c_submitted[qid] = self.obs.counter(
+                    "driver_submitted", driver=self.name, qid=q)
+                self._c_completed[qid] = self.obs.counter(
+                    "driver_completed", driver=self.name, qid=q)
         self._cqe_stores[qid] = Store(self.sim, name=f"{self.name}.cqe{qid}")
         self.sim.process(self._completion_worker(qid), name=f"{self.name}.sirq{qid}")
         return qp
@@ -135,6 +156,7 @@ class NVMeDriver:
         for qid in range(1, count + 1):
             self._make_queue_pair(qid, depth)
             self._slots[qid] = Resource(self.sim, depth - 1, name=f"{self.name}.q{qid}")
+        self._qid_ring = sorted(self._slots)
 
     @property
     def io_queue_ids(self) -> list[int]:
@@ -174,21 +196,21 @@ class NVMeDriver:
         payload: Optional[bytes],
         want_data: bool,
     ) -> Event:
-        done = self.sim.event(name=f"{self.name}.io")
+        done = self.sim.event(name=self._io_event_name)
         if self.fault_policy is not None:
             self.sim.process(
                 self._supervised_proc(opcode, lba, nblocks, payload, want_data, done),
-                name=f"{self.name}.iosup",
+                name=self._iosup_pname,
             )
         else:
             self.sim.process(
                 self._submit_proc(opcode, lba, nblocks, payload, want_data, done),
-                name=f"{self.name}.submit",
+                name=self._submit_pname,
             )
         return done
 
     def _pick_queue(self) -> int:
-        qids = self.io_queue_ids
+        qids = self._qid_ring
         self._rr = (self._rr + 1) % len(qids)
         return qids[self._rr]
 
@@ -279,7 +301,7 @@ class NVMeDriver:
                      handle: Optional[dict] = None):
         start = self.sim.now
         span = None
-        if self.obs is not None:
+        if self.obs is not None and self.obs.want_span():
             span = IOSpan(self._SPAN_OPS.get(opcode, hex(opcode)), origin=self.name)
             span.stamp("submit", start)
         yield self.sim.timeout(self.kernel.submit_overhead_ns + self.extra_submit_ns)
@@ -318,7 +340,7 @@ class NVMeDriver:
         }
         self.stats.submitted += 1
         if self.obs is not None:
-            self.obs.counter("driver_submitted", driver=self.name, qid=str(qid)).inc()
+            self._c_submitted[qid].inc()
         self._lock.release()
         yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)
 
@@ -326,8 +348,8 @@ class NVMeDriver:
     def _on_interrupt(self, qid: int) -> None:
         self.stats.interrupts += 1
         if self.obs is not None:
-            self.obs.counter("driver_interrupts", driver=self.name, qid=str(qid)).inc()
-        self.sim.process(self._irq_proc(qid), name=f"{self.name}.irq")
+            self._c_interrupts[qid].inc()
+        self.sim.process(self._irq_proc(qid), name=self._irq_pname)
 
     def _irq_proc(self, qid: int):
         yield self.sim.timeout(self.kernel.irq_overhead_ns)
@@ -370,14 +392,15 @@ class NVMeDriver:
         if qid in self._slots:
             self._slots[qid].release()
         latency = self.sim.now - ctx["start"]
-        span = ctx.get("span")
-        if span is not None and self.obs is not None:
-            span.stamp("interrupt", self.sim.now)
-            self.obs.finish_span(span)
-            self.obs.counter("driver_completed", driver=self.name, qid=str(qid)).inc()
+        if self.obs is not None and qid != 0:
+            span = ctx.get("span")
+            if span is not None:
+                span.stamp("interrupt", self.sim.now)
+                self.obs.finish_span(span)
+            self._c_completed[qid].inc()
             if not ok:
-                self.obs.counter("driver_errors", driver=self.name).inc()
-            self.obs.histogram("io_latency_ns", driver=self.name).observe(latency)
+                self._c_errors.inc()
+            self._h_latency.observe(latency)
         ctx["done"].succeed(CompletionInfo(ok, cqe.status, data, latency))
 
     # ----------------------------------------------------------------- admin

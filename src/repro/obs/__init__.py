@@ -20,14 +20,23 @@ tables (:meth:`MetricsRegistry.render_table`) or JSON
 or out-of-band through the BMS-Controller's I/O monitor.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    OBS_MODES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullHistogram,
+)
 from .spans import STAGES, IOSpan, SpanLog
 
 __all__ = [
+    "OBS_MODES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullHistogram",
     "STAGES",
     "IOSpan",
     "SpanLog",

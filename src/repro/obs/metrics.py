@@ -15,7 +15,11 @@ from typing import Any, Iterator, Optional
 
 from .spans import IOSpan, SpanLog
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "NullHistogram", "MetricsRegistry",
+           "OBS_MODES"]
+
+#: supported observability modes, cheapest last
+OBS_MODES = ("full", "sampled", "counters")
 
 #: sub-buckets per octave; bucket boundary ratio = 2**(1/16) ~ 1.0443
 BUCKETS_PER_OCTAVE = 16
@@ -157,17 +161,81 @@ class Histogram:
         }
 
 
+class NullHistogram:
+    """Observation sink for counters-only mode: same read API as
+    :class:`Histogram`, but ``observe`` is a no-op and every statistic
+    reads as zero."""
+
+    __slots__ = ("name", "labels")
+
+    count = 0
+    total = 0.0
+    mean = min = max = p50 = p95 = p99 = p999 = 0.0
+
+    def __init__(self, name: str = "", labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "p99.9": 0.0, "max": 0.0}
+
+
+_NULL_HISTOGRAM = NullHistogram()
+
+
 class MetricsRegistry:
     """Get-or-create store of named, labeled metrics + the span log.
 
     One registry measures one run (one simulated world): rigs and the
     datapath layers all write into the same instance, so a snapshot is
     the complete observability picture of that world.
+
+    ``mode`` selects how much the instrumentation taxes the hot path:
+
+    * ``"full"`` (default) — every command carries an :class:`IOSpan`
+      and feeds the stage histograms.
+    * ``"sampled"`` — only one in ``span_sample`` commands carries a
+      span (deterministic modulo counter, so runs stay reproducible);
+      histograms still record everything they are handed.
+    * ``"counters"`` — no spans at all, and ``histogram()`` hands back
+      a shared :class:`NullHistogram`, so per-event instrumentation
+      reduces to integer counter bumps.
     """
 
-    def __init__(self, span_capacity: int = 10_000):
+    def __init__(self, span_capacity: int = 10_000, mode: str = "full",
+                 span_sample: int = 16):
+        if mode not in OBS_MODES:
+            raise ValueError(f"unknown obs mode {mode!r} (known: {OBS_MODES})")
+        if span_sample < 1:
+            raise ValueError(f"span_sample must be >= 1, got {span_sample}")
         self._metrics: dict[tuple[str, str, tuple], Any] = {}
         self.spans = SpanLog(capacity=span_capacity)
+        self.mode = mode
+        self.span_sample = 1 if mode == "full" else span_sample
+        self._span_tick = 0
+        # span-stage histogram handles, resolved once per stage name —
+        # finish_span runs per completed I/O and must not rebuild keys
+        self._stage_hists: dict[str, Histogram] = {}
+        self._h_span_total: Optional[Histogram] = None
+
+    def want_span(self) -> bool:
+        """Should the caller allocate an IOSpan for the next command?
+
+        Deterministic: the decision depends only on how many commands
+        asked before, never on wall time."""
+        if self.mode == "counters":
+            return False
+        if self.span_sample == 1:
+            return True
+        self._span_tick += 1
+        return self._span_tick % self.span_sample == 1
 
     # ------------------------------------------------------------- factories
     def _get(self, kind: str, cls, name: str, labels: dict[str, str]):
@@ -185,20 +253,31 @@ class MetricsRegistry:
         return self._get("gauge", Gauge, name, labels)
 
     def histogram(self, name: str, **labels: str) -> Histogram:
+        if self.mode == "counters":
+            return _NULL_HISTOGRAM
         return self._get("histogram", Histogram, name, labels)
 
     # ----------------------------------------------------------------- spans
     def finish_span(self, span: IOSpan) -> None:
         """File a completed span: log it + feed the stage histograms."""
+        if self.mode == "counters":
+            return
         self.spans.add(span)
         if span.faults:
             for kind in span.faults:
                 self.counter("span_faults", kind=kind).inc()
+        hists = self._stage_hists
         for stage, delta in span.stage_deltas():
-            self.histogram("span_stage_ns", stage=stage).observe(delta)
+            h = hists.get(stage)
+            if h is None:
+                h = hists[stage] = self.histogram("span_stage_ns", stage=stage)
+            h.observe(delta)
         total = span.total_ns()
         if total is not None:
-            self.histogram("span_total_ns").observe(total)
+            h = self._h_span_total
+            if h is None:
+                h = self._h_span_total = self.histogram("span_total_ns")
+            h.observe(total)
 
     # ------------------------------------------------------------- inspection
     def iter_metrics(self) -> Iterator[tuple[str, str, Any]]:
@@ -244,6 +323,11 @@ class MetricsRegistry:
         with_faults = sum(1 for s in self.spans if s.faults)
         if with_faults:
             out["spans"]["with_faults"] = with_faults
+        # likewise: default-mode snapshots keep their historical shape
+        if self.mode != "full":
+            out["obs_mode"] = self.mode
+            if self.mode == "sampled":
+                out["span_sample"] = self.span_sample
         return out
 
     def render_table(self) -> str:

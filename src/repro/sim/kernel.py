@@ -7,11 +7,34 @@ kernel resumes a process when the event it waits on fires.
 
 Simulated time is an integer number of **nanoseconds**.  Using integers
 keeps event ordering exact and runs reproducible.
+
+Fast path
+---------
+The per-event cost of this loop is the wall-clock of the whole repo, so
+the dispatch machinery is deliberately flat:
+
+* **Now-bucket**: the majority of schedules are zero-delay (completion
+  deliveries, process bootstraps, replays).  Those bypass the heap into
+  a FIFO *bucket for the current instant*; only genuinely future events
+  pay the ``heapq`` push/pop.  Ordering stays exactly ``(time, seq)``:
+  when the heap head shares the current timestamp the dispatcher picks
+  whichever side holds the lower sequence number.
+* **Inlined dispatch**: :meth:`Simulator.run` and
+  :meth:`Simulator.step` run callbacks inline rather than bouncing
+  through per-event helper calls.
+* **Timeout pooling**: processed :class:`Timeout` objects created via
+  :meth:`Simulator.timeout` are recycled through a free list, so the
+  dominant ``yield sim.timeout(d)`` pattern stops allocating.  Events
+  referenced by conditions or by ``run(until=event)`` are pinned and
+  never recycled.  Holding a timeout object *after* it fired and
+  inspecting it later is not supported for pooled timeouts (pin it
+  with ``t.pin()`` if you must).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -24,6 +47,9 @@ __all__ = [
     "SimulationError",
     "Simulator",
 ]
+
+#: recycled-Timeout free list cap per simulator (bounds idle memory)
+_TIMEOUT_POOL_CAP = 512
 
 
 class SimulationError(Exception):
@@ -47,10 +73,11 @@ class Event:
 
     An event starts *untriggered*.  Calling :meth:`succeed` or
     :meth:`fail` schedules it; once the kernel pops it from the event
-    heap its callbacks run and any waiting processes resume.
+    queue its callbacks run and any waiting processes resume.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_defunct", "_pinned", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -59,6 +86,8 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._defunct = False
+        self._pinned = False
         self.name = name
 
     # -- state ----------------------------------------------------------
@@ -71,6 +100,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have run."""
         return self._processed
+
+    @property
+    def defunct(self) -> bool:
+        """True once the event was cancelled; its callbacks never run."""
+        return self._defunct
 
     @property
     def ok(self) -> bool:
@@ -89,22 +123,55 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        sim._seq += 1
+        if delay == 0:
+            sim._nowq.append((sim._seq, self))
+        else:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
         return self
 
-    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
-        """Schedule this event to fire with an exception."""
+    def fail(self, exc: Any, delay: int = 0) -> "Event":
+        """Schedule this event to fire as a failure.
+
+        ``exc`` is usually an exception instance; any other value is
+        legal and is wrapped in :class:`SimulationError` at the point
+        it must be *raised* (a waiting process, ``run(until=...)``), so
+        a plain-value failure reads as a clean simulation error instead
+        of ``TypeError: exceptions must derive from BaseException``.
+        """
         if self._triggered:
             raise SimulationError(f"event {self!r} already triggered")
-        if not isinstance(exc, BaseException):
-            raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        sim._seq += 1
+        if delay == 0:
+            sim._nowq.append((sim._seq, self))
+        else:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
+        return self
+
+    def cancel(self) -> None:
+        """Mark this event defunct: when popped, its callbacks are
+        skipped instead of run.  Cancelling is idempotent and may happen
+        before or after triggering (but not once processed)."""
+        if self._processed:
+            raise SimulationError(f"cannot cancel processed event {self!r}")
+        self._defunct = True
+
+    def pin(self) -> "Event":
+        """Exempt this event from kernel recycling (see module docs)."""
+        self._pinned = True
         return self
 
     def _run_callbacks(self) -> None:
+        # kept for API compatibility; the dispatch loops inline this
         self._processed = True
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:
@@ -112,20 +179,48 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        if self._defunct:
+            state = "defunct"
         label = self.name or type(self).__name__
         return f"<{label} {state} at t={self.sim.now}>"
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
 
-    __slots__ = ()
+    Instances handed out by :meth:`Simulator.timeout` are pooled: after
+    the timeout fires and its callbacks run, the object may be recycled
+    to back a later ``timeout()`` call.  Conditions pin their members,
+    and ``run(until=...)`` pins its target, so the ordinary patterns
+    are safe; call :meth:`Event.pin` to keep one alive for inspection.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=f"Timeout({delay})")
-        self.succeed(value, delay=int(delay))
+        # inlined Event.__init__ + succeed(): this runs for every
+        # simulated latency hop, so it must not pay two super() calls
+        self.sim = sim
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defunct = False
+        self._pinned = False
+        self._delay = delay
+        self.name = "Timeout"
+        sim._seq += 1
+        if delay == 0:
+            sim._nowq.append((sim._seq, self))
+        else:
+            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
+
+    @property
+    def delay(self) -> int:
+        return self._delay
 
 
 class Process(Event):
@@ -144,10 +239,10 @@ class Process(Event):
             raise SimulationError(f"process target {generator!r} is not a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume once at the current time.
-        init = Event(sim, name=f"init:{self.name}")
+        # Bootstrap: resume once at the current time (a pooled
+        # zero-delay timeout doubles as the init poke).
+        init = sim.timeout(0)
         init.callbacks.append(self._resume)
-        init.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -164,51 +259,56 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke = Event(self.sim, name="interrupt")
         poke.callbacks.append(self._resume)
         poke.fail(Interrupt(cause))
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if trigger.ok:
+            if trigger._ok:
                 target = self._generator.send(trigger._value)
             else:
-                target = self._generator.throw(trigger._value)
+                err = trigger._value
+                if not isinstance(err, BaseException):
+                    err = SimulationError(
+                        f"event failed with non-exception value {err!r}"
+                    )
+                target = self._generator.throw(err)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
-            if self.callbacks or not self.sim.strict:
+            sim._active_process = None
+            if self.callbacks or not sim.strict:
                 # someone is waiting (or the user opted out of strict
                 # crash-on-unobserved): deliver the failure to them
                 self.fail(exc)
                 return
             raise
-        finally:
-            self.sim._active_process = None
+        sim._active_process = None
 
         if not isinstance(target, Event):
             self._generator.close()
             raise SimulationError(
                 f"process {self.name} yielded {target!r}; processes must yield Event instances"
             )
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             raise SimulationError("cannot wait on an event from a different simulator")
-        self._waiting_on = target
         if target._processed:
             # Already fired: resume immediately (at the current instant).
-            poke = Event(self.sim, name=f"replay:{self.name}")
-            poke.callbacks.append(self._resume)
-            if target.ok:
-                poke.succeed(target._value)
+            if target._ok:
+                poke: Event = sim.timeout(0, value=target._value)
             else:
+                poke = Event(sim, name="replay")
                 poke.fail(target._value)
+            poke.callbacks.append(self._resume)
             self._waiting_on = poke
         else:
+            self._waiting_on = target
             target.callbacks.append(self._resume)
 
 
@@ -227,6 +327,9 @@ class _Condition(Event):
         for ev in self._events:
             if ev.sim is not self.sim:
                 raise SimulationError("condition spans multiple simulators")
+            # the condition reads member state after they fire: exempt
+            # them from timeout recycling
+            ev._pinned = True
             if ev._processed:
                 self._check(ev)
             else:
@@ -237,6 +340,9 @@ class _Condition(Event):
 
     def _check(self, ev: Event) -> None:
         raise NotImplementedError
+
+    def __reduce__(self):  # pragma: no cover - conditions are transient
+        raise TypeError(f"{type(self).__name__} is not picklable")
 
 
 class AnyOf(_Condition):
@@ -276,7 +382,8 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, sequence, event).
+    """The event loop: a now-bucket FIFO + a priority queue of
+    (time, sequence, event).
 
     Parameters
     ----------
@@ -284,13 +391,23 @@ class Simulator:
         When True (default), an uncaught exception inside a process
         fails the process event instead of propagating, unless nothing
         waits on it.
+
+    Attributes
+    ----------
+    events_processed:
+        Count of dispatched events since construction — the numerator
+        of the ``repro bench`` events/sec figure.
     """
 
     def __init__(self, strict: bool = True):
         self._now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
+        #: zero-delay events at the current instant: (seq, event) FIFO
+        self._nowq: deque[tuple[int, Event]] = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
+        self.events_processed = 0
         self.strict = strict
 
     @property
@@ -307,7 +424,24 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        return Timeout(self, int(delay), value)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            t = pool.pop()
+            t._value = value
+            t._ok = True
+            t._triggered = True
+            t._processed = False
+            t._defunct = False
+            t._delay = delay
+            self._seq += 1
+            if delay == 0:
+                self._nowq.append((self._seq, t))
+            else:
+                heapq.heappush(self._heap, (self._now + int(delay), self._seq, t))
+            return t
+        return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -323,18 +457,56 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + int(delay), self._seq, event))
+        if delay == 0:
+            self._nowq.append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self._now + int(delay), self._seq, event))
+
+    def _pop_next(self) -> Optional[Event]:
+        """The next live event in (time, seq) order, advancing the
+        clock; None when nothing is scheduled.  Defunct events are
+        discarded without running their callbacks."""
+        heap, nowq = self._heap, self._nowq
+        while True:
+            if nowq:
+                if heap and heap[0][0] <= self._now and heap[0][1] < nowq[0][0]:
+                    _, _, event = heapq.heappop(heap)
+                else:
+                    _, event = nowq.popleft()
+            elif heap:
+                when, _, event = heapq.heappop(heap)
+                self._now = when
+            else:
+                return None
+            if event._defunct:
+                continue
+            return event
 
     def step(self) -> None:
-        """Process the single next event."""
-        when, _, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - guarded by _schedule
-            raise SimulationError("event heap corrupted: time went backwards")
-        self._now = when
-        event._run_callbacks()
+        """Process the single next event.
+
+        Raises :class:`SimulationError` when nothing is scheduled;
+        cancelled (defunct) events are skipped, not dispatched.
+        """
+        event = self._pop_next()
+        if event is None:
+            raise SimulationError("cannot step: no events are scheduled")
+        self.events_processed += 1
+        event._processed = True
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for cb in callbacks:
+                cb(event)
+        if type(event) is Timeout and not event._pinned:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_CAP:
+                pool.append(event)
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled event, or None if the heap is empty."""
+        """Time of the next scheduled event, or None if none is queued."""
+        if self._nowq:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def run(self, until: Any = None) -> Any:
@@ -344,27 +516,76 @@ class Simulator:
         integer time, or an :class:`Event` (run until it fires, and
         return / raise its value).
         """
-        if until is None:
-            while self._heap:
-                self.step()
-            return None
-
-        if isinstance(until, Event):
-            stop = until
-            while not stop._processed:
-                if not self._heap:
+        stop: Optional[Event] = None
+        horizon: Optional[int] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                stop._pinned = True
+            else:
+                horizon = int(until)
+                if horizon < self._now:
                     raise SimulationError(
-                        f"simulation ran out of events before {stop!r} fired"
+                        f"cannot run until {horizon} < now {self._now}"
                     )
-                self.step()
-            if stop.ok:
-                return stop._value
-            raise stop._value
 
-        horizon = int(until)
-        if horizon < self._now:
-            raise SimulationError(f"cannot run until {horizon} < now {self._now}")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
-        self._now = horizon
+        # The hot loop.  This is Simulator.step() inlined — every
+        # function call removed here is removed a million times per
+        # reproduced figure.
+        heap, nowq = self._heap, self._nowq
+        heappop = heapq.heappop
+        pool = self._timeout_pool
+        dispatched = 0
+        try:
+            while True:
+                if stop is not None and stop._processed:
+                    break
+                if nowq:
+                    head = heap[0] if heap else None
+                    if head is not None and head[0] <= self._now and head[1] < nowq[0][0]:
+                        _, _, event = heappop(heap)
+                    else:
+                        _, event = nowq.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if horizon is not None and when > horizon:
+                        break
+                    _, _, event = heappop(heap)
+                    self._now = when
+                else:
+                    if stop is not None:
+                        raise SimulationError(
+                            f"simulation ran out of events before {stop!r} fired"
+                        )
+                    break
+                if event._defunct:
+                    continue
+                dispatched += 1
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                if type(event) is Timeout and not event._pinned:
+                    if len(pool) < _TIMEOUT_POOL_CAP:
+                        pool.append(event)
+        finally:
+            self.events_processed += dispatched
+
+        if horizon is not None:
+            self._now = horizon
+            return None
+        if stop is not None:
+            if stop._ok:
+                return stop._value
+            err = stop._value
+            if isinstance(err, BaseException):
+                raise err
+            # a process can fail its event with a bare value through
+            # Event internals; surface it as a kernel error instead of
+            # "TypeError: exceptions must derive from BaseException"
+            raise SimulationError(
+                f"event {stop!r} failed with non-exception value {err!r}"
+            )
         return None

@@ -33,6 +33,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acquire_name = "acquire:" + name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         # busy-time integral for utilization accounting
@@ -61,7 +62,7 @@ class Resource:
         return self._busy_area / (elapsed * self.capacity)
 
     def acquire(self) -> Event:
-        ev = self.sim.event(name=f"acquire:{self.name}")
+        ev = self.sim.event(name=self._acquire_name)
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1
@@ -92,6 +93,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = "put:" + name
+        self._get_name = "get:" + name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
@@ -104,7 +107,7 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        ev = self.sim.event(name=f"put:{self.name}")
+        ev = self.sim.event(name=self._put_name)
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed(item)
@@ -116,7 +119,7 @@ class Store:
         return ev
 
     def get(self) -> Event:
-        ev = self.sim.event(name=f"get:{self.name}")
+        ev = self.sim.event(name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             if self._putters:
@@ -153,6 +156,7 @@ class BandwidthLink:
         self.bytes_per_sec = float(bytes_per_sec)
         self.propagation_ns = int(propagation_ns)
         self.name = name
+        self._xfer_name = "xfer:" + name
         # Time at which the link becomes free to start a new serialization.
         self._free_at = sim.now
         self._bytes_moved = 0
@@ -171,13 +175,13 @@ class BandwidthLink:
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
         now = self.sim.now
-        start = max(now, self._free_at)
+        start = now if now > self._free_at else self._free_at
         done_serializing = start + self.serialization_ns(nbytes)
         self._free_at = done_serializing
         self._bytes_moved += nbytes
-        ev = self.sim.event(name=f"xfer:{self.name}")
-        ev.succeed(value, delay=done_serializing + self.propagation_ns - now)
-        return ev
+        # pooled timeout: a transfer is exactly "fire at T with value",
+        # so it rides the recycled-Timeout fast path
+        return self.sim.timeout(done_serializing + self.propagation_ns - now, value)
 
     def busy_until(self) -> int:
         return self._free_at
@@ -223,6 +227,7 @@ class TokenBucket:
         self.rate_per_sec = rate_per_sec
         self.burst = float(burst)
         self.name = name
+        self._tokens_name = "tokens:" + name
         self._tokens = float(burst)
         self._last_refill = sim.now
         self._waiters: Deque[tuple[Event, float]] = deque()
@@ -253,7 +258,7 @@ class TokenBucket:
         return bool(self._waiters) or self.tokens < amount
 
     def consume(self, amount: float) -> Event:
-        ev = self.sim.event(name=f"tokens:{self.name}")
+        ev = self.sim.event(name=self._tokens_name)
         if self.unlimited:
             ev.succeed()
             return ev

@@ -83,6 +83,9 @@ class FioResult:
     latency: Optional[LatencyStats]
     errors: int = 0
     per_target_ios: dict[int, int] = field(default_factory=dict)
+    #: kernel events processed over the whole run (stamped by the
+    #: experiment harness; the bench harness divides by wall time)
+    sim_events: int = 0
 
     @property
     def iops(self) -> float:

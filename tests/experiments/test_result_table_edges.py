@@ -1,0 +1,70 @@
+"""Result-table and case-registry edge cases: ragged rows in
+``ExperimentResult.column`` and explicit-empty ``quick_cases``."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, quick_cases
+from repro.workloads.fio import TABLE_IV_CASES
+
+
+# ------------------------------------------------------------- quick_cases
+def test_quick_cases_default_is_full_table_iv():
+    specs = quick_cases()
+    assert [s.name for s in specs] == list(TABLE_IV_CASES)
+
+
+def test_quick_cases_none_means_default():
+    assert [s.name for s in quick_cases(None)] == list(TABLE_IV_CASES)
+
+
+def test_quick_cases_explicit_empty_returns_no_cases():
+    """An empty selection must stay empty, not fall back to the full
+    grid (the classic ``names or DEFAULT`` falsy-list bug)."""
+    assert quick_cases([]) == []
+    assert quick_cases(()) == []
+
+
+def test_quick_cases_subset_preserves_order():
+    names = ["rand-w-16", "rand-r-1"]
+    assert [s.name for s in quick_cases(names)] == names
+
+
+def test_quick_cases_unknown_name_raises_with_known_list():
+    with pytest.raises(KeyError, match="rand-r-1"):
+        quick_cases(["not-a-case"])
+
+
+# ----------------------------------------------------------------- column()
+def _ragged_result() -> ExperimentResult:
+    result = ExperimentResult("exp-test", "ragged rows")
+    result.add(case="a", iops=1.0)
+    result.add(case="b", iops=2.0, extra_col=42)
+    return result
+
+
+def test_column_on_uniform_key():
+    assert _ragged_result().column("iops") == [1.0, 2.0]
+
+
+def test_column_missing_key_raises_descriptive_error():
+    result = _ragged_result()
+    with pytest.raises(KeyError) as excinfo:
+        result.column("extra_col")
+    msg = str(excinfo.value)
+    assert "exp-test" in msg
+    assert "row 0" in msg
+    assert "extra_col" in msg
+    assert "default" in msg  # points at the tolerant spelling
+
+
+def test_column_with_default_fills_ragged_holes():
+    result = _ragged_result()
+    assert result.column("extra_col", default=None) == [None, 42]
+    assert result.column("extra_col", default=0) == [0, 42]
+
+
+def test_column_default_none_is_a_real_default():
+    """``default=None`` must mean "fill with None", not "no default"."""
+    result = ExperimentResult("exp-test", "empty rows")
+    result.add(case="a")
+    assert result.column("missing", default=None) == [None]

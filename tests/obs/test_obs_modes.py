@@ -1,0 +1,108 @@
+"""Low-overhead observability modes: span sampling and counters-only."""
+
+import pytest
+
+from repro.obs import OBS_MODES, MetricsRegistry, NullHistogram
+from repro.obs.spans import IOSpan
+
+
+def test_modes_constant_lists_all_modes():
+    assert OBS_MODES == ("full", "sampled", "counters")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown obs mode"):
+        MetricsRegistry(mode="verbose")
+
+
+def test_bad_span_sample_rejected():
+    with pytest.raises(ValueError, match="span_sample"):
+        MetricsRegistry(mode="sampled", span_sample=0)
+
+
+def test_full_mode_always_wants_spans():
+    reg = MetricsRegistry()  # default: full
+    assert all(reg.want_span() for _ in range(32))
+
+
+def test_full_mode_forces_sample_of_one():
+    reg = MetricsRegistry(mode="full", span_sample=8)
+    assert reg.span_sample == 1
+
+
+def test_sampled_mode_is_deterministic_one_in_n():
+    reg = MetricsRegistry(mode="sampled", span_sample=4)
+    picks = [reg.want_span() for _ in range(16)]
+    assert picks == [True, False, False, False] * 4
+    # a fresh registry makes the same decisions: no wall-clock coupling
+    reg2 = MetricsRegistry(mode="sampled", span_sample=4)
+    assert [reg2.want_span() for _ in range(16)] == picks
+
+
+def test_counters_mode_never_wants_spans():
+    reg = MetricsRegistry(mode="counters")
+    assert not any(reg.want_span() for _ in range(16))
+
+
+def test_counters_mode_histogram_is_null_and_shared():
+    reg = MetricsRegistry(mode="counters")
+    h1 = reg.histogram("io_latency_ns", driver="nvme0")
+    h2 = reg.histogram("other_ns")
+    assert isinstance(h1, NullHistogram)
+    assert h1 is h2  # one shared no-op sink, no per-label allocation
+
+
+def test_null_histogram_swallows_observations():
+    h = NullHistogram()
+    for v in (1, 10, 10**9):
+        h.observe(v)
+    assert h.count == 0
+    assert h.p50 == 0.0 and h.p99 == 0.0
+    assert h.summary()["count"] == 0
+
+
+def test_counters_mode_finish_span_is_a_noop():
+    reg = MetricsRegistry(mode="counters")
+    span = IOSpan("read", origin="test")
+    span.stamp("submit", 0)
+    span.stamp("interrupt", 1000)
+    reg.finish_span(span)
+    assert len(reg.spans) == 0
+    assert reg.histograms("span_stage_ns") == {}
+
+
+def test_counters_mode_counters_still_count():
+    reg = MetricsRegistry(mode="counters")
+    reg.counter("ios", ns="ns0").inc()
+    reg.counter("ios", ns="ns0").inc()
+    [(_, counter)] = list(reg.counters("ios").items())
+    assert counter.value == 2
+
+
+def test_full_mode_snapshot_has_no_mode_keys():
+    """Default snapshots must stay byte-identical to the pre-modes
+    format: the new keys appear only when a non-default mode is on."""
+    reg = MetricsRegistry()
+    snap = reg.snapshot()
+    assert "obs_mode" not in snap
+    assert "span_sample" not in snap
+
+
+def test_non_default_mode_snapshot_declares_itself():
+    snap = MetricsRegistry(mode="counters").snapshot()
+    assert snap["obs_mode"] == "counters"
+    sampled = MetricsRegistry(mode="sampled", span_sample=8).snapshot()
+    assert sampled["obs_mode"] == "sampled"
+    assert sampled["span_sample"] == 8
+
+
+def test_finish_span_uses_cached_stage_histograms():
+    reg = MetricsRegistry()
+    for start in (0, 100):
+        span = IOSpan("read", origin="t")
+        span.stamp("submit", start)
+        span.stamp("interrupt", start + 50)
+        reg.finish_span(span)
+    hists = reg.histograms("span_stage_ns")
+    [(_, h)] = list(hists.items())
+    assert h.count == 2

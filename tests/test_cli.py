@@ -156,3 +156,104 @@ def test_reproduce_json_output(tmp_path, capsys, monkeypatch):
     [payload] = json.loads(path.read_text())
     assert payload["experiment_id"] == "table1"
     assert payload["rows"]
+
+
+def test_reproduce_quick_runs_the_curated_subset(capsys, monkeypatch):
+    from repro.cli import QUICK_EXPERIMENT_IDS
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.2")
+    # narrow further with --only to keep the test fast; --quick must
+    # intersect with the filter, not override it
+    assert main(["reproduce", "--quick", "--only", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "[table1]" in out
+    assert "table1" in QUICK_EXPERIMENT_IDS
+    # fig10 exists in the registry but is not in the quick subset
+    assert main(["reproduce", "--quick", "--only", "fig10"]) == 2
+    assert "fig10" not in QUICK_EXPERIMENT_IDS
+
+
+def test_grid_command_parallel_matches_sequential(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.1")
+    seq_path, par_path = tmp_path / "seq.json", tmp_path / "par.json"
+    base = ["grid", "--schemes", "native,bmstore", "--cases", "rand-w-1",
+            "--seed", "3"]
+    assert main(base + ["--workers", "1", "--json", str(seq_path)]) == 0
+    assert main(base + ["--workers", "4", "--json", str(par_path)]) == 0
+    assert seq_path.read_bytes() == par_path.read_bytes()
+    import json
+
+    payloads = json.loads(seq_path.read_text())
+    assert [p["scheme"] for p in payloads] == ["native", "bmstore"]
+    assert all(p["seed"] == 3 and p["ios"] > 0 for p in payloads)
+    assert all("snapshot" not in p for p in payloads)  # opt-in via flag
+
+
+def test_grid_rejects_unknown_scheme_and_case(capsys):
+    assert main(["grid", "--schemes", "warp-drive", "--cases", "rand-w-1"]) == 2
+    assert main(["grid", "--schemes", "native", "--cases", "bogus"]) == 2
+    assert main(["grid", "--schemes", "native", "--cases", "rand-w-1",
+                 "--faults", "nope"]) == 2
+
+
+def test_bench_writes_snapshot_and_passes_self_check(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out)]) == 0
+    snap = json.loads(out.read_text())
+    assert snap["kind"] == "repro-bench"
+    assert snap["obs_mode"] == "counters"
+    [run] = snap["runs"]
+    assert run["scheme"] == "native" and run["case"] == "rand-w-1"
+    assert run["sim_events"] > 0 and run["events_per_sec"] > 0
+    text = capsys.readouterr().out
+    assert "events/s" in text
+    # a snapshot always passes a check against itself
+    out2 = tmp_path / "bench2.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out2), "--check", str(out)]) == 0
+
+
+def test_bench_check_fails_on_regression(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out)]) == 0
+    snap = json.loads(out.read_text())
+    # forge a baseline whose kernel was impossibly fast
+    snap["runs"][0]["events_per_sec"] *= 10
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(snap))
+    out2 = tmp_path / "bench2.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out2), "--check", str(baseline)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_bench_check_rejects_time_scale_mismatch(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out)]) == 0
+    snap = json.loads(out.read_text())
+    snap["time_scale"] = 1.0
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(snap))
+    out2 = tmp_path / "bench2.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out2), "--check", str(baseline)]) == 1
+    assert "time_scale" in capsys.readouterr().err
+
+
+def test_bench_check_missing_baseline_errors(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--cases", "rand-w-1", "--schemes", "native",
+                 "--out", str(out), "--check", str(tmp_path / "no.json")]) == 2
