@@ -7,7 +7,7 @@ and :mod:`repro.faults.presets` has canned plans for the CLI.
 
 from .injector import FaultInjector
 from .plan import FAULT_KINDS, DriverFaultPolicy, FaultPlan, FaultSpec
-from .presets import PRESETS, get_preset
+from .presets import PRESET_DESCRIPTIONS, PRESETS, get_preset, list_presets
 
 __all__ = [
     "FAULT_KINDS",
@@ -16,5 +16,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "PRESETS",
+    "PRESET_DESCRIPTIONS",
     "get_preset",
+    "list_presets",
 ]

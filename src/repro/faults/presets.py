@@ -13,7 +13,7 @@ from __future__ import annotations
 from ..sim.units import MS
 from .plan import FaultPlan
 
-__all__ = ["PRESETS", "get_preset"]
+__all__ = ["PRESETS", "PRESET_DESCRIPTIONS", "get_preset", "list_presets"]
 
 
 def _media_burst() -> FaultPlan:
@@ -62,6 +62,16 @@ PRESETS = {
     "hot-remove": _hot_remove,
 }
 
+#: one-liners for ``python -m repro faults --list`` (and ``--faults list``)
+PRESET_DESCRIPTIONS = {
+    "media-burst": "10 ms of NVMe media errors on every I/O; driver retries",
+    "die-stall": "6 ms window adding 0.5 ms flash latency per command (busy die/GC)",
+    "cmd-drop": "4 commands swallowed with no CQE; driver timeout -> abort -> retry",
+    "link-flap": "PCIe link to the backend drive down for 2 ms",
+    "width-degrade": "backend link re-trains at x1 for 10 ms (bandwidth loss)",
+    "hot-remove": "surprise removal of backend slot 0, re-seated 5 ms later",
+}
+
 
 def get_preset(name: str) -> FaultPlan:
     try:
@@ -70,3 +80,8 @@ def get_preset(name: str) -> FaultPlan:
         raise ValueError(
             f"unknown fault preset {name!r}; one of {sorted(PRESETS)}"
         ) from None
+
+
+def list_presets() -> list[tuple[str, str]]:
+    """(name, one-line description) per canned plan, in listing order."""
+    return [(name, PRESET_DESCRIPTIONS.get(name, "")) for name in PRESETS]

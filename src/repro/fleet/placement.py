@@ -1,0 +1,233 @@
+"""Tenant -> server placement policies for the fleet control plane.
+
+A policy is a pure function of ``(fleet, tenants)``: no randomness, ties
+broken by name, so the same inputs always yield the identical
+:class:`Placement`.  Every policy enforces both hard capacities of a
+server — namespace chunks (the engine would refuse to carve more) and
+nominal IOPS (the demand bookkeeping the paper's TCO sizing uses) — and
+raises :class:`PlacementError` instead of overcommitting.
+
+Policies
+--------
+``spread``    balance across failure domains first, then servers —
+              maximizes blast-radius isolation and keeps rolling
+              upgrade waves cheap (each wave touches few tenants twice)
+``binpack``   first-fit decreasing onto the fewest servers — the
+              consolidation/TCO answer
+``qos``       gold tenants spread across domains with IOPS headroom
+              reserved; best-effort classes packed on the remainder
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tenants import TenantSpec
+from .topology import FleetSpec, RackSpec, ServerSpec
+
+__all__ = ["PlacementError", "Placement", "POLICIES", "place", "evacuate"]
+
+#: a server hosting a gold tenant keeps this fraction of nominal IOPS
+#: as guaranteed headroom under the ``qos`` policy
+GOLD_HEADROOM = 0.7
+
+
+class PlacementError(ValueError):
+    """No feasible assignment under the policy's constraints."""
+
+
+@dataclass
+class Placement:
+    """An assignment of every tenant to one server, with load accounting."""
+
+    fleet: FleetSpec
+    policy: str
+    assignments: dict[str, str] = field(default_factory=dict)   # tenant -> server
+    tenants: dict[str, TenantSpec] = field(default_factory=dict)
+
+    def assign(self, tenant: TenantSpec, server: ServerSpec) -> None:
+        self.assignments[tenant.name] = server.name
+        self.tenants[tenant.name] = tenant
+
+    def server_of(self, tenant_name: str) -> str:
+        return self.assignments[tenant_name]
+
+    def tenants_on(self, server_name: str) -> tuple[TenantSpec, ...]:
+        return tuple(
+            self.tenants[t] for t, s in self.assignments.items() if s == server_name
+        )
+
+    def chunks_used(self, server_name: str) -> int:
+        return sum(t.chunks for t in self.tenants_on(server_name))
+
+    def iops_used(self, server_name: str) -> int:
+        return sum(t.demand_iops for t in self.tenants_on(server_name))
+
+    def domain_tenant_counts(self) -> dict[str, int]:
+        counts = {rack.name: 0 for rack in self.fleet.racks}
+        for server in self.assignments.values():
+            counts[self.fleet.domain_of(server)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """Stable JSON-able view: per-server load plus the assignment map."""
+        servers = []
+        for s in self.fleet.servers():
+            servers.append({
+                "server": s.name,
+                "rack": s.rack,
+                "tenants": sorted(t.name for t in self.tenants_on(s.name)),
+                "chunks_used": self.chunks_used(s.name),
+                "chunk_capacity": s.chunk_capacity,
+                "iops_used": self.iops_used(s.name),
+                "iops_capacity": s.iops_capacity,
+            })
+        return {
+            "policy": self.policy,
+            "assignments": dict(sorted(self.assignments.items())),
+            "servers": servers,
+        }
+
+
+def _check(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> None:
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise PlacementError("duplicate tenant names")
+    for t in tenants:
+        if all(t.chunks > s.chunk_capacity or t.demand_iops > s.iops_capacity
+               for s in fleet.servers()):
+            raise PlacementError(
+                f"tenant {t.name} ({t.chunks} chunks, {t.demand_iops} IOPS) "
+                "does not fit on any server")
+
+
+def _fits(server: ServerSpec, tenant: TenantSpec, placement: Placement,
+          iops_cap_fraction: float = 1.0) -> bool:
+    return (placement.chunks_used(server.name) + tenant.chunks
+            <= server.chunk_capacity
+            and placement.iops_used(server.name) + tenant.demand_iops
+            <= server.iops_capacity * iops_cap_fraction)
+
+
+def _spread_into(placement: Placement, tenants: list[TenantSpec],
+                 iops_cap_fraction: float = 1.0) -> None:
+    """Least-loaded failure domain, then least-loaded server, then name."""
+    fleet = placement.fleet
+    for tenant in tenants:
+        domain_counts = placement.domain_tenant_counts()
+        candidates = [
+            s for s in fleet.servers()
+            if _fits(s, tenant, placement, iops_cap_fraction)
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"no server can host tenant {tenant.name} "
+                f"({tenant.chunks} chunks, {tenant.demand_iops} IOPS)")
+        candidates.sort(key=lambda s: (
+            domain_counts[s.rack],
+            placement.iops_used(s.name),
+            placement.chunks_used(s.name),
+            s.name,
+        ))
+        placement.assign(tenant, candidates[0])
+
+
+def place_spread(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> Placement:
+    """Balance tenants across failure domains, largest demand first."""
+    _check(fleet, tenants)
+    placement = Placement(fleet, "spread")
+    ordered = sorted(tenants, key=lambda t: (-t.demand_iops, t.name))
+    _spread_into(placement, ordered)
+    return placement
+
+
+def place_binpack(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> Placement:
+    """First-fit decreasing by chunks: consolidate onto few servers."""
+    _check(fleet, tenants)
+    placement = Placement(fleet, "binpack")
+    ordered = sorted(tenants, key=lambda t: (-t.chunks, -t.demand_iops, t.name))
+    for tenant in ordered:
+        for server in fleet.servers():
+            if _fits(server, tenant, placement):
+                placement.assign(tenant, server)
+                break
+        else:
+            raise PlacementError(
+                f"no server can host tenant {tenant.name} "
+                f"({tenant.chunks} chunks, {tenant.demand_iops} IOPS)")
+    return placement
+
+
+def place_qos(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> Placement:
+    """Gold spread with reserved headroom; best-effort packed after.
+
+    Servers hosting a gold tenant never exceed :data:`GOLD_HEADROOM` of
+    their nominal IOPS — later best-effort tenants prefer gold-free
+    servers and must respect the reduced cap when they do share.
+    """
+    _check(fleet, tenants)
+    placement = Placement(fleet, "qos")
+    gold = sorted((t for t in tenants if t.qos == "gold"),
+                  key=lambda t: (-t.demand_iops, t.name))
+    rest = sorted((t for t in tenants if t.qos != "gold"),
+                  key=lambda t: (-t.chunks, -t.demand_iops, t.name))
+    _spread_into(placement, gold, iops_cap_fraction=GOLD_HEADROOM)
+    gold_servers = set(placement.assignments.values())
+    for tenant in rest:
+        ordered = sorted(fleet.servers(),
+                         key=lambda s: (s.name in gold_servers, s.name))
+        for server in ordered:
+            cap = GOLD_HEADROOM if server.name in gold_servers else 1.0
+            if _fits(server, tenant, placement, cap):
+                placement.assign(tenant, server)
+                break
+        else:
+            raise PlacementError(
+                f"no server can host tenant {tenant.name} under QoS headroom")
+    return placement
+
+
+POLICIES = {
+    "spread": place_spread,
+    "binpack": place_binpack,
+    "qos": place_qos,
+}
+
+
+def place(fleet: FleetSpec, tenants: tuple[TenantSpec, ...],
+          policy: str = "spread") -> Placement:
+    try:
+        fn = POLICIES[policy]
+    except KeyError:
+        raise PlacementError(
+            f"unknown placement policy {policy!r}; one of {sorted(POLICIES)}"
+        ) from None
+    return fn(fleet, tuple(tenants))
+
+
+def evacuate(placement: Placement, server_name: str) -> tuple[Placement, list[dict]]:
+    """Drain one server: re-place its tenants on the remaining fleet.
+
+    The control plane's reaction to a surprise hot-removal — everyone
+    else stays put; the drained server's tenants are re-placed with the
+    spread heuristic against the *residual* capacity.  Returns the new
+    placement and the move list (tenant, from, to).
+    """
+    placement.fleet.server(server_name)  # KeyError on unknown server
+    evacuees = sorted(placement.tenants_on(server_name),
+                      key=lambda t: (-t.demand_iops, t.name))
+    residual_fleet = FleetSpec(racks=tuple(
+        RackSpec(name=rack.name, servers=tuple(
+            s for s in rack.servers if s.name != server_name))
+        for rack in placement.fleet.racks
+    ))
+    out = Placement(residual_fleet, placement.policy)
+    for tname, sname in placement.assignments.items():
+        if sname != server_name:
+            out.assign(placement.tenants[tname], placement.fleet.server(sname))
+    _spread_into(out, list(evacuees))
+    moves = [
+        {"tenant": t.name, "from": server_name, "to": out.server_of(t.name)}
+        for t in evacuees
+    ]
+    return out, moves

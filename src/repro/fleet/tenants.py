@@ -1,0 +1,158 @@
+"""Tenant demand models composed from the existing workload tables.
+
+Each :class:`TenantProfile` borrows its I/O shape from one of the
+paper's Table IV fio cases and its read/write mix from the YCSB and
+TPC-C tables already in :mod:`repro.workloads` — the fleet simulation
+runs the same op shapes the single-server experiments run, just placed
+many-per-server and scaled per tenant.
+
+``make_tenants`` is the deterministic tenant generator: the same
+``(count, seed)`` always yields the identical tuple of
+:class:`TenantSpec`, with load factors quantized to quarters so scaled
+demands stay exactly representable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lba_mapping import CHUNK_BYTES
+from ..sim import RandomStream
+from ..workloads.fio import TABLE_IV_CASES
+from ..workloads.ycsb import YCSB_WORKLOADS
+
+__all__ = [
+    "QOS_CLASSES",
+    "QoSClass",
+    "TenantProfile",
+    "TENANT_PROFILES",
+    "TenantSpec",
+    "make_tenants",
+]
+
+#: share of TPC-C transactions that only read (Stock-Level + Order-Status
+#: of the standard mix in :mod:`repro.workloads.tpcc`), used as the OLTP
+#: profile's read fraction
+_TPCC_READ_FRACTION = 0.65
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """SLO targets plus the per-namespace caps provisioned on the card."""
+
+    name: str
+    slo_availability: float     # fraction of 50 ms windows that must serve I/O
+    slo_p99_us: float
+    max_iops: float | None      # None = uncapped (gold)
+    max_mbps: float | None
+
+
+QOS_CLASSES: dict[str, QoSClass] = {
+    "gold": QoSClass("gold", 0.999, 2_000.0, None, None),
+    "silver": QoSClass("silver", 0.995, 5_000.0, 200_000.0, 1_500.0),
+    "bronze": QoSClass("bronze", 0.99, 20_000.0, 50_000.0, 400.0),
+}
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """A workload archetype: fio shape + mix + baseline demand."""
+
+    name: str
+    case: str                   # Table IV case supplying block size / depth
+    read_fraction: float
+    demand_iops: int            # placement accounting, before load scaling
+    capacity_gib: int           # before load scaling
+    qos: str
+
+    def __post_init__(self) -> None:
+        if self.case not in TABLE_IV_CASES:
+            raise ValueError(f"profile {self.name}: unknown fio case {self.case!r}")
+        if self.qos not in QOS_CLASSES:
+            raise ValueError(f"profile {self.name}: unknown QoS class {self.qos!r}")
+
+    @property
+    def block_bytes(self) -> int:
+        return TABLE_IV_CASES[self.case].block_bytes
+
+
+TENANT_PROFILES: dict[str, TenantProfile] = {
+    # YCSB-B front cache: 95% reads at 4K
+    "web-cache": TenantProfile(
+        "web-cache", "rand-r-128", YCSB_WORKLOADS["B"].read, 120_000, 256, "silver"),
+    # YCSB-A session store: 50/50 update-heavy
+    "kv-store": TenantProfile(
+        "kv-store", "rand-w-16", YCSB_WORKLOADS["A"].read, 80_000, 128, "gold"),
+    # TPC-C style OLTP: latency-sensitive low-depth mix
+    "oltp": TenantProfile(
+        "oltp", "rand-r-1", _TPCC_READ_FRACTION, 40_000, 512, "gold"),
+    # YCSB-C scans-as-streams: large sequential reads
+    "analytics": TenantProfile(
+        "analytics", "seq-r-256", YCSB_WORKLOADS["C"].read, 20_000, 1024, "bronze"),
+    # append-only log shipping
+    "logging": TenantProfile(
+        "logging", "seq-w-256", 0.0, 10_000, 256, "bronze"),
+}
+
+#: fixed rotation order so tenant i's profile never depends on dict order
+_PROFILE_ORDER = ("web-cache", "kv-store", "oltp", "analytics", "logging")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One placed-able tenant: a scaled instance of a profile."""
+
+    name: str
+    profile: str
+    load: float                 # quantized scale factor on the profile
+    demand_iops: int
+    capacity_bytes: int
+    qos: str
+    read_fraction: float
+    block_bytes: int
+
+    @property
+    def chunks(self) -> int:
+        """Engine chunks this tenant's namespace will consume."""
+        return max(1, -(-self.capacity_bytes // CHUNK_BYTES))
+
+    @property
+    def qos_class(self) -> QoSClass:
+        return QOS_CLASSES[self.qos]
+
+
+def scale_profile(profile: TenantProfile, name: str, load: float) -> TenantSpec:
+    """One tenant from a profile with deterministic load scaling.
+
+    Capacity is rounded to whole 64 GiB chunks (the engine's allocation
+    unit) so placement arithmetic is exact.
+    """
+    chunks = max(1, round(profile.capacity_gib * load / 64))
+    return TenantSpec(
+        name=name,
+        profile=profile.name,
+        load=load,
+        demand_iops=int(profile.demand_iops * load),
+        capacity_bytes=chunks * CHUNK_BYTES,
+        qos=profile.qos,
+        read_fraction=profile.read_fraction,
+        block_bytes=profile.block_bytes,
+    )
+
+
+def make_tenants(count: int, seed: int = 7, load: float = 1.0) -> tuple[TenantSpec, ...]:
+    """``count`` tenants cycling the profile rotation, loads seeded.
+
+    Per-tenant load factors are ``randint(2, 6) / 4`` (0.5x .. 1.5x)
+    from one named stream, times the global ``load`` multiplier —
+    quantized so every derived demand is an exact integer.
+    """
+    if count < 0:
+        raise ValueError("tenant count must be >= 0")
+    rng = RandomStream(seed, name="fleet.tenants")
+    out = []
+    for i in range(count):
+        profile = TENANT_PROFILES[_PROFILE_ORDER[i % len(_PROFILE_ORDER)]]
+        factor = (rng.randint(2, 6) / 4.0) * load
+        out.append(scale_profile(profile, f"t{i:03d}-{profile.name}", factor))
+    return tuple(out)

@@ -1,0 +1,141 @@
+"""Fleet topology: racks (failure domains) of BM-Store servers.
+
+A :class:`FleetSpec` is pure data — the control plane's inventory.  Each
+:class:`ServerSpec` describes one bare-metal host carrying one BM-Store
+card with ``num_ssds`` backend drives; its capacity is expressed in the
+engine's own allocation unit (64 GiB chunks, see
+:mod:`repro.core.lba_mapping`) so placement can never promise space the
+engine would refuse to carve.
+
+Racks are the failure domains: the orchestrator upgrades at most
+``max_per_domain`` servers of one rack per wave, and the spread
+placement policy balances tenants across racks before it balances
+across servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.lba_mapping import CHUNK_BYTES
+from ..nvme.flash import P4510_PROFILE
+
+__all__ = [
+    "NOMINAL_SSD_IOPS",
+    "ServerSpec",
+    "RackSpec",
+    "FleetSpec",
+    "build_fleet",
+]
+
+#: nominal 4K random-read capability of one backend drive, used only
+#: for placement accounting (the P4510 datasheet number, not a promise
+#: the simulation enforces)
+NOMINAL_SSD_IOPS = 640_000
+
+#: chunks one backend drive contributes to the engine's free pool
+CHUNKS_PER_SSD = int(P4510_PROFILE.capacity_bytes // CHUNK_BYTES)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One bare-metal server: a BM-Store card plus backend drives."""
+
+    name: str
+    rack: str
+    num_ssds: int = 1
+
+    @property
+    def chunk_capacity(self) -> int:
+        """Namespace chunks the engine can carve on this server."""
+        return self.num_ssds * CHUNKS_PER_SSD
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.chunk_capacity * CHUNK_BYTES
+
+    @property
+    def iops_capacity(self) -> int:
+        return self.num_ssds * NOMINAL_SSD_IOPS
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """One failure domain (shared power/switch in the paper's DC model)."""
+
+    name: str
+    servers: tuple[ServerSpec, ...]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The whole inventory, rack-major and deterministic in order."""
+
+    racks: tuple[RackSpec, ...]
+
+    def servers(self) -> tuple[ServerSpec, ...]:
+        return tuple(s for rack in self.racks for s in rack.servers)
+
+    def server(self, name: str) -> ServerSpec:
+        for rack in self.racks:
+            for s in rack.servers:
+                if s.name == name:
+                    return s
+        raise KeyError(f"no server {name!r} in fleet")
+
+    def domain_of(self, server_name: str) -> str:
+        return self.server(server_name).rack
+
+    def domains(self) -> tuple[str, ...]:
+        return tuple(rack.name for rack in self.racks)
+
+    def __iter__(self) -> Iterator[ServerSpec]:
+        return iter(self.servers())
+
+    def __len__(self) -> int:
+        return sum(len(rack.servers) for rack in self.racks)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(s.chunk_capacity for s in self.servers())
+
+    @property
+    def total_iops(self) -> int:
+        return sum(s.iops_capacity for s in self.servers())
+
+    def describe(self) -> dict:
+        """Stable JSON-able summary (reports / CLI)."""
+        return {
+            "servers": len(self),
+            "racks": len(self.racks),
+            "ssds": sum(s.num_ssds for s in self.servers()),
+            "capacity_chunks": self.total_chunks,
+            "nominal_iops": self.total_iops,
+        }
+
+
+def build_fleet(
+    num_servers: int = 24,
+    num_racks: int = 6,
+    ssds_per_server: int = 1,
+) -> FleetSpec:
+    """A regular fleet: ``num_servers`` spread round-robin over racks.
+
+    Naming is positional (``r0s0``, ``r0s1``, ... within rack ``r0``) so
+    the same arguments always build the byte-identical inventory.
+    """
+    if num_servers < 1 or num_racks < 1 or ssds_per_server < 1:
+        raise ValueError("fleet needs >= 1 server, rack, and SSD per server")
+    num_racks = min(num_racks, num_servers)
+    per_rack: list[list[ServerSpec]] = [[] for _ in range(num_racks)]
+    for i in range(num_servers):
+        rack_id = i % num_racks
+        name = f"r{rack_id}s{len(per_rack[rack_id])}"
+        per_rack[rack_id].append(
+            ServerSpec(name=name, rack=f"r{rack_id}", num_ssds=ssds_per_server)
+        )
+    return FleetSpec(racks=tuple(
+        RackSpec(name=f"r{rid}", servers=tuple(servers))
+        for rid, servers in enumerate(per_rack)
+    ))

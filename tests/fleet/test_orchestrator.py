@@ -1,0 +1,175 @@
+"""Rolling-upgrade orchestration: wave planning, server sims, determinism.
+
+The determinism tests are the load-bearing ones: a fleet report must
+serialize byte-identically for any ``workers`` count, clean and with a
+hot-removal preset armed — that is what makes the parallel fan-out
+trustworthy.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.faults import get_preset
+from repro.fleet import (
+    FleetRunConfig,
+    ServerRunSpec,
+    TenantAssignment,
+    build_fleet,
+    make_tenants,
+    plan_waves,
+    run_fleet,
+    run_server,
+    shifted_preset,
+)
+from repro.sim.units import MS
+
+QUICK = FleetRunConfig(start_ns=100 * MS, spacing_ns=350 * MS,
+                       tail_ns=100 * MS, activation_s=0.05)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# wave planning
+# --------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_servers=st.integers(min_value=1, max_value=30),
+    num_racks=st.integers(min_value=1, max_value=8),
+    max_per_domain=st.integers(min_value=1, max_value=3),
+)
+def test_plan_waves_covers_every_server_once(num_servers, num_racks,
+                                             max_per_domain):
+    fleet = build_fleet(num_servers, num_racks)
+    waves = plan_waves(fleet, max_per_domain)
+    flat = [name for wave in waves for name in wave]
+    assert sorted(flat) == sorted(s.name for s in fleet.servers())
+    for wave in waves:
+        per_rack: dict[str, int] = {}
+        for name in wave:
+            rack = fleet.domain_of(name)
+            per_rack[rack] = per_rack.get(rack, 0) + 1
+        assert max(per_rack.values()) <= max_per_domain
+
+
+def test_plan_waves_rejects_bad_concurrency():
+    with pytest.raises(ValueError):
+        plan_waves(build_fleet(4, 2), max_per_domain=0)
+
+
+# --------------------------------------------------------------------------
+# preset shifting + single-server simulation
+# --------------------------------------------------------------------------
+
+def test_shifted_preset_translates_schedule():
+    original = get_preset("media-burst")
+    shifted = shifted_preset("media-burst", 500 * MS)
+    assert min(s.at_ns for s in shifted.specs) == 500 * MS
+    orig_gaps = sorted(s.at_ns - min(x.at_ns for x in original.specs)
+                       for s in original.specs)
+    new_gaps = sorted(s.at_ns - 500 * MS for s in shifted.specs)
+    assert new_gaps == orig_gaps
+    assert shifted.driver_policy == original.driver_policy
+
+
+def _spec(**kw) -> ServerRunSpec:
+    tenant = TenantAssignment(name="t000", qos="silver",
+                              capacity_bytes=64 << 20, read_fraction=0.7,
+                              block_bytes=4096, workers=1)
+    base = dict(server="r0s0", rack="r0", seed=42, tenants=(tenant,),
+                run_ns=600 * MS, upgrade_at_ns=150 * MS, activation_s=0.05)
+    base.update(kw)
+    return ServerRunSpec(**base)
+
+
+def test_run_server_clean_upgrade():
+    payload = run_server(_spec())
+    assert payload["errors"] == 0
+    assert len(payload["upgrades"]) == 1
+    up = payload["upgrades"][0]
+    assert up["ok"] and up["version"] == "FW-NEXT"
+    t = payload["tenants"][0]
+    assert t["ios"] > 0
+    assert len(t["windows"]) == 600 * MS // (50 * MS)
+    # the activation pause blanks at least one availability window
+    assert 0.0 < t["availability"] < 1.0
+
+
+def test_run_server_without_upgrade_stays_fully_available():
+    payload = run_server(_spec(upgrade_at_ns=-1))
+    assert payload["upgrades"] == []
+    assert payload["tenants"][0]["availability"] == 1.0
+
+
+def test_run_server_hot_remove_recovers():
+    payload = run_server(_spec(faults="hot-remove", fault_at_ns=300 * MS))
+    assert "hot_remove" in payload["fault_kinds"]
+    assert payload["faults_injected"] > 0
+    assert payload["bmsc_recoveries"] > 0
+
+
+# --------------------------------------------------------------------------
+# fleet runs: report shape + byte determinism
+# --------------------------------------------------------------------------
+
+def test_fleet_report_shape():
+    fleet = build_fleet(num_servers=4, num_racks=2)
+    tenants = make_tenants(6, seed=7)
+    report = run_fleet(fleet, tenants, policy="spread", seed=7, config=QUICK)
+    assert report["fleet"]["servers"] == 4
+    assert len(report["waves"]) == 2
+    assert report["summary"]["servers_upgraded"] == 4
+    assert report["summary"]["upgrades_ok"]
+    assert report["summary"]["errors"] == 0
+    assert report["summary"]["drained_servers"] == 0
+    assert len(report["tenants"]) == 6
+    for row in report["tenants"]:
+        assert 0.0 <= row["availability"] <= 1.0
+        assert row["unplanned_availability"] >= row["availability"]
+    for wave in report["waves"]:
+        assert len(wave["domains"]) <= 2
+
+
+def test_fleet_hot_remove_drains_and_replaces():
+    fleet = build_fleet(num_servers=4, num_racks=2)
+    tenants = make_tenants(6, seed=7)
+    report = run_fleet(fleet, tenants, policy="spread", faults="hot-remove",
+                       seed=7, config=QUICK)
+    assert report["summary"]["drained_servers"] == 1
+    drained = report["maintenance"]["drained"][0]
+    assert report["fleet"]["faults"] == "hot-remove"
+    moves = report["maintenance"]["moves"]
+    assert moves and all(m["from"] == drained for m in moves)
+    assert all(m["to"] != drained for m in moves)
+
+
+def test_fleet_parallel_matches_sequential_bytes_clean():
+    fleet = build_fleet(num_servers=4, num_racks=2)
+    tenants = make_tenants(6, seed=7)
+    seq = run_fleet(fleet, tenants, seed=7, workers=1, config=QUICK)
+    par = run_fleet(fleet, tenants, seed=7, workers=4, config=QUICK)
+    assert _dumps(seq) == _dumps(par)
+
+
+def test_fleet_parallel_matches_sequential_bytes_with_fault():
+    fleet = build_fleet(num_servers=4, num_racks=2)
+    tenants = make_tenants(6, seed=7)
+    seq = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                    workers=1, config=QUICK)
+    par = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                    workers=4, config=QUICK)
+    assert _dumps(seq) == _dumps(par)
+    assert seq["summary"]["drained_servers"] == 1
+
+
+def test_fleet_seed_changes_report():
+    fleet = build_fleet(num_servers=2, num_racks=2)
+    tenants = make_tenants(4, seed=7)
+    a = run_fleet(fleet, tenants, seed=7, config=QUICK)
+    b = run_fleet(fleet, tenants, seed=8, config=QUICK)
+    assert _dumps(a) != _dumps(b)

@@ -1,0 +1,152 @@
+"""Placement policies: capacity safety, domain spreading, determinism.
+
+The capacity properties are hypothesis-driven: for *any* fleet shape
+and tenant mix, a policy either raises ``PlacementError`` or returns an
+assignment that never overcommits a server — there is no third
+outcome.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import (
+    PlacementError,
+    TenantSpec,
+    build_fleet,
+    evacuate,
+    make_tenants,
+    place,
+)
+from repro.fleet.placement import GOLD_HEADROOM, POLICIES
+from repro.core.lba_mapping import CHUNK_BYTES
+
+
+def _tenant(i: int, chunks: int, iops: int, qos: str = "silver") -> TenantSpec:
+    return TenantSpec(
+        name=f"t{i:03d}", profile="web-cache", load=1.0, demand_iops=iops,
+        capacity_bytes=chunks * CHUNK_BYTES, qos=qos, read_fraction=0.95,
+        block_bytes=4096,
+    )
+
+
+tenant_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=40),        # chunks
+        st.integers(min_value=1_000, max_value=700_000),  # demand iops
+        st.sampled_from(["gold", "silver", "bronze"]),
+    ),
+    min_size=0, max_size=20,
+).map(lambda raw: tuple(
+    _tenant(i, chunks, iops, qos) for i, (chunks, iops, qos) in enumerate(raw)
+))
+
+fleet_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),  # servers
+    st.integers(min_value=1, max_value=4),   # racks
+    st.integers(min_value=1, max_value=2),   # ssds per server
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=fleet_shapes, tenants=tenant_lists,
+       policy=st.sampled_from(sorted(POLICIES)))
+def test_policies_never_overcommit_a_server(shape, tenants, policy):
+    fleet = build_fleet(*shape)
+    try:
+        placement = place(fleet, tenants, policy)
+    except PlacementError:
+        return  # refusing is the only acceptable alternative
+    assert sorted(placement.assignments) == sorted(t.name for t in tenants)
+    for server in fleet.servers():
+        assert placement.chunks_used(server.name) <= server.chunk_capacity
+        assert placement.iops_used(server.name) <= server.iops_capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_racks=st.integers(min_value=1, max_value=4),
+    per_rack=st.integers(min_value=1, max_value=3),
+    num_tenants=st.integers(min_value=0, max_value=12),
+)
+def test_spread_balances_failure_domains(num_racks, per_rack, num_tenants):
+    """With uniformly small tenants, domain counts differ by at most 1."""
+    fleet = build_fleet(num_racks * per_rack, num_racks)
+    tenants = tuple(_tenant(i, 1, 1_000) for i in range(num_tenants))
+    placement = place(fleet, tenants, "spread")
+    counts = placement.domain_tenant_counts().values()
+    assert max(counts) - min(counts) <= 1
+
+
+def test_qos_policy_reserves_gold_headroom():
+    fleet = build_fleet(num_servers=4, num_racks=2)
+    tenants = (
+        _tenant(0, 2, 300_000, "gold"),
+        _tenant(1, 2, 300_000, "gold"),
+        _tenant(2, 2, 200_000, "bronze"),
+        _tenant(3, 2, 200_000, "bronze"),
+    )
+    placement = place(fleet, tenants, "qos")
+    gold_servers = {placement.server_of("t000"), placement.server_of("t001")}
+    # gold tenants land on distinct servers in distinct domains
+    assert len(gold_servers) == 2
+    assert len({fleet.domain_of(s) for s in gold_servers}) == 2
+    for name in gold_servers:
+        server = fleet.server(name)
+        assert placement.iops_used(name) <= server.iops_capacity * GOLD_HEADROOM
+
+
+def test_binpack_consolidates_onto_fewest_servers():
+    fleet = build_fleet(num_servers=6, num_racks=3)
+    tenants = tuple(_tenant(i, 5, 10_000) for i in range(4))
+    packed = place(fleet, tenants, "binpack")
+    assert len(set(packed.assignments.values())) == 1  # all fit on one server
+    spread = place(fleet, tenants, "spread")
+    assert len(set(spread.assignments.values())) == 4
+
+
+def test_placement_is_deterministic():
+    fleet = build_fleet(num_servers=8, num_racks=4)
+    tenants = make_tenants(16, seed=3)
+    for policy in POLICIES:
+        a = place(fleet, tenants, policy).describe()
+        b = place(fleet, tenants, policy).describe()
+        assert a == b
+
+
+def test_infeasible_demand_raises():
+    fleet = build_fleet(num_servers=2, num_racks=2)
+    whale = (_tenant(0, 10_000, 10_000),)  # more chunks than any server
+    with pytest.raises(PlacementError):
+        place(fleet, whale, "spread")
+    many = tuple(_tenant(i, 20, 10_000) for i in range(10))
+    with pytest.raises(PlacementError):
+        place(fleet, many, "binpack")
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(PlacementError):
+        place(build_fleet(2, 2), (), "warp")
+
+
+def test_duplicate_tenant_names_rejected():
+    fleet = build_fleet(2, 2)
+    with pytest.raises(PlacementError):
+        place(fleet, (_tenant(0, 1, 1000), _tenant(0, 1, 1000)), "spread")
+
+
+def test_evacuate_moves_everything_off_and_stays_safe():
+    fleet = build_fleet(num_servers=6, num_racks=3)
+    tenants = make_tenants(12, seed=5)
+    placement = place(fleet, tenants, "spread")
+    victim = placement.server_of(tenants[0].name)
+    moved_off = {t.name for t in placement.tenants_on(victim)}
+    after, moves = evacuate(placement, victim)
+    assert {m["tenant"] for m in moves} == moved_off
+    assert all(m["from"] == victim and m["to"] != victim for m in moves)
+    assert sorted(after.assignments) == sorted(placement.assignments)
+    assert not after.tenants_on(victim)
+    for server in fleet.servers():
+        if server.name == victim:
+            continue
+        assert after.chunks_used(server.name) <= server.chunk_capacity
+        assert after.iops_used(server.name) <= server.iops_capacity

@@ -1,0 +1,65 @@
+"""Fleet inventory: construction, failure domains, capacity."""
+
+import pytest
+
+from repro.core.lba_mapping import CHUNK_BYTES
+from repro.fleet import build_fleet
+from repro.fleet.topology import CHUNKS_PER_SSD
+
+
+def test_build_fleet_shape_and_naming():
+    fleet = build_fleet(num_servers=24, num_racks=6, ssds_per_server=2)
+    assert len(fleet) == 24
+    assert len(fleet.racks) == 6
+    assert all(len(rack.servers) == 4 for rack in fleet.racks)
+    assert fleet.servers()[0].name == "r0s0"
+    assert fleet.domain_of("r3s2") == "r3"
+    assert fleet.server("r5s3").num_ssds == 2
+
+
+def test_build_fleet_is_deterministic():
+    assert build_fleet(10, 3) == build_fleet(10, 3)
+
+
+def test_uneven_fleet_keeps_every_server():
+    fleet = build_fleet(num_servers=7, num_racks=3)
+    assert len(fleet) == 7
+    sizes = sorted(len(rack.servers) for rack in fleet.racks)
+    assert sizes == [2, 2, 3]
+    assert len({s.name for s in fleet.servers()}) == 7
+
+
+def test_more_racks_than_servers_collapses():
+    fleet = build_fleet(num_servers=2, num_racks=8)
+    assert len(fleet.racks) == 2
+
+
+def test_capacity_accounting_matches_engine_units():
+    fleet = build_fleet(num_servers=2, num_racks=1, ssds_per_server=3)
+    server = fleet.servers()[0]
+    assert server.chunk_capacity == 3 * CHUNKS_PER_SSD
+    assert server.capacity_bytes == server.chunk_capacity * CHUNK_BYTES
+    assert fleet.total_chunks == 2 * server.chunk_capacity
+
+
+def test_unknown_server_raises():
+    fleet = build_fleet(num_servers=2, num_racks=2)
+    with pytest.raises(KeyError):
+        fleet.server("r9s9")
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        build_fleet(num_servers=0)
+    with pytest.raises(ValueError):
+        build_fleet(num_servers=4, num_racks=0)
+    with pytest.raises(ValueError):
+        build_fleet(num_servers=4, num_racks=2, ssds_per_server=0)
+
+
+def test_describe_is_json_able():
+    import json
+
+    desc = build_fleet(6, 3).describe()
+    assert json.loads(json.dumps(desc)) == desc
+    assert desc["servers"] == 6 and desc["racks"] == 3

@@ -252,6 +252,48 @@ def test_bench_check_rejects_time_scale_mismatch(tmp_path, capsys, monkeypatch):
     assert "time_scale" in capsys.readouterr().err
 
 
+def test_faults_list_enumerates_presets(capsys):
+    assert main(["faults", "--list"]) == 0
+    out = capsys.readouterr().out
+    for preset in ("media-burst", "die-stall", "cmd-drop", "link-flap",
+                   "width-degrade", "hot-remove"):
+        assert preset in out
+
+
+def test_fio_and_grid_faults_list(capsys):
+    assert main(["fio", "--scheme", "bmstore", "--faults", "list"]) == 0
+    assert "hot-remove" in capsys.readouterr().out
+    assert main(["grid", "--schemes", "native", "--cases", "rand-w-1",
+                 "--faults", "list"]) == 0
+    assert "cmd-drop" in capsys.readouterr().out
+
+
+def test_fleet_command_quick_run(capsys):
+    assert main(["fleet", "--servers", "4", "--racks", "2", "--tenants", "6",
+                 "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 4 servers / 2 racks" in out
+    assert "rolling upgrade: 2 waves" in out
+    assert "SLO violations" in out
+
+
+def test_fleet_json_to_stdout(capsys):
+    import json
+
+    assert main(["fleet", "--servers", "4", "--racks", "2", "--tenants", "6",
+                 "--quick", "--json", "-"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["fleet"]["servers"] == 4
+    assert report["summary"]["servers_upgraded"] == 4
+    assert report["summary"]["upgrades_ok"] is True
+
+
+def test_fleet_rejects_bad_inputs(capsys):
+    assert main(["fleet", "--policy", "warp", "--quick"]) == 2
+    assert main(["fleet", "--faults", "asteroid", "--quick"]) == 2
+    assert main(["fleet", "--servers", "0", "--quick"]) == 2
+
+
 def test_bench_check_missing_baseline_errors(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
     out = tmp_path / "bench.json"

@@ -36,6 +36,15 @@ def test_crash_recovery_example(capsys):
     assert "200/205 keys survived" in out
 
 
+def test_fleet_maintenance_example(capsys):
+    load_example("fleet_maintenance").main()
+    out = capsys.readouterr().out
+    assert "upgrade plan: " in out and "waves" in out
+    assert "drained" in out
+    assert "per-tenant SLO ledger" in out
+    assert "all 6 servers took new firmware" in out
+
+
 def test_every_example_parses():
     import ast
 
