@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..checks import CheckContext, resolve_checks
 from ..core.controller import BMSController, ControllerTimings
 from ..core.engine import BMSEngine, EngineTimings
 from ..faults import DriverFaultPolicy, FaultInjector, FaultPlan
@@ -80,6 +81,7 @@ class NativeRig:
     drivers: list[NVMeDriver]
     obs: Optional[MetricsRegistry] = None
     faults: Optional[FaultInjector] = None
+    checks: Optional[CheckContext] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -94,13 +96,20 @@ def build_native(
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks=None,
 ) -> NativeRig:
     """A bare-metal world: host + drives + bound drivers."""
     sim, streams, host = _base_world(seed, kernel)
+    ctx = resolve_checks(checks, obs)
+    if ctx is not None:
+        ctx.bind_sim(sim)
     ssds = [
         NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         for i in range(num_ssds)
     ]
+    if ctx is not None:
+        for ssd in ssds:
+            ctx.bind_ssd(ssd)
     injector = _make_injector(sim, faults, obs)
     if injector is not None:
         for ssd in ssds:
@@ -111,10 +120,11 @@ def build_native(
     drivers = [
         NVMeDriver(host, ssd, queue_depth=queue_depth,
                    num_io_queues=num_io_queues, name=f"nvme{i}", obs=obs,
-                   fault_policy=policy)
+                   fault_policy=policy, checks=ctx)
         for i, ssd in enumerate(ssds)
     ]
-    return NativeRig(sim, streams, host, ssds, drivers, obs=obs, faults=injector)
+    return NativeRig(sim, streams, host, ssds, drivers, obs=obs, faults=injector,
+                     checks=ctx)
 
 
 # --------------------------------------------------------------- BM-Store
@@ -132,6 +142,7 @@ class BMStoreRig:
     obs: Optional[MetricsRegistry] = None
     faults: Optional[FaultInjector] = None
     fault_policy: Optional[DriverFaultPolicy] = None
+    checks: Optional[CheckContext] = None
     _next_vf: int = 5  # fn 1..4 are PFs; VMs get VFs from 5 up
 
     def provision(
@@ -158,7 +169,7 @@ class BMStoreRig:
         return NVMeDriver(
             self.host, fn, queue_depth=queue_depth,
             num_io_queues=num_io_queues, name=f"bms.fn{fn.fn_id}",
-            obs=self.obs, fault_policy=self.fault_policy,
+            obs=self.obs, fault_policy=self.fault_policy, checks=self.checks,
         )
 
     def vm_driver(
@@ -168,7 +179,7 @@ class BMStoreRig:
         queue_depth: int = 1024,
     ) -> NVMeDriver:
         return vm.bind_nvme(fn, queue_depth=queue_depth, obs=self.obs,
-                            fault_policy=self.fault_policy)
+                            fault_policy=self.fault_policy, checks=self.checks)
 
 
 def build_bmstore(
@@ -182,12 +193,16 @@ def build_bmstore(
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks=None,
 ) -> BMStoreRig:
     """A full BM-Store world: host + engine/controller/console + drives."""
     sim, streams, host = _base_world(seed, kernel)
+    ctx = resolve_checks(checks, obs)
+    if ctx is not None:
+        ctx.bind_sim(sim)
     engine = BMSEngine(
         host, timings=timings, qos_enabled=qos_enabled, zero_copy=zero_copy,
-        obs=obs,
+        obs=obs, checks=ctx,
     )
     controller = BMSController(engine, timings=controller_timings)
     console = RemoteConsole(host, engine.front_port.name)
@@ -197,6 +212,8 @@ def build_bmstore(
             sim, engine.backend_fabric, streams, name=f"bssd{i}",
             profile=flash_profile,
         )
+        if ctx is not None:
+            ctx.bind_ssd(ssd)
         engine.attach_ssd(ssd)
         ssds.append(ssd)
     injector = _make_injector(sim, faults, obs)
@@ -211,7 +228,7 @@ def build_bmstore(
             controller.start_watchdog()
     return BMStoreRig(sim, streams, host, engine, controller, console, ssds,
                       obs=obs, faults=injector,
-                      fault_policy=_driver_policy(faults))
+                      fault_policy=_driver_policy(faults), checks=ctx)
 
 
 # ------------------------------------------------------------------ VFIO
@@ -228,6 +245,7 @@ class VFIORig:
     assignment: VFIOAssignment
     obs: Optional[MetricsRegistry] = None
     faults: Optional[FaultInjector] = None
+    checks: Optional[CheckContext] = None
 
     def driver(self, index: int = 0) -> NVMeDriver:
         return self.drivers[index]
@@ -243,18 +261,24 @@ def build_vfio(
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks=None,
 ) -> VFIORig:
     """Pass-through worlds: one whole drive per VM."""
     sim, streams, host = _base_world(seed, kernel)
+    ctx = resolve_checks(checks, obs)
+    if ctx is not None:
+        ctx.bind_sim(sim)
     assignment = VFIOAssignment()
     policy = _driver_policy(faults)
     ssds, vms, drivers = [], [], []
     for i in range(num_vms):
         ssd = NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
+        if ctx is not None:
+            ctx.bind_ssd(ssd)
         vm = VirtualMachine(host, f"vm{i}", profile=vm_profile,
                             guest_kernel=guest_kernel or kernel)
         driver = assignment.assign(vm, ssd, queue_depth=queue_depth, obs=obs,
-                                   fault_policy=policy)
+                                   fault_policy=policy, checks=ctx)
         ssds.append(ssd)
         vms.append(vm)
         drivers.append(driver)
@@ -265,7 +289,7 @@ def build_vfio(
         injector.bind_fabric(host.fabric)
         injector.start()
     return VFIORig(sim, streams, host, ssds, vms, drivers, assignment, obs=obs,
-                   faults=injector)
+                   faults=injector, checks=ctx)
 
 
 # ------------------------------------------------------------------ SPDK
@@ -281,6 +305,7 @@ class SPDKRig:
     vdevs: list[VhostBlockDevice]
     obs: Optional[MetricsRegistry] = None
     faults: Optional[FaultInjector] = None
+    checks: Optional[CheckContext] = None
 
     def vdev(self, index: int = 0) -> VhostBlockDevice:
         return self.vdevs[index]
@@ -297,20 +322,28 @@ def build_spdk(
     flash_profile: FlashProfile = P4510_PROFILE,
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks=None,
 ) -> SPDKRig:
     """An SPDK vhost world: polling cores + virtio vdevs."""
     sim, streams, host = _base_world(seed, kernel)
+    ctx = resolve_checks(checks, obs)
+    if ctx is not None:
+        ctx.bind_sim(sim)
     ssds = [
         NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
         for i in range(num_ssds)
     ]
+    if ctx is not None:
+        for ssd in ssds:
+            ctx.bind_ssd(ssd)
     injector = _make_injector(sim, faults, obs)
     if injector is not None:
         for ssd in ssds:
             injector.bind_ssd(ssd)
         injector.bind_fabric(host.fabric)
         injector.start()
-    target = SPDKVhostTarget(host, ssds, num_cores=num_cores, config=config)
+    target = SPDKVhostTarget(host, ssds, num_cores=num_cores, config=config,
+                             checks=ctx)
     vdevs = []
     blocks = vdev_blocks or (256 * 1024**3 // 4096)
     per_ssd_next: dict[int, int] = {}
@@ -321,4 +354,4 @@ def build_spdk(
         vdevs.append(target.create_vdev(f"vd{i}", ssd_index, base, blocks))
     target.start()
     return SPDKRig(sim, streams, host, ssds, target, vdevs, obs=obs,
-                   faults=injector)
+                   faults=injector, checks=ctx)

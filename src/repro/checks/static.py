@@ -1,0 +1,189 @@
+"""Static determinism audit: AST scan of ``src/repro`` for hazards.
+
+The simulation's headline property is byte-identical replay: same seed,
+same bytes, sequential or parallel.  Three source-level patterns break
+that silently, so ``python -m repro check --static`` (and the CI lint
+job) fails on any of them:
+
+``unseeded-random``
+    Importing the global :mod:`random` module outside
+    ``sim/random.py``.  All randomness must flow through seeded
+    :class:`~repro.sim.random.RandomStream` objects.
+
+``wall-clock``
+    Reading host time (``time.time``, ``perf_counter``,
+    ``datetime.now``, ...) outside the CLI and benchmark front ends.
+    Simulation code must only read ``sim.now``.
+
+``unordered-iteration``
+    Iterating a ``set``/``frozenset`` (literal, comprehension, or
+    constructor call) in a ``for`` statement or comprehension without a
+    ``sorted(...)`` wrapper, or walking a directory listing unsorted
+    (``os.listdir``, ``glob``, ``iterdir``, ``scandir``).  Dicts are
+    insertion-ordered in Python 3.7+ and are not flagged; set iteration
+    order is salted per process and leaks straight into event order.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+__all__ = ["Finding", "audit_file", "audit_tree", "render_findings"]
+
+#: modules whose import means unseeded global randomness
+_RANDOM_ALLOWED = ("sim/random.py",)
+
+#: wall-clock reads are a CLI/benchmark concern, never a simulation one
+_WALLCLOCK_ALLOWED = ("cli.py", "bench.py")
+
+_TIME_FUNCS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+_LISTING_FUNCS = {"listdir", "glob", "iglob", "iterdir", "scandir"}
+_SET_CALLS = {"set", "frozenset"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard at a source location."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CALLS
+    return False
+
+
+def _is_listing_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LISTING_FUNCS
+    if isinstance(func, ast.Name):
+        return func.id in _LISTING_FUNCS
+    return False
+
+
+class _Auditor(ast.NodeVisitor):
+    def __init__(self, rel_path: str):
+        self.rel_path = rel_path
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.rel_path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # ---------------------------------------------------- unseeded-random
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.rel_path not in _RANDOM_ALLOWED:
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    self._flag(node, "unseeded-random",
+                               "import of the global random module; use "
+                               "repro.sim.random streams")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        # level > 0 is a relative import (e.g. ``from .random import``
+        # inside repro.sim) — a sibling module, not the stdlib.
+        if (node.level == 0 and node.module == "random"
+                and self.rel_path not in _RANDOM_ALLOWED):
+            self._flag(node, "unseeded-random",
+                       "import from the global random module; use "
+                       "repro.sim.random streams")
+        self.generic_visit(node)
+
+    # --------------------------------------------------------- wall-clock
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and self.rel_path not in _WALLCLOCK_ALLOWED
+        ):
+            base, attr = func.value.id, func.attr
+            if base == "time" and attr in _TIME_FUNCS:
+                self._flag(node, "wall-clock",
+                           f"time.{attr}() outside cli/bench; simulation "
+                           "code must read sim.now")
+            elif base in ("datetime", "date") and attr in _DATETIME_FUNCS:
+                self._flag(node, "wall-clock",
+                           f"{base}.{attr}() outside cli/bench")
+        self.generic_visit(node)
+
+    # ------------------------------------------------ unordered-iteration
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if _is_set_expr(iter_node):
+            self._flag(iter_node, "unordered-iteration",
+                       "iterating a set; wrap in sorted(...) so event "
+                       "order cannot depend on hash salting")
+        elif _is_listing_call(iter_node):
+            self._flag(iter_node, "unordered-iteration",
+                       "iterating a directory listing; wrap in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def audit_file(path: str, rel_path: str) -> list[Finding]:
+    """Audit one source file; ``rel_path`` is package-relative."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rel_path, exc.lineno or 0, "syntax-error", str(exc))]
+    auditor = _Auditor(rel_path)
+    auditor.visit(tree)
+    return auditor.findings
+
+
+def audit_tree(root: str = "") -> list[Finding]:
+    """Audit the whole ``repro`` package (default: the installed tree)."""
+    if not root:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings: list[Finding] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            findings.extend(audit_file(path, rel))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def render_findings(findings: list[Finding]) -> str:
+    if not findings:
+        return "static determinism audit: clean"
+    lines = [f"static determinism audit: {len(findings)} finding(s)"]
+    lines.extend(f"  {finding}" for finding in findings)
+    return "\n".join(lines)

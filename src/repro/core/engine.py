@@ -131,6 +131,7 @@ class BMSEngine:
         chunk_bytes: int = CHUNK_BYTES,
         name: str = "bms",
         obs: Optional[MetricsRegistry] = None,
+        checks=None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -147,6 +148,10 @@ class BMSEngine:
         #: bound FaultInjector (hook points engine.dispatch /
         #: engine.backend); None = dormant, zero-cost
         self.faults = None
+        #: bound CheckContext (prp checker arms this); None = dormant
+        self.checks = None
+        #: the full CheckContext, kept for binding tables/rings created later
+        self._check_ctx = checks
 
         # front end: one port on the host fabric
         self.front_port = host.fabric.attach(name, lanes=front_lanes)
@@ -165,19 +170,23 @@ class BMSEngine:
             push_ns=timings.adaptor_push_ns, cqe_relay_ns=timings.cqe_relay_ns,
         )
         self.adaptor.engine = self  # SATA/remote slots route DMA through us
+        self.adaptor.checks = checks  # slots bind their rings at creation
 
         # store-and-forward path for the zero-copy ablation: FPGA DRAM
         self._chip_dram_bus = BandwidthLink(
             self.sim, 6.0e9, name=f"{name}.dram"
         )
 
-        self.qos = QoSModule(self.sim, enabled=qos_enabled, obs=obs)
+        self.qos = QoSModule(self.sim, enabled=qos_enabled, obs=obs, checks=checks)
         self.target_controller = TargetController(self)
         self.axi = AXIBus(self.sim, name=f"{name}.axi")
 
         self.namespaces: dict[str, EngineNamespace] = {}
         self._free_chunks: list[list[int]] = []
         self._prp_pool = BufferPool(self.chip_memory)
+        if checks is not None:
+            checks.bind_engine(self)
+            checks.bind_pool(self._prp_pool)
         self._pipeline = Resource(self.sim, 1, name=f"{name}.pipe")
         self._fn_stats: dict[int, _FnStats] = {}
         self.host_identify_pages: dict[int, object] = {}
@@ -248,6 +257,8 @@ class BMSEngine:
         nchunks = -(-size_bytes // self.chunk_bytes)
         rows = -(-nchunks // 8)
         table = MappingTable(self.chunk_blocks, rows=max(1, rows))
+        if self._check_ctx is not None:
+            self._check_ctx.bind_table(table)
         order = placement or [i % self.num_ssds for i in range(nchunks)]
         if len(order) != nchunks:
             raise SimulationError("placement list must cover every chunk")
@@ -371,7 +382,7 @@ class BMSEngine:
             span.stamp("lba_map", self.sim.now)
 
         # ② QoS: over-threshold commands sit in the command buffer
-        yield self.qos.admit(fn.ns_key, length)
+        yield self.qos.admit(fn.ns_key, length, span=span)
         if span is not None:
             span.stamp("qos", self.sim.now)
 
@@ -384,6 +395,11 @@ class BMSEngine:
             if not isinstance(entry, PRPList):
                 raise SimulationError(f"{self.name}: bad host PRP list at {sqe.prp2:#x}")
             host_pages = [sqe.prp1, *entry.entries[: npages - 1]]
+        if self.checks is not None:
+            self.checks.on_prp_chain(
+                host_pages, length, span=span,
+                memory_name=self.host.memory.name, where=self.name,
+            )
 
         # ③ forward one back-end command per extent, tracking fan-in
         state = {"remaining": len(extents), "status": int(StatusCode.SUCCESS),

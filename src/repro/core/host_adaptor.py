@@ -69,6 +69,9 @@ class BackendSlot:
         self._admin_pending: dict[int, Callable[[int], None]] = {}
         self._next_admin_cid = 0
         adaptor._register_admin_cq_range(self)
+        if adaptor.checks is not None:
+            for ring in (self.sq, self.cq, self.admin_sq, self.admin_cq):
+                adaptor.checks.bind_ring(ring)
         self._bind_ssd(ssd)
 
     def _bind_ssd(self, ssd: NVMeSSD) -> None:
@@ -262,6 +265,7 @@ class HostAdaptor:
         self.cqe_relay_ns = cqe_relay_ns
         self.slots: list = []  # BackendSlot | ExtendedBackendSlot
         self.engine = None  # set by the owning BMSEngine
+        self.checks = None  # CheckContext; slots bind their rings when set
         self._cq_ranges: list[tuple[int, int, BackendSlot]] = []
         self._admin_cq_ranges: list[tuple[int, int, BackendSlot]] = []
 

@@ -93,6 +93,8 @@ class MappingTable:
         self.translations = 0
         self.extent_splits = 0
         self.faults = 0
+        #: bound CheckContext (lba checker); None = dormant, zero-cost
+        self.checks = None
 
     # ------------------------------------------------------------ provisioning
     @property
@@ -102,11 +104,15 @@ class MappingTable:
     def set_entry(self, index: int, entry: MappingEntry) -> None:
         """Install the mapping for host chunk ``index`` and mark it valid."""
         i, j = self._coords(index)
+        if self.checks is not None:
+            self.checks.on_lba_set(self, index, entry)
         self._table[i][j] = entry.encode()
         self._valid[i] |= 1 << j
 
     def clear_entry(self, index: int) -> None:
         i, j = self._coords(index)
+        if self.checks is not None:
+            self.checks.on_lba_clear(self, index)
         self._valid[i] &= ~(1 << j)
         self._table[i][j] = 0
 
@@ -155,6 +161,8 @@ class MappingTable:
         raw = self._table[i][j]
         ssd_id = raw & _SSD_MASK  # (3)
         pl = ((raw >> ENTRY_SSD_BITS) & _BASE_MASK) * cs + host_lba % cs  # (4)
+        if self.checks is not None:
+            self.checks.on_lba_translate(self, host_lba, ssd_id, pl)
         return ssd_id, pl
 
     def translate_extent(self, host_lba: int, nblocks: int) -> list[tuple[int, int, int]]:

@@ -13,6 +13,7 @@ and for the QoS on/off ablation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -55,6 +56,8 @@ class _NamespaceQoS:
         self.buffered_total = 0
         self.passed_total = 0
         self._dispatcher_running = False
+        #: bound CheckContext (qos checker); None = dormant, zero-cost
+        self.checks = None
         if obs is not None:
             self._c_passed = obs.counter("qos_passed", ns=ns_key)
             self._c_buffered = obs.counter("qos_buffered", ns=ns_key)
@@ -63,16 +66,30 @@ class _NamespaceQoS:
     def over_threshold(self, nbytes: int) -> bool:
         return self.iops_bucket.would_block(1.0) or self.bw_bucket.would_block(nbytes)
 
-    def admit(self, nbytes: int) -> Event:
+    def admit(self, nbytes: int, span=None) -> Event:
         """Event that fires when the command may proceed."""
+        seq = None
+        if self.checks is not None:
+            seq = self.checks.on_qos_admit(self, span=span)
         gate = self.sim.event(name="qos.admit")
-        if len(self.buffer) == 0 and not self.over_threshold(nbytes):
+        # The dispatcher check closes an overtaking window: after the
+        # dispatcher's ``buffer.get()`` succeeds, the buffer is briefly
+        # empty while the dequeued command still waits on its token
+        # bucket; without the flag a same-instant arrival would see an
+        # empty buffer, take the fast path, and steal its tokens.
+        if (
+            not self._dispatcher_running
+            and len(self.buffer) == 0
+            and not self.over_threshold(nbytes)
+        ):
             # fast path: consume and pass through
             self.iops_bucket.consume(1.0)
             self.bw_bucket.consume(nbytes)
             self.passed_total += 1
             if self.obs is not None:
                 self._c_passed.inc()
+            if self.checks is not None:
+                self.checks.on_qos_grant(self, seq, fast=True, span=span)
             gate.succeed()
             return gate
         # threshold reached: into the command buffer for rescheduling
@@ -80,7 +97,7 @@ class _NamespaceQoS:
         if self.obs is not None:
             self._c_buffered.inc()
             self._g_depth.add(1)
-        self.buffer.put((gate, nbytes))
+        self.buffer.put((gate, nbytes, seq, span))
         if not self._dispatcher_running:
             self._dispatcher_running = True
             self.sim.process(self._dispatch(), name="qos.dispatch")
@@ -89,13 +106,18 @@ class _NamespaceQoS:
     def _dispatch(self):
         """Command dispatcher: replay buffered commands in order."""
         while len(self.buffer) > 0:
-            gate, nbytes = (yield self.buffer.get())
+            gate, nbytes, seq, span = (yield self.buffer.get())
+            if self.obs is not None:
+                # the gauge tracks buffer occupancy, so it drops when the
+                # command leaves the buffer, not when its tokens arrive
+                self._g_depth.add(-1)
             yield self.iops_bucket.consume(1.0)
             yield self.bw_bucket.consume(nbytes)
             self.passed_total += 1
             if self.obs is not None:
                 self._c_passed.inc()
-                self._g_depth.add(-1)
+            if self.checks is not None:
+                self.checks.on_qos_grant(self, seq, fast=False, span=span)
             gate.succeed()
         self._dispatcher_running = False
 
@@ -104,20 +126,24 @@ class QoSModule:
     """The engine-level QoS stage: routes commands per namespace."""
 
     def __init__(self, sim: Simulator, enabled: bool = True,
-                 obs: Optional[MetricsRegistry] = None):
+                 obs: Optional[MetricsRegistry] = None, checks=None):
         self.sim = sim
         self.enabled = enabled
         self.obs = obs
+        self.checks = checks
         self._per_ns: dict[str, _NamespaceQoS] = {}
 
     def configure(self, ns_key: str, limits: QoSLimits) -> None:
-        self._per_ns[ns_key] = _NamespaceQoS(self.sim, ns_key, limits, obs=self.obs)
+        nsq = _NamespaceQoS(self.sim, ns_key, limits, obs=self.obs)
+        if self.checks is not None:
+            self.checks.bind_qos(nsq)
+        self._per_ns[ns_key] = nsq
 
     def limits_for(self, ns_key: str) -> Optional[QoSLimits]:
         nsq = self._per_ns.get(ns_key)
         return nsq.limits if nsq else None
 
-    def admit(self, ns_key: str, nbytes: int) -> Event:
+    def admit(self, ns_key: str, nbytes: int, span=None) -> Event:
         """Gate a command; fires immediately when QoS is off/unlimited."""
         if not self.enabled:
             gate = self.sim.event(name="qos.off")
@@ -128,11 +154,33 @@ class QoSModule:
             gate = self.sim.event(name="qos.unlimited")
             gate.succeed()
             return gate
-        return nsq.admit(nbytes)
+        return nsq.admit(nbytes, span=span)
 
-    def buffered_count(self, ns_key: str) -> int:
+    def buffered_total(self, ns_key: str) -> int:
+        """Cumulative count of commands that were ever buffered."""
         nsq = self._per_ns.get(ns_key)
         return nsq.buffered_total if nsq else 0
+
+    def buffer_depth(self, ns_key: str) -> int:
+        """Commands sitting in the namespace's buffer right now."""
+        nsq = self._per_ns.get(ns_key)
+        return len(nsq.buffer) if nsq else 0
+
+    def buffered_count(self, ns_key: str) -> int:
+        """Deprecated: ambiguous between cumulative and current depth.
+
+        Historically returned the cumulative total while several callers
+        read it as the current depth.  Use :meth:`buffered_total` or
+        :meth:`buffer_depth` explicitly.
+        """
+        warnings.warn(
+            "QoSModule.buffered_count is deprecated; use buffered_total() "
+            "for the cumulative count or buffer_depth() for the current "
+            "buffer occupancy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.buffered_total(ns_key)
 
     def passed_count(self, ns_key: str) -> int:
         nsq = self._per_ns.get(ns_key)

@@ -28,6 +28,7 @@ from ..baselines import (
     build_spdk,
     build_vfio,
 )
+from ..checks import CheckContext, resolve_checks
 from ..faults import FaultPlan
 from ..host.driver import NVMeDriver
 from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
@@ -189,6 +190,8 @@ class CaseResult:
     fio: FioResult
     obs: MetricsRegistry
     snapshot: dict[str, Any]
+    #: the armed CheckContext (invariant coverage counts), or None
+    checks: Optional[CheckContext] = None
 
     @property
     def iops(self) -> float:
@@ -225,10 +228,11 @@ def _finish(sim, run: FioRun) -> FioResult:
 
 def _scheme_native(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                    obs: MetricsRegistry, num_ssds: int = 1,
-                   faults: Optional[FaultPlan] = None) -> FioResult:
+                   faults: Optional[FaultPlan] = None,
+                   checks=None) -> FioResult:
     """Bare-metal: the host NVMe driver directly on physical drives."""
     rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
-                       faults=faults)
+                       faults=faults, checks=checks)
     return _finish(rig.sim, FioRun(rig.sim, rig.drivers, spec, rig.streams))
 
 
@@ -252,19 +256,21 @@ def _scheme_bmstore(spec: FioSpec, *, seed: int, kernel: KernelProfile,
 
 def _scheme_vfio_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                     obs: MetricsRegistry,
-                    faults: Optional[FaultPlan] = None) -> FioResult:
+                    faults: Optional[FaultPlan] = None,
+                    checks=None) -> FioResult:
     """In-VM on a VFIO-assigned whole drive."""
     rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel,
-                     obs=obs, faults=faults)
+                     obs=obs, faults=faults, checks=checks)
     return _finish(rig.sim, FioRun(rig.sim, [rig.driver()], spec, rig.streams))
 
 
 def _scheme_bmstore_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                        obs: MetricsRegistry, num_ssds: int = 1,
-                       faults: Optional[FaultPlan] = None) -> FioResult:
+                       faults: Optional[FaultPlan] = None,
+                       checks=None) -> FioResult:
     """In-VM on a BM-Store VF."""
     rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
-                        faults=faults)
+                        faults=faults, checks=checks)
     vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
     driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
     return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
@@ -272,12 +278,13 @@ def _scheme_bmstore_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
 
 def _scheme_spdk_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                     obs: MetricsRegistry, num_cores: int = 1,
-                    faults: Optional[FaultPlan] = None) -> FioResult:
+                    faults: Optional[FaultPlan] = None,
+                    checks=None) -> FioResult:
     """In-VM on an SPDK vhost virtio disk."""
     rig = build_spdk(
         num_ssds=1, num_cores=num_cores, num_vdevs=1,
         vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
-        obs=obs, faults=faults,
+        obs=obs, faults=faults, checks=checks,
     )
     return _finish(rig.sim, FioRun(rig.sim, [rig.vdev()], spec, rig.streams))
 
@@ -302,6 +309,7 @@ def run_case(
     obs: Optional[MetricsRegistry] = None,
     obs_mode: str = "full",
     span_sample: int = 16,
+    checks: Any = None,
     **scheme_kwargs: Any,
 ) -> CaseResult:
     """Run one fio case on one scheme in a freshly built world.
@@ -311,10 +319,15 @@ def run_case(
     one).  ``obs_mode``/``span_sample`` configure the created registry
     ("full", "sampled", or "counters" — see
     :class:`~repro.obs.MetricsRegistry`) and are ignored when ``obs``
-    is supplied.  Extra keyword arguments go to the scheme runner (e.g.
-    ``num_ssds=4`` for "native"/"bmstore", ``zero_copy=False`` for
-    "bmstore", ``num_cores=2`` for "spdk-vm", ``faults=FaultPlan(...)``
-    for any scheme to arm deterministic fault injection).
+    is supplied.  ``checks`` arms runtime invariant checkers ("all", a
+    comma list of checker names, a :class:`~repro.checks.CheckContext`,
+    or ``None`` to follow the ``REPRO_CHECKS`` environment variable —
+    see :func:`~repro.checks.resolve_checks`); the armed context rides
+    back on ``CaseResult.checks``.  Extra keyword arguments go to the
+    scheme runner (e.g.  ``num_ssds=4`` for "native"/"bmstore",
+    ``zero_copy=False`` for "bmstore", ``num_cores=2`` for "spdk-vm",
+    ``faults=FaultPlan(...)`` for any scheme to arm deterministic fault
+    injection).
     """
     runner = SCHEMES.get(scheme)
     if runner is None:
@@ -322,9 +335,13 @@ def run_case(
         raise ValueError(f"unknown scheme {scheme!r} (known: {known})")
     if obs is None:
         obs = MetricsRegistry(mode=obs_mode, span_sample=span_sample)
-    fio = runner(spec, seed=seed, kernel=kernel, obs=obs, **scheme_kwargs)
+    ctx = resolve_checks(checks, obs)
+    # pass False (not None) when disarmed so builders don't re-consult
+    # the environment and arm a second, unreported context
+    fio = runner(spec, seed=seed, kernel=kernel, obs=obs,
+                 checks=ctx if ctx is not None else False, **scheme_kwargs)
     return CaseResult(scheme=scheme, spec=spec, fio=fio, obs=obs,
-                      snapshot=obs.snapshot())
+                      snapshot=obs.snapshot(), checks=ctx)
 
 
 # ------------------------------------------------------- deprecated wrappers

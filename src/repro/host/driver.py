@@ -82,6 +82,7 @@ class NVMeDriver:
         name: str = "nvme0",
         obs: Optional[MetricsRegistry] = None,
         fault_policy: Optional[DriverFaultPolicy] = None,
+        checks=None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -114,7 +115,11 @@ class NVMeDriver:
         # production-shaped error handling; None = legacy trusting path
         # with zero extra events per I/O
         self.fault_policy = fault_policy
+        #: CheckContext; rings/pool bind as the driver creates them
+        self.checks = checks
         self._pool = BufferPool(host.memory)
+        if checks is not None:
+            checks.bind_pool(self._pool)
         self._lock = Resource(self.sim, 1, name=f"{name}.sqlock")
         self._pending: dict[tuple[int, int], dict[str, Any]] = {}
         self._next_cid: dict[int, int] = {}
@@ -130,6 +135,9 @@ class NVMeDriver:
         mem = self.host.memory
         sq = SubmissionQueue(mem, mem.alloc(depth * 64), depth, sqid=qid, cqid=qid)
         cq = CompletionQueue(mem, mem.alloc(depth * 16), depth, cqid=qid)
+        if self.checks is not None:
+            self.checks.bind_ring(sq)
+            self.checks.bind_ring(cq)
         qp = self.controller.attach_queue_pair(qid, sq, cq)
         addr, data = self.host.irq.allocate(lambda _v, q=qid: self._on_interrupt(q))
         self.controller.function.msix.configure(qid, addr, data)

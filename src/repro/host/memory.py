@@ -30,14 +30,22 @@ class BufferPool:
     def __init__(self, memory: "HostMemory"):
         self.memory = memory
         self._free: dict[int, list[int]] = {}
+        #: bound CheckContext (prp checker); None = dormant, zero-cost
+        self.checks = None
 
     def get(self, nbytes: int) -> int:
         bucket = self._free.get(nbytes)
         if bucket:
-            return bucket.pop()
-        return self.memory.alloc(nbytes)
+            addr = bucket.pop()
+        else:
+            addr = self.memory.alloc(nbytes)
+        if self.checks is not None:
+            self.checks.on_buffer_alloc(self, addr, nbytes)
+        return addr
 
     def put(self, addr: int, nbytes: int) -> None:
+        if self.checks is not None:
+            self.checks.on_buffer_free(self, addr, nbytes)
         self._free.setdefault(nbytes, []).append(addr)
 
 

@@ -66,6 +66,7 @@ class VirtualMachine:
         queue_depth: int = 1024,
         obs: Optional[MetricsRegistry] = None,
         fault_policy=None,
+        checks=None,
     ) -> NVMeDriver:
         """Attach a passthrough NVMe controller (VFIO or BM-Store VF)."""
         contended = int(self.guest_kernel.submit_lock_ns * self.profile.lock_multiplier)
@@ -83,6 +84,7 @@ class VirtualMachine:
             name=f"{self.name}.nvme",
             obs=obs,
             fault_policy=fault_policy,
+            checks=checks,
         )
         self.drivers.append(driver)
         return driver

@@ -79,15 +79,31 @@ def walk_prps(
 
     Returns (page_addrs, prp_list or None).  The caller charges the PRP
     list fetch over the fabric when a list is present.
+
+    Per the NVMe spec only ``prp1`` may carry a page offset: ``prp2``
+    as a second data pointer and every PRP-list entry must be
+    page-aligned, or the device would fabricate DMA addresses inside
+    the wrong page (fatal for the Fig. 4b zero-copy rewrite, which
+    forwards these entries verbatim).
     """
     npages = len(pages_for(prp1, length))
     if npages <= 1:
         return [prp1], None
     if npages == 2:
+        if prp2 % PAGE_SIZE:
+            raise SimulationError(
+                f"prp2 {prp2:#x} is not page-aligned (only prp1 may be offset)"
+            )
         return [prp1, prp2], None
     entry = memory.load_obj(prp2)
     if not isinstance(entry, PRPList):
         raise SimulationError(f"prp2 {prp2:#x} does not point at a PRP list")
     if len(entry.entries) < npages - 1:
         raise SimulationError("PRP list shorter than the transfer")
-    return [prp1, *entry.entries[: npages - 1]], entry
+    used = entry.entries[: npages - 1]
+    for item in used:
+        if item % PAGE_SIZE:
+            raise SimulationError(
+                f"PRP list entry {item:#x} is not page-aligned"
+            )
+    return [prp1, *used], entry

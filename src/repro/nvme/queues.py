@@ -38,6 +38,8 @@ class SubmissionQueue:
         self.cqid = cqid
         self.tail = 0
         self.head = 0
+        #: bound CheckContext (ring checker); None = dormant, zero-cost
+        self.checks = None
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * SQE_BYTES
@@ -56,6 +58,8 @@ class SubmissionQueue:
     # producer side ---------------------------------------------------------
     def push(self, sqe: SQE) -> int:
         """Write an entry at the tail; returns the slot address."""
+        if self.checks is not None:
+            self.checks.on_sq_push(self, span=getattr(sqe, "span", None))
         if self.is_full:
             raise SimulationError(f"SQ{self.sqid} full")
         addr = self.slot_addr(self.tail)
@@ -66,6 +70,8 @@ class SubmissionQueue:
     # consumer side ---------------------------------------------------------
     def consume_addr(self) -> int:
         """Address of the entry at head; advances head."""
+        if self.checks is not None:
+            self.checks.on_sq_consume(self)
         if self.is_empty:
             raise SimulationError(f"SQ{self.sqid} empty")
         addr = self.slot_addr(self.head)
@@ -88,13 +94,32 @@ class CompletionQueue:
         self._device_phase = 1
         self._host_phase = 1
         self.irq_vector: Optional[int] = None
+        #: bound CheckContext (ring checker); None = dormant, zero-cost
+        self.checks = None
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * CQE_BYTES
 
+    @property
+    def is_full(self) -> bool:
+        """Device view: one more post would overwrite an unconsumed slot."""
+        return (self.tail + 1) % self.depth == self.head % self.depth
+
     # device side -------------------------------------------------------------
     def post_slot(self, cqe: CQE) -> int:
-        """Stamp phase, place at tail; returns the slot address to DMA to."""
+        """Stamp phase, place at tail; returns the slot address to DMA to.
+
+        Raises on a full ring, mirroring the SQ guard: overwriting an
+        unconsumed slot would silently lose a completion the host never
+        saw (real controllers must respect the CQ head doorbell).
+        """
+        if self.checks is not None:
+            self.checks.on_cq_post(self, cqe)
+        if self.is_full:
+            raise SimulationError(
+                f"CQ{self.cqid} full: completion would overwrite an "
+                f"unconsumed entry (depth {self.depth})"
+            )
         cqe.phase = self._device_phase
         addr = self.slot_addr(self.tail)
         self.memory.store_obj(addr, cqe)
@@ -110,6 +135,8 @@ class CompletionQueue:
         entry = self.memory.load_obj(addr)
         if not isinstance(entry, CQE) or entry.phase != self._host_phase:
             return None
+        if self.checks is not None:
+            self.checks.on_cq_poll(self, entry)
         self.head = (self.head + 1) % self.depth
         if self.head == 0:
             self._host_phase ^= 1

@@ -117,6 +117,8 @@ class NVMeSSD:
         #: bound FaultInjector (hook points ssd.media / ssd.fetch /
         #: ssd.firmware); None = dormant, zero-cost
         self.faults = None
+        #: bound CheckContext (prp checker); None = dormant, zero-cost
+        self.checks = None
         # firmware-activation gate
         self._paused = False
         self._resume_event: Optional[Event] = None
@@ -288,11 +290,18 @@ class NVMeSSD:
         npages = len(pages_for(sqe.prp1, length))
         if npages <= 2:
             pages = [sqe.prp1] if npages == 1 else [sqe.prp1, sqe.prp2]
-            return pages, None
-        entry = yield self.port.mem_read(sqe.prp2, (npages - 1) * 8)
-        if not isinstance(entry, PRPList):
-            raise SimulationError(f"{self.name}: bad PRP list at {sqe.prp2:#x}")
-        return [sqe.prp1, *entry.entries[: npages - 1]], entry
+            entry = None
+        else:
+            entry = yield self.port.mem_read(sqe.prp2, (npages - 1) * 8)
+            if not isinstance(entry, PRPList):
+                raise SimulationError(f"{self.name}: bad PRP list at {sqe.prp2:#x}")
+            pages = [sqe.prp1, *entry.entries[: npages - 1]]
+        if self.checks is not None:
+            self.checks.on_prp_chain(
+                pages, length, span=getattr(sqe, "span", None),
+                memory_name=None, where=self.name,
+            )
+        return pages, entry
 
     def _dma_out(self, pages: list[int], length: int, payload: Optional[bytes]):
         """DMA data toward the PRP pages (device -> memory)."""

@@ -308,6 +308,11 @@ class MetricsRegistry:
         out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
         for kind, label, metric in self.iter_metrics():
             if kind == "counter":
+                # checker coverage is meta-observability (read it via
+                # CheckContext.summary()); keeping it out of snapshots
+                # keeps checked runs byte-identical to unchecked runs
+                if label.startswith("invariant_checks"):
+                    continue
                 out["counters"][label] = metric.value
             elif kind == "gauge":
                 out["gauges"][label] = metric.value

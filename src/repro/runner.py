@@ -35,7 +35,9 @@ class RunSpec:
 
     ``faults`` is a canned-plan *name* (see :data:`repro.faults.PRESETS`)
     rather than a live :class:`FaultPlan`, so a spec can cross a process
-    boundary and still arm the identical deterministic plan.
+    boundary and still arm the identical deterministic plan.  For the
+    same reason ``checks`` is a *string* spec ("all", "ring,qos", "off",
+    or ``None`` to follow ``REPRO_CHECKS``), not a live CheckContext.
     ``scheme_kwargs`` go to the scheme runner (``num_ssds=4``, ...).
     """
 
@@ -45,6 +47,7 @@ class RunSpec:
     faults: Optional[str] = None
     obs_mode: str = "full"
     span_sample: int = 16
+    checks: Optional[str] = None
     scheme_kwargs: dict = field(default_factory=dict)
 
     @property
@@ -82,7 +85,7 @@ def run_one(spec: RunSpec) -> dict[str, Any]:
         kwargs["faults"] = get_preset(spec.faults)
     case = run_case(spec.scheme, fio_spec, seed=spec.seed,
                     obs_mode=spec.obs_mode, span_sample=spec.span_sample,
-                    **kwargs)
+                    checks=spec.checks, **kwargs)
     lat = case.latency
     return {
         "scheme": spec.scheme,
@@ -136,6 +139,7 @@ def run_grid(
     faults: Optional[str] = None,
     obs_mode: str = "full",
     span_sample: int = 16,
+    checks: Optional[str] = None,
     workers: Optional[int] = None,
     **scheme_kwargs: Any,
 ) -> list[dict[str, Any]]:
@@ -143,7 +147,7 @@ def run_grid(
     adjacent; returns payload dicts in grid order."""
     specs = [
         RunSpec(scheme=scheme, case=case, seed=seed, faults=faults,
-                obs_mode=obs_mode, span_sample=span_sample,
+                obs_mode=obs_mode, span_sample=span_sample, checks=checks,
                 scheme_kwargs=dict(scheme_kwargs))
         for case in cases
         for scheme in schemes

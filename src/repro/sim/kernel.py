@@ -409,6 +409,8 @@ class Simulator:
         self._timeout_pool: list[Timeout] = []
         self.events_processed = 0
         self.strict = strict
+        #: bound CheckContext (kernel checker); None = dormant, zero-cost
+        self.checks = None
 
     @property
     def now(self) -> int:
@@ -491,6 +493,8 @@ class Simulator:
         event = self._pop_next()
         if event is None:
             raise SimulationError("cannot step: no events are scheduled")
+        if self.checks is not None:
+            self.checks.on_event_dispatch(self, event)
         self.events_processed += 1
         event._processed = True
         callbacks = event.callbacks
@@ -535,6 +539,7 @@ class Simulator:
         heap, nowq = self._heap, self._nowq
         heappop = heapq.heappop
         pool = self._timeout_pool
+        checks = self.checks
         dispatched = 0
         try:
             while True:
@@ -560,6 +565,8 @@ class Simulator:
                     break
                 if event._defunct:
                     continue
+                if checks is not None:
+                    checks.on_event_dispatch(self, event)
                 dispatched += 1
                 event._processed = True
                 callbacks = event.callbacks

@@ -1,0 +1,99 @@
+"""Static determinism audit (AST scan) tests."""
+
+from repro.checks import audit_file, audit_tree, render_findings
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def test_flags_global_random_imports(tmp_path):
+    path = write(tmp_path, "bad.py", "import random\nfrom random import choice\n")
+    findings = audit_file(path, "core/bad.py")
+    assert rules_of(findings) == ["unseeded-random", "unseeded-random"]
+    assert findings[0].line == 1 and findings[1].line == 2
+
+
+def test_relative_random_import_is_not_the_stdlib(tmp_path):
+    path = write(tmp_path, "ok.py", "from .random import RandomStream\n")
+    assert audit_file(path, "sim/__init__.py") == []
+
+
+def test_random_allowed_inside_sim_random(tmp_path):
+    path = write(tmp_path, "random.py", "import random\n")
+    assert audit_file(path, "sim/random.py") == []
+
+
+def test_flags_wall_clock_outside_cli(tmp_path):
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return time.perf_counter()\n"
+    )
+    path = write(tmp_path, "hot.py", source)
+    findings = audit_file(path, "sim/hot.py")
+    assert rules_of(findings) == ["wall-clock"]
+    assert audit_file(path, "cli.py") == []  # the front end may time itself
+
+
+def test_flags_set_iteration(tmp_path):
+    source = (
+        "def f(items):\n"
+        "    for x in {1, 2, 3}:\n"
+        "        pass\n"
+        "    return [y for y in set(items)]\n"
+    )
+    path = write(tmp_path, "iter.py", source)
+    findings = audit_file(path, "core/iter.py")
+    assert rules_of(findings) == ["unordered-iteration"] * 2
+
+
+def test_sorted_set_iteration_is_clean(tmp_path):
+    source = (
+        "def f(items):\n"
+        "    for x in sorted(set(items)):\n"
+        "        pass\n"
+    )
+    assert audit_file(write(tmp_path, "ok.py", source), "core/ok.py") == []
+
+
+def test_flags_unsorted_directory_listing(tmp_path):
+    source = (
+        "import os\n"
+        "def f(d):\n"
+        "    for name in os.listdir(d):\n"
+        "        pass\n"
+    )
+    findings = audit_file(write(tmp_path, "ls.py", source), "core/ls.py")
+    assert rules_of(findings) == ["unordered-iteration"]
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    findings = audit_file(write(tmp_path, "broken.py", "def f(:\n"), "x.py")
+    assert rules_of(findings) == ["syntax-error"]
+
+
+def test_repro_package_is_clean():
+    assert audit_tree() == []
+
+
+def test_audit_tree_on_custom_root_sorts_findings(tmp_path):
+    write(tmp_path, "b.py", "import random\n")
+    write(tmp_path, "a.py", "import time\nx = time.time()\n")
+    findings = audit_tree(str(tmp_path))
+    assert [(f.path, f.rule) for f in findings] == [
+        ("a.py", "wall-clock"),
+        ("b.py", "unseeded-random"),
+    ]
+    text = render_findings(findings)
+    assert "2 finding(s)" in text and "a.py:2" in text
+
+
+def test_render_clean():
+    assert "clean" in render_findings([])

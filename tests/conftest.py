@@ -1,0 +1,12 @@
+"""Suite-wide defaults.
+
+The tier-1 suite runs with every runtime invariant checker armed unless
+the environment says otherwise: any world built through the rig builders
+or ``run_case`` self-audits while the tests exercise it.  ``setdefault``
+keeps CI free to pin an explicit value (``REPRO_CHECKS=1`` / ``=off``)
+without this file fighting it.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_CHECKS", "all")

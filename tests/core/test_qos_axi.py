@@ -27,7 +27,8 @@ def test_under_threshold_commands_pass_through():
     done = drain(sim, gates)
     assert all(t == 0 for _, t in done)
     assert qos.passed_count("ns") == 5
-    assert qos.buffered_count("ns") == 0
+    assert qos.buffered_total("ns") == 0
+    assert qos.buffer_depth("ns") == 0
 
 
 def test_over_threshold_commands_enter_buffer_and_reschedule():
@@ -41,7 +42,8 @@ def test_over_threshold_commands_enter_buffer_and_reschedule():
     assert times[0] == 0 and times[1] == 0
     assert times[2] == pytest.approx(1_000_000, rel=0.05)
     assert times[3] == pytest.approx(2_000_000, rel=0.05)
-    assert qos.buffered_count("ns") == 2
+    assert qos.buffered_total("ns") == 2
+    assert qos.buffer_depth("ns") == 0  # drained; total stays cumulative
 
 
 def test_dispatcher_preserves_fifo_order():

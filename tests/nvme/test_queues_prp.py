@@ -92,12 +92,25 @@ def test_cq_stale_entry_not_consumed():
     sim, mem = make_mem()
     cq = CompletionQueue(mem, mem.alloc(2 * 16), 2, cqid=1)
     cq.post_slot(CQE(cid=1))
-    cq.post_slot(CQE(cid=2))
     assert cq.poll().cid == 1
+    cq.post_slot(CQE(cid=2))
     assert cq.poll().cid == 2
     # ring wrapped; slot 0 still holds the old phase-1 entry, but the
     # host now expects phase 0 -> must not re-consume
     assert cq.poll() is None
+
+
+def test_cq_full_post_rejected():
+    sim, mem = make_mem()
+    cq = CompletionQueue(mem, mem.alloc(2 * 16), 2, cqid=1)
+    cq.post_slot(CQE(cid=1))
+    # depth 2 holds at most one unconsumed completion; a second post
+    # would overwrite the entry the host has not seen yet
+    with pytest.raises(SimulationError, match="full"):
+        cq.post_slot(CQE(cid=2))
+    assert cq.poll().cid == 1
+    cq.post_slot(CQE(cid=2))  # space again after the host consumed
+    assert cq.poll().cid == 2
 
 
 # --------------------------------------------------------------------- PRPs
@@ -153,6 +166,34 @@ def test_walk_prps_bad_list_pointer_rejected():
     sim, mem = make_mem()
     with pytest.raises(SimulationError, match="PRP list"):
         walk_prps(mem, 0, 0xDEAD, 10 * PAGE_SIZE)
+
+
+def test_walk_prps_unaligned_prp2_rejected():
+    sim, mem = make_mem()
+    # only prp1 may carry a page offset; an offset prp2 would DMA into
+    # the middle of the wrong page
+    with pytest.raises(SimulationError, match="prp2 .* not page-aligned"):
+        walk_prps(mem, 0x1000, 0x2000 + 8, 2 * PAGE_SIZE)
+
+
+def test_walk_prps_unaligned_list_entry_rejected():
+    sim, mem = make_mem()
+    list_addr = mem.alloc(4 * 8, align=8)
+    entries = [2 * PAGE_SIZE, 3 * PAGE_SIZE + 4, 4 * PAGE_SIZE]
+    mem.store_obj(list_addr, PRPList(list_addr, entries))
+    with pytest.raises(SimulationError, match="list entry .* not page-aligned"):
+        walk_prps(mem, 0x1000, list_addr, 4 * PAGE_SIZE)
+
+
+def test_walk_prps_ignores_stale_tail_beyond_transfer():
+    sim, mem = make_mem()
+    list_addr = mem.alloc(4 * 8, align=8)
+    # an unaligned entry past the transfer's page count is never used,
+    # so it must not be validated (lists may be recycled with stale tails)
+    entries = [2 * PAGE_SIZE, 3 * PAGE_SIZE, 5 * PAGE_SIZE + 4]
+    mem.store_obj(list_addr, PRPList(list_addr, entries))
+    pages, _ = walk_prps(mem, 0x1000, list_addr, 3 * PAGE_SIZE)
+    assert pages == [0x1000, 2 * PAGE_SIZE, 3 * PAGE_SIZE]
 
 
 def test_build_prps_zero_length_rejected():
