@@ -2,6 +2,7 @@
 
 from .features import FEATURE_COLUMNS, SCHEMES, SchemeProperties, feature_matrix
 from .mdev import MDevConfig, MDevNVMeTarget, MDevVirtualDisk
+from .registry import SCHEME_DEFS, SchemeDef, runnable_schemes, scheme_def, table1_schemes
 from .native import NATIVE_SCHEME
 from .rigs import (
     BMStoreRig,
@@ -21,6 +22,11 @@ __all__ = [
     "SCHEMES",
     "SchemeProperties",
     "feature_matrix",
+    "SCHEME_DEFS",
+    "SchemeDef",
+    "runnable_schemes",
+    "scheme_def",
+    "table1_schemes",
     "MDevConfig",
     "MDevNVMeTarget",
     "MDevVirtualDisk",

@@ -5,7 +5,9 @@ host efficiency, compatibility, transparency, performance,
 deployability, manageability — derived from structural properties
 (does it need host cores? custom drivers? special devices?) rather
 than hand-entered booleans, so the table is a *consequence* of the
-scheme models.
+scheme models.  The structural inputs themselves now live in the
+declarative scheme registry (:mod:`repro.baselines.registry`); this
+module keeps the derivation and the classic ``SCHEMES`` export.
 """
 
 from __future__ import annotations
@@ -74,38 +76,25 @@ class SchemeProperties:
         return {col: getattr(self, col) for col in FEATURE_COLUMNS}
 
 
-SCHEMES: dict[str, SchemeProperties] = {
-    "MDev-NVMe": SchemeProperties(
-        name="MDev-NVMe", dedicated_host_cores=1, requires_custom_driver=True,
-        requires_special_device=False, single_disk_throughput=0.95,
-        architecture="software", out_of_band_management=False,
-    ),
-    "SPDK vhost": SchemeProperties(
-        name="SPDK vhost", dedicated_host_cores=1, requires_custom_driver=True,
-        requires_special_device=False, single_disk_throughput=0.90,
-        architecture="software", out_of_band_management=False,
-    ),
-    "SR-IOV": SchemeProperties(
-        name="SR-IOV", dedicated_host_cores=0, requires_custom_driver=False,
-        requires_special_device=True, single_disk_throughput=0.98,
-        architecture="device", out_of_band_management=False,
-    ),
-    "LeapIO": SchemeProperties(
-        name="LeapIO", dedicated_host_cores=0, requires_custom_driver=True,
-        requires_special_device=False, single_disk_throughput=0.68,
-        architecture="p2p", out_of_band_management=False,
-    ),
-    "FVM": SchemeProperties(
-        name="FVM", dedicated_host_cores=0, requires_custom_driver=True,
-        requires_special_device=False, single_disk_throughput=0.97,
-        architecture="p2p", out_of_band_management=False,
-    ),
-    "BM-Store": SchemeProperties(
-        name="BM-Store", dedicated_host_cores=0, requires_custom_driver=False,
-        requires_special_device=False, single_disk_throughput=0.96,
-        architecture="direct-attached", out_of_band_management=True,
-    ),
-}
+def _from_registry() -> dict[str, SchemeProperties]:
+    """Derive the Table I rows from the declarative scheme registry."""
+    from .registry import table1_schemes
+
+    return {
+        title: SchemeProperties(
+            name=title,
+            dedicated_host_cores=d.dedicated_host_cores,
+            requires_custom_driver=d.requires_custom_driver,
+            requires_special_device=d.requires_special_device,
+            single_disk_throughput=d.single_disk_throughput,
+            architecture=d.architecture,
+            out_of_band_management=d.out_of_band_management,
+        )
+        for title, d in table1_schemes().items()
+    }
+
+
+SCHEMES: dict[str, SchemeProperties] = _from_registry()
 
 
 def feature_matrix() -> dict[str, dict[str, bool]]:

@@ -19,6 +19,7 @@ from ..core.sriov_layer import FrontEndFunction
 from ..host.driver import NVMeDriver
 from ..host.environment import Host
 from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
+from ..host.policy import SubmissionPolicy, resolve_policy
 from ..host.vm import VirtualMachine, VMProfile
 from ..mgmt.console import RemoteConsole
 from ..nvme.flash import FlashProfile, P4510_PROFILE
@@ -97,8 +98,10 @@ def build_native(
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks=None,
+    policy: Optional[SubmissionPolicy] = None,
 ) -> NativeRig:
     """A bare-metal world: host + drives + bound drivers."""
+    policy = resolve_policy(policy)
     sim, streams, host = _base_world(seed, kernel)
     ctx = resolve_checks(checks, obs)
     if ctx is not None:
@@ -116,11 +119,11 @@ def build_native(
             injector.bind_ssd(ssd)
         injector.bind_fabric(host.fabric)
         injector.start()
-    policy = _driver_policy(faults)
+    fault_policy = _driver_policy(faults)
     drivers = [
         NVMeDriver(host, ssd, queue_depth=queue_depth,
                    num_io_queues=num_io_queues, name=f"nvme{i}", obs=obs,
-                   fault_policy=policy, checks=ctx)
+                   fault_policy=fault_policy, checks=ctx, policy=policy)
         for i, ssd in enumerate(ssds)
     ]
     return NativeRig(sim, streams, host, ssds, drivers, obs=obs, faults=injector,
@@ -165,11 +168,13 @@ class BMStoreRig:
         fn: FrontEndFunction,
         queue_depth: int = 1024,
         num_io_queues: int = 4,
+        policy: Optional[SubmissionPolicy] = None,
     ) -> NVMeDriver:
         return NVMeDriver(
             self.host, fn, queue_depth=queue_depth,
             num_io_queues=num_io_queues, name=f"bms.fn{fn.fn_id}",
             obs=self.obs, fault_policy=self.fault_policy, checks=self.checks,
+            policy=resolve_policy(policy),
         )
 
     def vm_driver(
@@ -177,9 +182,11 @@ class BMStoreRig:
         vm: VirtualMachine,
         fn: FrontEndFunction,
         queue_depth: int = 1024,
+        policy: Optional[SubmissionPolicy] = None,
     ) -> NVMeDriver:
         return vm.bind_nvme(fn, queue_depth=queue_depth, obs=self.obs,
-                            fault_policy=self.fault_policy, checks=self.checks)
+                            fault_policy=self.fault_policy, checks=self.checks,
+                            policy=resolve_policy(policy))
 
 
 def build_bmstore(
@@ -262,14 +269,16 @@ def build_vfio(
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks=None,
+    policy: Optional[SubmissionPolicy] = None,
 ) -> VFIORig:
     """Pass-through worlds: one whole drive per VM."""
+    policy = resolve_policy(policy)
     sim, streams, host = _base_world(seed, kernel)
     ctx = resolve_checks(checks, obs)
     if ctx is not None:
         ctx.bind_sim(sim)
     assignment = VFIOAssignment()
-    policy = _driver_policy(faults)
+    fault_policy = _driver_policy(faults)
     ssds, vms, drivers = [], [], []
     for i in range(num_vms):
         ssd = NVMeSSD(sim, host.fabric, streams, name=f"nvme{i}", profile=flash_profile)
@@ -278,7 +287,8 @@ def build_vfio(
         vm = VirtualMachine(host, f"vm{i}", profile=vm_profile,
                             guest_kernel=guest_kernel or kernel)
         driver = assignment.assign(vm, ssd, queue_depth=queue_depth, obs=obs,
-                                   fault_policy=policy, checks=ctx)
+                                   fault_policy=fault_policy, checks=ctx,
+                                   policy=policy)
         ssds.append(ssd)
         vms.append(vm)
         drivers.append(driver)

@@ -29,8 +29,9 @@ from .runner import RunSpec, run_one
 __all__ = ["BENCH_SCHEMES", "QUICK_BENCH_CASES", "run_bench", "compare",
            "bench_filename"]
 
-#: schemes the gate tracks: the native fast path and the full engine
-BENCH_SCHEMES = ("native", "bmstore")
+#: schemes the gate tracks: the native fast path, the full engine, and
+#: the engine's I/O-queue passthrough mode
+BENCH_SCHEMES = ("native", "bmstore", "passthrough")
 #: --quick subset: one shallow and one deep random case per scheme
 QUICK_BENCH_CASES = ("rand-r-1", "rand-r-128")
 #: default regression tolerance on events/sec, as a fraction
@@ -50,6 +51,7 @@ def run_bench(
     *,
     seed: int = 7,
     obs_mode: str = "counters",
+    policy: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run the benchmark grid sequentially; returns the snapshot dict."""
     if cases is None:
@@ -58,7 +60,7 @@ def run_bench(
     for case in cases:
         for scheme in schemes:
             spec = RunSpec(scheme=scheme, case=case, seed=seed,
-                           obs_mode=obs_mode)
+                           obs_mode=obs_mode, policy=policy)
             t0 = time.perf_counter()
             payload = run_one(spec)
             wall_s = time.perf_counter() - t0

@@ -313,6 +313,38 @@ class CheckContext:
         if (cq.head + 1) % cq.depth == 0:
             state.host_phase ^= 1
 
+    def on_db_flush(self, sq, batched: int) -> None:
+        """Doorbell-flush hook: a shadow/batched MMIO ring covering
+        ``batched`` accumulated submissions (the shadow tail must have
+        caught up with the real tail when the MMIO finally fires)."""
+        self._note("ring")
+        if not 1 <= batched <= sq.depth:
+            self._fail("ring",
+                       f"SQ{sq.sqid} doorbell flush of {batched} entries "
+                       f"outside 1..{sq.depth}",
+                       head=sq.head, tail=sq.tail, depth=sq.depth)
+        if sq.shadow_mode and sq.shadow_tail != sq.tail:
+            self._fail("ring",
+                       f"SQ{sq.sqid} shadow tail {sq.shadow_tail} stale at "
+                       f"doorbell time (tail {sq.tail})",
+                       head=sq.head, tail=sq.tail)
+
+    def on_cq_coalesce(self, cq, pending: int) -> None:
+        """CQE-coalescing hook: completions held back awaiting the
+        threshold/timer must never cover the whole ring — that would
+        mean an IRQ the host cannot be owed."""
+        self._note("ring")
+        if not 1 <= pending < cq.depth:
+            self._fail("ring",
+                       f"CQ{cq.cqid} coalescer holding {pending} CQEs "
+                       f"(ring depth {cq.depth})",
+                       head=cq.head, tail=cq.tail, depth=cq.depth)
+        if pending > cq.coalesce_threshold:
+            self._fail("ring",
+                       f"CQ{cq.cqid} coalescer overshot threshold "
+                       f"{cq.coalesce_threshold} with {pending} pending",
+                       head=cq.head, tail=cq.tail)
+
     # -------------------------------------------------------- hooks: prp
     def on_prp_chain(self, pages: list, length: int, span=None,
                      memory_name: Optional[str] = None, where: str = "") -> None:

@@ -17,6 +17,8 @@ data directly to/from the host.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..sim import SimulationError
 
 __all__ = [
@@ -24,11 +26,17 @@ __all__ = [
     "FUNCTION_ID_SHIFT",
     "LIST_FLAG_SHIFT",
     "ADDRESS_MASK",
+    "DMA_MODELS",
     "RouteStats",
+    "DMATranslation",
+    "DescriptorRingDMA",
     "encode_global_prp",
     "decode_global_prp",
     "is_global_prp",
 ]
+
+#: engine step-⑤ machinery variants (see :class:`DescriptorRingDMA`)
+DMA_MODELS = ("register", "descriptor")
 
 
 class RouteStats:
@@ -101,3 +109,105 @@ def decode_global_prp(global_prp: int) -> tuple[int, int, bool]:
 def is_global_prp(addr: int) -> bool:
     """True when the address carries a non-zero function-id tag."""
     return ((addr >> FUNCTION_ID_SHIFT) & _FN_MASK) != 0
+
+
+@dataclass
+class DMATranslation:
+    """Per-queue address/LBA translation for passthrough queues.
+
+    When a guest SQ/CQ pair is mapped straight onto a back-end SSD
+    (the I/O-queue passthrough scheme), the drive fetches guest SQEs
+    and DMAs guest pages directly.  Every address the drive touches is
+    a *guest* host address, so the engine hands the device-side queue
+    pair one of these: :meth:`tag` stamps the owning function id into
+    each address (turning it into a global PRP the engine's root space
+    routes out the front), and ``lba_offset``/``num_blocks`` shift and
+    bound guest LBAs into the drive's physical window.
+    """
+
+    fn_id: int
+    lba_offset: int
+    num_blocks: int
+    #: host-side MSI-X raiser, ``raise_vector(vector)``
+    raise_vector: object = field(compare=False, default=None)
+    #: cleared on surprise hot-remove: a dead drive's TLPs route nowhere
+    live: bool = True
+
+    def tag(self, addr: int) -> int:
+        return encode_global_prp(self.fn_id, addr)
+
+    def fire_irq(self, cq):
+        """An MSI-X thunk for ``CompletionQueue.note_cqe``: raises the
+        host-side vector through the engine front port, suppressed once
+        the translation dies (a yanked drive cannot interrupt)."""
+
+        def fire() -> None:
+            if self.live and cq.irq_vector is not None:
+                self.raise_vector(cq.irq_vector)
+
+        return fire
+
+
+class DescriptorRingDMA:
+    """Descriptor-ring streaming DMA: the step-⑤ alternative model.
+
+    The default ``register`` model is a cut-through trigger FSM paying
+    ``cut_through_ns`` of routing latency on every TLP, all requests in
+    parallel.  This model instead streams requests through a LitePCIe-
+    style descriptor ring: a single worker pops one descriptor per
+    ``per_desc_ns`` and *launches* the fabric transfer without waiting
+    for the data (the fabric's bandwidth links pace the bytes).  Issue
+    is serialized but much cheaper per descriptor, which is the classic
+    throughput-over-latency trade at high queue depth.
+
+    The worker process is started lazily on the first descriptor and
+    exits when the ring drains, so an unused engine adds no events.
+    """
+
+    def __init__(self, sim, port, per_desc_ns: int = 40, name: str = "descdma"):
+        self.sim = sim
+        self.port = port
+        self.per_desc_ns = per_desc_ns
+        self.name = name
+        self._fifo: list[tuple] = []
+        self._worker_live = False
+        self.descriptors = 0
+        self.peak_depth = 0
+
+    def submit_write(self, host_addr: int, length: int, data) -> None:
+        """Queue a device->host transfer (fire-and-forget)."""
+        self._push(("w", host_addr, length, data, None))
+
+    def submit_read(self, host_addr: int, length: int):
+        """Queue a host->device transfer; returns the data event."""
+        done = self.sim.event(name=f"{self.name}.rd")
+        self._push(("r", host_addr, length, None, done))
+        return done
+
+    def _push(self, desc: tuple) -> None:
+        self._fifo.append(desc)
+        if len(self._fifo) > self.peak_depth:
+            self.peak_depth = len(self._fifo)
+        if not self._worker_live:
+            self._worker_live = True
+            self.sim.process(self._worker(), name=f"{self.name}.worker")
+
+    def _worker(self):
+        while self._fifo:
+            kind, host_addr, length, data, done = self._fifo.pop(0)
+            self.descriptors += 1
+            yield self.sim.timeout(self.per_desc_ns)
+            if kind == "w":
+                self.sim.process(self._issue_write(host_addr, length, data),
+                                 name=f"{self.name}.w")
+            else:
+                self.sim.process(self._issue_read(host_addr, length, done),
+                                 name=f"{self.name}.r")
+        self._worker_live = False
+
+    def _issue_write(self, host_addr: int, length: int, data):
+        yield self.port.mem_write(host_addr, length, data)
+
+    def _issue_read(self, host_addr: int, length: int, done):
+        data = yield self.port.mem_read(host_addr, length)
+        done.succeed(data)

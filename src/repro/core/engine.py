@@ -34,14 +34,22 @@ from ..obs import IOSpan, MetricsRegistry
 from ..pcie.fabric import PCIeFabric
 from ..sim import BandwidthLink, Event, Resource, SimulationError, Simulator
 from .axi import AXIBus
-from .dma_routing import RouteStats, decode_global_prp, encode_global_prp, is_global_prp
+from .dma_routing import (
+    DMA_MODELS,
+    DescriptorRingDMA,
+    DMATranslation,
+    RouteStats,
+    decode_global_prp,
+    encode_global_prp,
+    is_global_prp,
+)
 from .host_adaptor import BackendSlot, HostAdaptor
 from .lba_mapping import CHUNK_BYTES, MappingEntry, MappingTable
 from .qos import QoSLimits, QoSModule
 from .sriov_layer import FrontEndFunction, SRIOVLayer
 from .target_controller import TargetController
 
-__all__ = ["EngineTimings", "EngineNamespace", "BMSEngine"]
+__all__ = ["EngineTimings", "EngineNamespace", "PassthroughBinding", "BMSEngine"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,7 @@ class EngineTimings:
     cqe_relay_ns: int = 150  # adaptor CQ -> front CQ relay stage
     cut_through_ns: int = 120  # per-TLP DMA routing latency (step ⑤)
     monitor_sample_ns: int = 80  # I/O counter update path
+    passthrough_db_ns: int = 40  # front doorbell -> back doorbell relay
 
 
 @dataclass
@@ -70,6 +79,30 @@ class EngineNamespace:
     table: MappingTable
     chunks: list[tuple[int, int]]  # (ssd_id, physical chunk index)
     bound_fn: Optional[int] = None
+    #: step-⑤ routing machinery for this namespace's DMA traffic
+    dma_model: str = "register"
+
+
+@dataclass
+class PassthroughBinding:
+    """One function's I/O queues mapped straight onto a back-end SSD.
+
+    The engine stops interposing on the data path: front doorbells are
+    relayed to the device, which fetches guest SQEs and posts CQEs into
+    the guest rings itself via the shared :class:`DMATranslation`.
+    Only the admin queue (qid 0) stays on the mediated target-
+    controller path.
+    """
+
+    ens: EngineNamespace
+    ssd_id: int
+    translation: DMATranslation
+    #: host qid -> device-side qid
+    dev_qids: dict[int, int] = None
+
+    def __post_init__(self) -> None:
+        if self.dev_qids is None:
+            self.dev_qids = {}
 
 
 @dataclass
@@ -189,6 +222,12 @@ class BMSEngine:
             checks.bind_pool(self._prp_pool)
         self._pipeline = Resource(self.sim, 1, name=f"{name}.pipe")
         self._fn_stats: dict[int, _FnStats] = {}
+        #: fn_id -> PassthroughBinding for functions in passthrough mode
+        self._passthrough: dict[int, PassthroughBinding] = {}
+        #: fn_id -> "descriptor" for namespaces on the ring-DMA model
+        #: (absent = the default register-triggered cut-through FSM)
+        self._dma_model_by_fn: dict[int, str] = {}
+        self._desc_dma: Optional[DescriptorRingDMA] = None
         self.host_identify_pages: dict[int, object] = {}
         self.total_ios = 0
         self._register_axi_registers()
@@ -284,6 +323,8 @@ class BMSEngine:
         if ens is None:
             raise SimulationError(f"no namespace {key}")
         if ens.bound_fn is not None:
+            self.disable_passthrough(ens.bound_fn)
+            self._dma_model_by_fn.pop(ens.bound_fn, None)
             self.sriov.function_by_id(ens.bound_fn).namespaces.pop(1, None)
             self.sriov.function_by_id(ens.bound_fn).ns_key = None
         for ssd_id, chunk in ens.chunks:
@@ -300,6 +341,8 @@ class BMSEngine:
         fn.namespaces[1] = ens.namespace
         fn.ns_key = key
         ens.bound_fn = fn_id
+        if ens.dma_model == "descriptor":
+            self._dma_model_by_fn[fn_id] = "descriptor"
         self._fn_stats.setdefault(fn_id, _FnStats())
         return fn
 
@@ -307,10 +350,154 @@ class BMSEngine:
         ens = self.namespaces.get(key)
         if ens is None or ens.bound_fn is None:
             return
+        self.disable_passthrough(ens.bound_fn)
+        self._dma_model_by_fn.pop(ens.bound_fn, None)
         fn = self.sriov.function_by_id(ens.bound_fn)
         fn.namespaces.pop(1, None)
         fn.ns_key = None
         ens.bound_fn = None
+
+    def set_dma_model(self, key: str, model: str) -> None:
+        """Pick the step-⑤ DMA machinery for one namespace's traffic."""
+        if model not in DMA_MODELS:
+            raise SimulationError(f"dma model {model!r} not one of {DMA_MODELS}")
+        ens = self.namespaces.get(key)
+        if ens is None:
+            raise SimulationError(f"no namespace {key}")
+        ens.dma_model = model
+        if ens.bound_fn is not None:
+            if model == "descriptor":
+                self._dma_model_by_fn[ens.bound_fn] = "descriptor"
+            else:
+                self._dma_model_by_fn.pop(ens.bound_fn, None)
+
+    # --------------------------------------------------------- passthrough
+    #: device-side qids for passthrough-mapped host queues sit above the
+    #: adaptor's own queues (BACKEND_QID=1) so the two never collide
+    PASSTHROUGH_QID_BASE = 16
+
+    def enable_passthrough(self, key: str) -> PassthroughBinding:
+        """Map the bound function's I/O queues straight onto the SSD.
+
+        Requires the namespace to live on exactly one back-end drive as
+        one contiguous ascending physical extent, because the device
+        then translates LBAs with a single constant offset — there is
+        no per-command mapping stage left to scatter extents.
+        """
+        ens = self.namespaces.get(key)
+        if ens is None:
+            raise SimulationError(f"no namespace {key}")
+        if ens.bound_fn is None:
+            raise SimulationError(
+                f"namespace {key} must be bound to a function before passthrough"
+            )
+        fn_id = ens.bound_fn
+        if fn_id in self._passthrough:
+            raise SimulationError(f"function {fn_id} already in passthrough mode")
+        ssd_ids = {ssd_id for ssd_id, _ in ens.chunks}
+        if len(ssd_ids) != 1:
+            raise SimulationError(
+                f"passthrough requires a single-SSD namespace; {key} spans "
+                f"SSDs {sorted(ssd_ids)}"
+            )
+        ssd_id = ssd_ids.pop()
+        base_chunk = ens.chunks[0][1]
+        for i, (_, chunk) in enumerate(ens.chunks):
+            if chunk != base_chunk + i:
+                raise SimulationError(
+                    f"passthrough requires one contiguous physical extent; "
+                    f"{key} is fragmented on SSD {ssd_id}"
+                )
+        fn = self.sriov.function_by_id(fn_id)
+        translation = DMATranslation(
+            fn_id=fn_id,
+            lba_offset=base_chunk * self.chunk_blocks,
+            num_blocks=ens.namespace.num_blocks,
+            raise_vector=self._make_vector_raiser(fn),
+        )
+        binding = PassthroughBinding(ens=ens, ssd_id=ssd_id, translation=translation)
+        self._passthrough[fn_id] = binding
+        fn.passthrough = binding
+        # queues attached before enabling get mapped retroactively
+        for qid, qp in sorted(fn.queue_pairs.items()):
+            if qid != 0:
+                self.passthrough_map_queue(fn, qid, qp)
+        return binding
+
+    def disable_passthrough(self, fn_id: int) -> None:
+        binding = self._passthrough.pop(fn_id, None)
+        if binding is None:
+            return
+        fn = self.sriov.functions.get(fn_id)
+        if fn is not None:
+            fn.passthrough = None
+        slot = self.adaptor.slot_for(binding.ssd_id)
+        ssd = getattr(slot, "ssd", None)
+        if ssd is not None:
+            for dev_qid in binding.dev_qids.values():
+                ssd.detach_queue_pair(dev_qid)
+        binding.dev_qids.clear()
+
+    def _make_vector_raiser(self, fn: FrontEndFunction):
+        def raise_vector(vector: int) -> None:
+            fn.function.msix.raise_vector(self.front_port, vector)
+
+        return raise_vector
+
+    def passthrough_map_queue(self, fn: FrontEndFunction, qid: int, qp) -> None:
+        """Attach a host SQ/CQ pair to the backing SSD (shared rings)."""
+        binding = self._passthrough.get(fn.fn_id)
+        if binding is None or qid == 0:
+            return
+        dev_qid = self.PASSTHROUGH_QID_BASE + qid
+        binding.dev_qids[qid] = dev_qid
+        slot = self.adaptor.slot_for(binding.ssd_id)
+        ssd = getattr(slot, "ssd", None)
+        if ssd is not None:
+            dev_qp = ssd.attach_queue_pair(dev_qid, qp.sq, qp.cq)
+            dev_qp.translation = binding.translation
+
+    def passthrough_unmap_queue(self, fn: FrontEndFunction, qid: int) -> None:
+        binding = self._passthrough.get(fn.fn_id)
+        if binding is None:
+            return
+        dev_qid = binding.dev_qids.pop(qid, None)
+        if dev_qid is None:
+            return
+        slot = self.adaptor.slot_for(binding.ssd_id)
+        ssd = getattr(slot, "ssd", None)
+        if ssd is not None:
+            ssd.detach_queue_pair(dev_qid)
+
+    def on_slot_attached(self, ssd_id: int) -> None:
+        """A replacement drive landed in a slot: re-map any passthrough
+        queues onto it with a fresh (live) translation and kick its
+        doorbells so SQEs submitted while the slot was empty get
+        fetched instead of waiting for the next host submission."""
+        slot = self.adaptor.slot_for(ssd_id)
+        ssd = getattr(slot, "ssd", None)
+        if ssd is None:
+            return
+        for fn_id in sorted(self._passthrough):
+            binding = self._passthrough[fn_id]
+            if binding.ssd_id != ssd_id:
+                continue
+            old = binding.translation
+            binding.translation = DMATranslation(
+                fn_id=fn_id, lba_offset=old.lba_offset,
+                num_blocks=old.num_blocks, raise_vector=old.raise_vector,
+            )
+            fn = self.sriov.functions.get(fn_id)
+            if fn is None:
+                continue
+            for host_qid in sorted(binding.dev_qids):
+                qp = fn.queue_pairs.get(host_qid)
+                if qp is None:
+                    continue
+                dev_qid = binding.dev_qids[host_qid]
+                dev_qp = ssd.attach_queue_pair(dev_qid, qp.sq, qp.cq)
+                dev_qp.translation = binding.translation
+                ssd._on_sq_doorbell(dev_qid)
 
     # ------------------------------------------------------------ front path
     def on_front_doorbell(self, fn_id: int, qid: int) -> None:
@@ -320,14 +507,41 @@ class BMSEngine:
         qp = fn.queue_pairs.get(qid)
         if qp is None:
             return
+        if qid != 0 and fn.passthrough is not None:
+            # passthrough: no SQE fetch, no pipeline — just relay the
+            # doorbell to the mapped device queue
+            self.sim.process(self._passthrough_db(fn, qid),
+                             name=f"{self.name}.ptdb")
+            return
         self.sim.process(self._fetch_loop(fn, qid, qp), name=f"{self.name}.fetch")
+
+    def _passthrough_db(self, fn: FrontEndFunction, qid: int):
+        yield self.sim.timeout(self.timings.passthrough_db_ns)
+        binding = self._passthrough.get(fn.fn_id)
+        if binding is None:
+            return
+        dev_qid = binding.dev_qids.get(qid)
+        if dev_qid is None:
+            return
+        ssd = getattr(self.adaptor.slot_for(binding.ssd_id), "ssd", None)
+        if ssd is None:
+            # drive yanked: the doorbell write is lost; the host
+            # driver's command timeout is the only recovery path
+            return
+        ssd._on_sq_doorbell(dev_qid)
 
     def _fetch_loop(self, fn: FrontEndFunction, qid: int, qp):
         yield self.sim.timeout(self.timings.doorbell_ns)
-        while not qp.sq.is_empty:
-            addr = qp.sq.consume_addr()
-            self.sim.process(self._process_cmd(fn, qid, addr), name=f"{self.name}.cmd")
-            yield self.sim.timeout(self.timings.issue_ns)
+        while True:
+            while not qp.sq.is_empty:
+                addr = qp.sq.consume_addr()
+                self.sim.process(self._process_cmd(fn, qid, addr),
+                                 name=f"{self.name}.cmd")
+                yield self.sim.timeout(self.timings.issue_ns)
+            # shadow-doorbell rings re-check after arming the wakeup so
+            # tails published without an MMIO are never stranded
+            if not (qp.sq.shadow_mode and qp.sq.rearm_doorbell()):
+                break
 
     def _process_cmd(self, fn: FrontEndFunction, qid: int, sqe_addr: int):
         t_start = self.sim.now
@@ -471,11 +685,21 @@ class BMSEngine:
         return gp[0], list_addr, list_addr
 
     # ----------------------------------------------------- DMA request routing
+    def _descriptor_engine(self) -> DescriptorRingDMA:
+        if self._desc_dma is None:
+            self._desc_dma = DescriptorRingDMA(
+                self.sim, self.front_port, name=f"{self.name}.descdma"
+            )
+        return self._desc_dma
+
     def _route_dma_write(self, gaddr: int, length: int, data) -> None:
         """Step ⑤: SSD DMA write at a global address -> host memory."""
         fn_id, host_addr, _ = decode_global_prp(gaddr)
         self._check_fn(fn_id)
         self.route_stats.note_write(length)
+        if self._dma_model_by_fn.get(fn_id) == "descriptor":
+            self._descriptor_engine().submit_write(host_addr, length, data)
+            return
         self.sim.process(self._route_write_proc(host_addr, length, data),
                          name=f"{self.name}.dmaw")
 
@@ -507,6 +731,8 @@ class BMSEngine:
         fn_id, host_addr, _ = decode_global_prp(gaddr)
         self._check_fn(fn_id)
         self.route_stats.note_read(length)
+        if self._dma_model_by_fn.get(fn_id) == "descriptor":
+            return self._descriptor_engine().submit_read(host_addr, length)
         done = self.sim.event(name=f"{self.name}.dmar")
         self.sim.process(self._route_read_proc(host_addr, length, done),
                          name=f"{self.name}.dmarp")
@@ -553,7 +779,13 @@ class BMSEngine:
         if span is not None:
             span.stamp("complete", self.sim.now)
         if qp.cq.irq_vector is not None:
-            fn.function.msix.raise_vector(self.front_port, qp.cq.irq_vector)
+            qp.cq.note_cqe(self.sim, self._front_irq_thunk(fn, qp.cq))
+
+    def _front_irq_thunk(self, fn: FrontEndFunction, cq):
+        def fire() -> None:
+            fn.function.msix.raise_vector(self.front_port, cq.irq_vector)
+
+        return fire
 
     # -------------------------------------------------------------- monitoring
     def _account_io(self, fn_id: int, opcode: int, length: int,
@@ -631,7 +863,19 @@ class BMSEngine:
         """Surprise hot-remove of a backend drive: every in-flight and
         buffered command fails with NAMESPACE_NOT_READY; the front end
         survives and the slot awaits a replacement."""
+        for binding in self._passthrough.values():
+            if binding.ssd_id == ssd_id:
+                # kill the translation first: commands the drive already
+                # fetched can no longer land CQEs or raise MSI-X, which
+                # is exactly the driver-timeout-only recovery of a
+                # passthrough path with no interposed safety net
+                binding.translation.live = False
         removed = self.adaptor.slot_for(ssd_id).surprise_remove()
+        if removed is not None:
+            for binding in self._passthrough.values():
+                if binding.ssd_id == ssd_id:
+                    for dev_qid in binding.dev_qids.values():
+                        removed.detach_queue_pair(dev_qid)
         if self.obs is not None:
             self.obs.counter("engine_surprise_removes", slot=str(ssd_id)).inc()
         return removed

@@ -152,6 +152,9 @@ class BackendSlot:
             raise SimulationError(f"slot {self.index} already has an SSD")
         self.ssd = ssd
         self._bind_ssd(ssd)
+        if self.adaptor.engine is not None:
+            # re-map passthrough queues onto the replacement drive
+            self.adaptor.engine.on_slot_attached(self.index)
 
     # ------------------------------------------------------ pause machinery
     def pause(self) -> None:

@@ -43,6 +43,9 @@ class FrontEndFunction:
         self.namespaces: dict[int, Namespace] = {}
         self.queue_pairs: dict[int, QueuePair] = {}
         self.ns_key: Optional[str] = None  # engine namespace bound here
+        #: PassthroughBinding when this function's I/O queues are mapped
+        #: straight onto a back-end SSD; None = fully interposed
+        self.passthrough = None
 
     @property
     def is_vf(self) -> bool:
@@ -69,9 +72,14 @@ class FrontEndFunction:
             cq_doorbell=self.doorbell_addr(qid, is_cq=True),
         )
         self.queue_pairs[qid] = qp
+        if self.passthrough is not None and qid != 0:
+            # share the very same rings with the backing SSD
+            self.engine.passthrough_map_queue(self, qid, qp)
         return qp
 
     def detach_queue_pair(self, qid: int) -> None:
+        if self.passthrough is not None:
+            self.engine.passthrough_unmap_queue(self, qid)
         self.queue_pairs.pop(qid, None)
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -6,8 +6,8 @@ Runtime windows are simulation-time; they are chosen so steady-state
 rates converge while benchmark wall time stays in seconds.
 
 Scheme runners: :data:`SCHEMES` maps a scheme name ("native",
-"bmstore", "vfio-vm", "bmstore-vm", "spdk-vm") to a builder that runs
-one fio case in a freshly built world.  :func:`run_case` is the single
+"bmstore", "passthrough", "vfio-vm", "bmstore-vm", "spdk-vm") to a
+builder that runs one fio case in a freshly built world.  :func:`run_case` is the single
 entry point; it attaches a :class:`~repro.obs.MetricsRegistry` to the
 world and returns a :class:`CaseResult` bundling the fio measurement
 with the observability snapshot.  The old ``run_case_*`` functions
@@ -28,10 +28,12 @@ from ..baselines import (
     build_spdk,
     build_vfio,
 )
+from ..baselines.registry import runnable_schemes
 from ..checks import CheckContext, resolve_checks
 from ..faults import FaultPlan
 from ..host.driver import NVMeDriver
 from ..host.kernel_profile import DEFAULT_KERNEL, KernelProfile
+from ..host.policy import SubmissionPolicy, _merge_deprecated_kwargs, resolve_policy
 from ..host.vm import VirtualMachine
 from ..obs import MetricsRegistry
 from ..sim.units import GIB, MS
@@ -229,58 +231,88 @@ def _finish(sim, run: FioRun) -> FioResult:
 def _scheme_native(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                    obs: MetricsRegistry, num_ssds: int = 1,
                    faults: Optional[FaultPlan] = None,
-                   checks=None) -> FioResult:
+                   checks=None, policy=None) -> FioResult:
     """Bare-metal: the host NVMe driver directly on physical drives."""
     rig = build_native(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
-                       faults=faults, checks=checks)
+                       faults=faults, checks=checks, policy=policy)
     return _finish(rig.sim, FioRun(rig.sim, rig.drivers, spec, rig.streams))
+
+
+def _apply_dma_model(rig: BMStoreRig, key: str, policy) -> None:
+    if policy is not None and policy.dma != "register":
+        rig.engine.set_dma_model(key, policy.dma)
 
 
 def _bmstore_baremetal(num_ssds: int, seed: int, kernel: KernelProfile,
                        obs: Optional[MetricsRegistry] = None,
+                       policy=None,
                        **rig_kwargs) -> tuple[BMStoreRig, NVMeDriver]:
     rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
                         **rig_kwargs)
     size = min(BM_NAMESPACE_BYTES, num_ssds * 28 * 64 * GIB)
     fn = rig.provision("ns0", size)
-    return rig, rig.baremetal_driver(fn)
+    _apply_dma_model(rig, "ns0", policy)
+    return rig, rig.baremetal_driver(fn, policy=policy)
 
 
 def _scheme_bmstore(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                     obs: MetricsRegistry, num_ssds: int = 1,
-                    **rig_kwargs) -> FioResult:
+                    policy=None, **rig_kwargs) -> FioResult:
     """Bare-metal BM-Store: host driver on an engine PF/VF namespace."""
-    rig, driver = _bmstore_baremetal(num_ssds, seed, kernel, obs=obs, **rig_kwargs)
+    rig, driver = _bmstore_baremetal(num_ssds, seed, kernel, obs=obs,
+                                     policy=policy, **rig_kwargs)
+    return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
+
+
+def _scheme_passthrough(spec: FioSpec, *, seed: int, kernel: KernelProfile,
+                        obs: MetricsRegistry, num_ssds: int = 1,
+                        policy=None, **rig_kwargs) -> FioResult:
+    """Bare-metal BM-Store with I/O-queue passthrough: the engine maps
+    the function's SQ/CQ pairs straight onto the backing SSD and only
+    relays doorbells — no per-command interposition (arXiv 2304.05148
+    style).  Needs a single-SSD namespace (one contiguous extent)."""
+    rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
+                        **rig_kwargs)
+    size = min(BM_NAMESPACE_BYTES, 28 * 64 * GIB)
+    fn = rig.provision("ns0", size, placement=[0] * -(-size // rig.engine.chunk_bytes))
+    rig.engine.enable_passthrough("ns0")
+    _apply_dma_model(rig, "ns0", policy)
+    driver = rig.baremetal_driver(fn, policy=policy)
     return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
 
 
 def _scheme_vfio_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                     obs: MetricsRegistry,
                     faults: Optional[FaultPlan] = None,
-                    checks=None) -> FioResult:
+                    checks=None, policy=None) -> FioResult:
     """In-VM on a VFIO-assigned whole drive."""
     rig = build_vfio(num_vms=1, seed=seed, kernel=kernel, guest_kernel=kernel,
-                     obs=obs, faults=faults, checks=checks)
+                     obs=obs, faults=faults, checks=checks, policy=policy)
     return _finish(rig.sim, FioRun(rig.sim, [rig.driver()], spec, rig.streams))
 
 
 def _scheme_bmstore_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                        obs: MetricsRegistry, num_ssds: int = 1,
                        faults: Optional[FaultPlan] = None,
-                       checks=None) -> FioResult:
+                       checks=None, policy=None) -> FioResult:
     """In-VM on a BM-Store VF."""
     rig = build_bmstore(num_ssds=num_ssds, seed=seed, kernel=kernel, obs=obs,
                         faults=faults, checks=checks)
     vm = VirtualMachine(rig.host, "vm0", guest_kernel=kernel)
-    driver = rig.vm_driver(vm, rig.provision("ns0", BM_NAMESPACE_BYTES))
+    fn = rig.provision("ns0", BM_NAMESPACE_BYTES)
+    _apply_dma_model(rig, "ns0", policy)
+    driver = rig.vm_driver(vm, fn, policy=policy)
     return _finish(rig.sim, FioRun(rig.sim, [driver], spec, rig.streams))
 
 
 def _scheme_spdk_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
                     obs: MetricsRegistry, num_cores: int = 1,
                     faults: Optional[FaultPlan] = None,
-                    checks=None) -> FioResult:
+                    checks=None, policy=None) -> FioResult:
     """In-VM on an SPDK vhost virtio disk."""
+    if policy is not None and not policy.is_default:
+        # the registry declares it: vhost submission is virtio, not NVMe
+        raise ValueError("spdk-vm does not honour submission policies")
     rig = build_spdk(
         num_ssds=1, num_cores=num_cores, num_vdevs=1,
         vdev_blocks=BM_NAMESPACE_BYTES // 4096, seed=seed, kernel=kernel,
@@ -289,15 +321,29 @@ def _scheme_spdk_vm(spec: FioSpec, *, seed: int, kernel: KernelProfile,
     return _finish(rig.sim, FioRun(rig.sim, [rig.vdev()], spec, rig.streams))
 
 
-#: scheme name -> runner; extend this to add a new scheme to every
-#: experiment and to ``python -m repro fio/stats``
+#: scheme name -> runner; the *capabilities* of each scheme are declared
+#: in :mod:`repro.baselines.registry` — add a SchemeDef there first,
+#: then the runner here, and every experiment plus ``python -m repro
+#: fio/stats`` picks it up
 SCHEMES: dict[str, Callable[..., FioResult]] = {
     "native": _scheme_native,
     "bmstore": _scheme_bmstore,
+    "passthrough": _scheme_passthrough,
     "vfio-vm": _scheme_vfio_vm,
     "bmstore-vm": _scheme_bmstore_vm,
     "spdk-vm": _scheme_spdk_vm,
 }
+
+# the runner map must cover exactly the registry's runnable schemes
+assert set(SCHEMES) == set(runnable_schemes()), (
+    "scheme runners out of sync with baselines.registry: "
+    f"{sorted(set(SCHEMES) ^ set(runnable_schemes()))}"
+)
+
+
+#: run_case kwargs superseded by ``policy=``; kept as deprecated shims
+_DEPRECATED_POLICY_KWARGS = ("doorbell_mode", "batch_doorbells", "coalesce",
+                             "dma_model")
 
 
 def run_case(
@@ -310,6 +356,7 @@ def run_case(
     obs_mode: str = "full",
     span_sample: int = 16,
     checks: Any = None,
+    policy: Any = None,
     **scheme_kwargs: Any,
 ) -> CaseResult:
     """Run one fio case on one scheme in a freshly built world.
@@ -323,7 +370,11 @@ def run_case(
     comma list of checker names, a :class:`~repro.checks.CheckContext`,
     or ``None`` to follow the ``REPRO_CHECKS`` environment variable —
     see :func:`~repro.checks.resolve_checks`); the armed context rides
-    back on ``CaseResult.checks``.  Extra keyword arguments go to the
+    back on ``CaseResult.checks``.  ``policy`` is a
+    :class:`~repro.host.policy.SubmissionPolicy` (or its string
+    spelling, e.g. ``"shadow"`` or ``"batched:16"``) selecting the
+    doorbell mode, CQE coalescing, and engine DMA model; ``None`` is
+    the byte-identical classic path.  Extra keyword arguments go to the
     scheme runner (e.g.  ``num_ssds=4`` for "native"/"bmstore",
     ``zero_copy=False`` for "bmstore", ``num_cores=2`` for "spdk-vm",
     ``faults=FaultPlan(...)`` for any scheme to arm deterministic fault
@@ -333,13 +384,25 @@ def run_case(
     if runner is None:
         known = ", ".join(sorted(SCHEMES))
         raise ValueError(f"unknown scheme {scheme!r} (known: {known})")
+    pol = resolve_policy(policy)
+    deprecated = {k: scheme_kwargs.pop(k) for k in _DEPRECATED_POLICY_KWARGS
+                  if k in scheme_kwargs}
+    if deprecated:
+        warnings.warn(
+            f"run_case kwargs {sorted(deprecated)} are deprecated; pass "
+            "policy=SubmissionPolicy(...) (or its string spelling) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        pol = _merge_deprecated_kwargs(pol, **deprecated)
     if obs is None:
         obs = MetricsRegistry(mode=obs_mode, span_sample=span_sample)
     ctx = resolve_checks(checks, obs)
     # pass False (not None) when disarmed so builders don't re-consult
     # the environment and arm a second, unreported context
     fio = runner(spec, seed=seed, kernel=kernel, obs=obs,
-                 checks=ctx if ctx is not None else False, **scheme_kwargs)
+                 checks=ctx if ctx is not None else False, policy=pol,
+                 **scheme_kwargs)
     return CaseResult(scheme=scheme, spec=spec, fio=fio, obs=obs,
                       snapshot=obs.snapshot(), checks=ctx)
 

@@ -53,6 +53,24 @@ def _hot_remove() -> FaultPlan:
                                 backoff_base_ns=500_000, backoff_cap_ns=2 * MS))
 
 
+def _pt_hot_remove() -> FaultPlan:
+    # Passthrough has no engine interposition: a yanked drive means
+    # every in-flight command silently waits out the full driver
+    # timeout before the abort/retry path kicks in, so this preset uses
+    # a short timeout to keep the quick cases' recovery window visible.
+    return (FaultPlan()
+            .hot_remove(0, at_ns=10 * MS, reattach_after_ns=4 * MS)
+            .with_driver_policy(timeout_ns=4 * MS, max_retries=10,
+                                backoff_base_ns=250_000, backoff_cap_ns=MS))
+
+
+def _pt_link_flap() -> FaultPlan:
+    return (FaultPlan()
+            .link_flap("bssd0", at_ns=10 * MS, duration_ns=2 * MS)
+            .with_driver_policy(timeout_ns=4 * MS, max_retries=6,
+                                backoff_base_ns=250_000, backoff_cap_ns=MS))
+
+
 PRESETS = {
     "media-burst": _media_burst,
     "die-stall": _die_stall,
@@ -60,6 +78,8 @@ PRESETS = {
     "link-flap": _link_flap,
     "width-degrade": _width_degrade,
     "hot-remove": _hot_remove,
+    "pt-hot-remove": _pt_hot_remove,
+    "pt-link-flap": _pt_link_flap,
 }
 
 #: one-liners for ``python -m repro faults --list`` (and ``--faults list``)
@@ -70,6 +90,9 @@ PRESET_DESCRIPTIONS = {
     "link-flap": "PCIe link to the backend drive down for 2 ms",
     "width-degrade": "backend link re-trains at x1 for 10 ms (bandwidth loss)",
     "hot-remove": "surprise removal of backend slot 0, re-seated 5 ms later",
+    "pt-hot-remove": "hot-remove sized for passthrough: short driver timeout "
+                     "is the only safety net",
+    "pt-link-flap": "link flap sized for passthrough (no engine-side retry)",
 }
 
 

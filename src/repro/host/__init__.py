@@ -6,9 +6,25 @@ from .driver import DriverStats, NVMeControllerTarget, NVMeDriver
 from .environment import IRQ_WINDOW_BASE, Host
 from .kernel_profile import DEFAULT_KERNEL, KERNEL_PROFILES, KernelProfile
 from .memory import PAGE_SIZE, HostMemory
+from .policy import (
+    DEFAULT_POLICY,
+    DMA_MODELS,
+    DOORBELL_MODES,
+    POLICY_PRESETS,
+    SubmissionPolicy,
+    parse_policy,
+    resolve_policy,
+)
 from .vm import VirtualMachine, VMProfile
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "DMA_MODELS",
+    "DOORBELL_MODES",
+    "POLICY_PRESETS",
+    "SubmissionPolicy",
+    "parse_policy",
+    "resolve_policy",
     "BlockTarget",
     "CompletionInfo",
     "Core",

@@ -28,6 +28,7 @@ from .block import CompletionInfo
 from .environment import Host
 from .kernel_profile import KernelProfile
 from .memory import BufferPool
+from .policy import DEFAULT_POLICY, SubmissionPolicy
 
 __all__ = ["NVMeControllerTarget", "NVMeDriver", "DriverStats"]
 
@@ -51,7 +52,8 @@ class NVMeControllerTarget(Protocol):
 class DriverStats:
     """Submission/completion/interrupt counters of one bound driver."""
     __slots__ = ("submitted", "completed", "errors", "interrupts",
-                 "timeouts", "aborts", "retries", "retries_exhausted")
+                 "timeouts", "aborts", "retries", "retries_exhausted",
+                 "doorbell_mmio", "doorbell_elided")
 
     def __init__(self) -> None:
         self.submitted = 0
@@ -62,6 +64,10 @@ class DriverStats:
         self.aborts = 0
         self.retries = 0
         self.retries_exhausted = 0
+        #: MMIO doorbell writes actually issued (shadow/batched modes)
+        self.doorbell_mmio = 0
+        #: doorbell writes avoided by the shadow/batched machinery
+        self.doorbell_elided = 0
 
 
 class NVMeDriver:
@@ -83,6 +89,7 @@ class NVMeDriver:
         obs: Optional[MetricsRegistry] = None,
         fault_policy: Optional[DriverFaultPolicy] = None,
         checks=None,
+        policy: Optional[SubmissionPolicy] = None,
     ):
         self.sim: Simulator = host.sim
         self.host = host
@@ -112,6 +119,12 @@ class NVMeDriver:
         if obs is not None:
             self._c_errors = obs.counter("driver_errors", driver=name)
             self._h_latency = obs.histogram("io_latency_ns", driver=name)
+        #: submission policy: doorbell mode + CQE coalescing.  The
+        #: default reproduces the classic MMIO-per-command,
+        #: IRQ-per-CQE path with an identical event sequence.
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self._unrung: dict[int, int] = {}
+        self._batch_timer_live: set[int] = set()
         # production-shaped error handling; None = legacy trusting path
         # with zero extra events per I/O
         self.fault_policy = fault_policy
@@ -138,6 +151,14 @@ class NVMeDriver:
         if self.checks is not None:
             self.checks.bind_ring(sq)
             self.checks.bind_ring(cq)
+        if qid != 0:
+            # the admin queue always runs the classic immediate path
+            if self.policy.doorbell == "shadow":
+                sq.shadow_mode = True
+            if self.policy.coalescing:
+                cq.coalesce_threshold = self.policy.coalesce_threshold
+                cq.coalesce_timeout_ns = self.policy.coalesce_timeout_ns
+            self._unrung[qid] = 0
         qp = self.controller.attach_queue_pair(qid, sq, cq)
         addr, data = self.host.irq.allocate(lambda _v, q=qid: self._on_interrupt(q))
         self.controller.function.msix.configure(qid, addr, data)
@@ -329,6 +350,14 @@ class NVMeDriver:
         yield self._lock.acquire()
         yield self.sim.timeout(self.contended_lock_ns if contended else self.lock_ns)
         qp = self._qps[qid]
+        while qp.sq.is_full:
+            # timed-out commands release their queue slot before the
+            # device fetches their stale SQE, so the ring can be full
+            # even with a slot held; block until the consumer frees one
+            self._lock.release()
+            yield qp.sq.wait_space(self.sim)
+            yield self._lock.acquire()
+            yield self.sim.timeout(self.contended_lock_ns)
         cid = self._next_cid[qid] = (self._next_cid[qid] + 1) % 0xFFFF
         if handle is not None:
             handle["qid"], handle["cid"] = qid, cid
@@ -350,7 +379,58 @@ class NVMeDriver:
         if self.obs is not None:
             self._c_submitted[qid].inc()
         self._lock.release()
+        yield from self._ring_doorbell(qid, qp)
+
+    # ---------------------------------------------------------------- doorbell
+    def _ring_doorbell(self, qid: int, qp: QueuePair):
+        """Mode-dependent doorbell after a push into ``qp.sq``.
+
+        ``immediate`` is the exact legacy tail: one posted MMIO write
+        per command, no extra state touched.
+        """
+        mode = self.policy.doorbell
+        if mode == "immediate" or qid == 0:
+            self.stats.doorbell_mmio += 1
+            yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)
+            return
+        sq = qp.sq
+        if mode == "shadow":
+            if sq.publish_tail():
+                if sq.checks is not None:
+                    sq.checks.on_db_flush(sq, 1)
+                self.stats.doorbell_mmio += 1
+                yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)
+            else:
+                self.stats.doorbell_elided += 1
+            return
+        # batched: accumulate, ring on depth / ring-full / deadline
+        self._unrung[qid] += 1
+        if self._unrung[qid] >= self.policy.batch_depth or sq.is_full:
+            yield from self._flush_doorbell(qid, qp)
+        else:
+            self.stats.doorbell_elided += 1
+            if (self.policy.batch_timeout_ns > 0
+                    and qid not in self._batch_timer_live):
+                self._batch_timer_live.add(qid)
+                self.sim.process(self._batch_deadline(qid),
+                                 name=f"{self.name}.dbflush{qid}")
+
+    def _flush_doorbell(self, qid: int, qp: QueuePair):
+        batched, self._unrung[qid] = self._unrung[qid], 0
+        if batched <= 0:
+            return
+        if qp.sq.checks is not None:
+            qp.sq.checks.on_db_flush(qp.sq, batched)
+        self.stats.doorbell_mmio += 1
         yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)
+
+    def _batch_deadline(self, qid: int):
+        """Deterministic flush of a partial doorbell batch, so shallow
+        queues are never stranded waiting for peers that never come."""
+        yield self.sim.timeout(self.policy.batch_timeout_ns)
+        self._batch_timer_live.discard(qid)
+        if self._unrung.get(qid, 0):
+            yield from self._flush_doorbell(qid, self._qps[qid])
 
     # ------------------------------------------------------------- completion
     def _on_interrupt(self, qid: int) -> None:

@@ -67,6 +67,7 @@ class VirtualMachine:
         obs: Optional[MetricsRegistry] = None,
         fault_policy=None,
         checks=None,
+        policy=None,
     ) -> NVMeDriver:
         """Attach a passthrough NVMe controller (VFIO or BM-Store VF)."""
         contended = int(self.guest_kernel.submit_lock_ns * self.profile.lock_multiplier)
@@ -85,6 +86,7 @@ class VirtualMachine:
             obs=obs,
             fault_policy=fault_policy,
             checks=checks,
+            policy=policy,
         )
         self.drivers.append(driver)
         return driver

@@ -10,8 +10,8 @@ completion phase bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from typing import TYPE_CHECKING
 
@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from .command import CQE, SQE
 from .spec import CQE_BYTES, SQE_BYTES
 
-__all__ = ["SubmissionQueue", "CompletionQueue", "QueuePair"]
+__all__ = ["SubmissionQueue", "CompletionQueue", "QueuePair", "CQECoalescer"]
 
 
 class SubmissionQueue:
@@ -40,6 +40,14 @@ class SubmissionQueue:
         self.head = 0
         #: bound CheckContext (ring checker); None = dormant, zero-cost
         self.checks = None
+        # shadow-doorbell state (NVMe shadow doorbell convention): the
+        # producer publishes the tail here instead of an MMIO write, and
+        # only rings when the consumer armed the wakeup after idling
+        self.shadow_mode = False
+        self.shadow_tail = 0
+        self.db_armed = True
+        # producers blocked on a full ring (FIFO; woken on head advance)
+        self._space_waiters: list = []
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * SQE_BYTES
@@ -67,6 +75,21 @@ class SubmissionQueue:
         self.tail = (self.tail + 1) % self.depth
         return addr
 
+    def wait_space(self, sim):
+        """An event triggered the next time the consumer frees a slot.
+
+        The producer's slot accounting can run ahead of the ring: a
+        timed-out command releases its queue slot while its stale SQE
+        still occupies the ring until the consumer fetches it (the
+        passthrough path during a drive outage is the extreme case —
+        nothing fetches at all until the drive is re-seated).  A real
+        driver blocks the request when the ring is full; this is that
+        block.
+        """
+        ev = sim.event(name=f"sq{self.sqid}.space")
+        self._space_waiters.append(ev)
+        return ev
+
     # consumer side ---------------------------------------------------------
     def consume_addr(self) -> int:
         """Address of the entry at head; advances head."""
@@ -76,7 +99,33 @@ class SubmissionQueue:
             raise SimulationError(f"SQ{self.sqid} empty")
         addr = self.slot_addr(self.head)
         self.head = (self.head + 1) % self.depth
+        if self._space_waiters:
+            waiters, self._space_waiters = self._space_waiters, []
+            for ev in waiters:
+                ev.succeed()
         return addr
+
+    # shadow doorbell --------------------------------------------------------
+    def publish_tail(self) -> bool:
+        """Producer: record the tail in the shadow slot; True when the
+        consumer is armed and an MMIO wakeup is owed (this disarms it,
+        so exactly one producer pays the doorbell per idle period)."""
+        self.shadow_tail = self.tail
+        if self.db_armed:
+            self.db_armed = False
+            return True
+        return False
+
+    def rearm_doorbell(self) -> bool:
+        """Consumer, after draining: arm the MMIO wakeup.  Returns True
+        when entries raced in since the last emptiness check — the
+        consumer must drain again instead of going idle (this closes
+        the classic shadow-doorbell lost-wakeup window)."""
+        self.db_armed = True
+        if not self.is_empty:
+            self.db_armed = False
+            return True
+        return False
 
 
 class CompletionQueue:
@@ -96,6 +145,11 @@ class CompletionQueue:
         self.irq_vector: Optional[int] = None
         #: bound CheckContext (ring checker); None = dormant, zero-cost
         self.checks = None
+        # interrupt-coalescing configuration (NVMe Set Features style):
+        # written by the driver at queue setup, consulted by the device
+        self.coalesce_threshold = 1
+        self.coalesce_timeout_ns = 0
+        self._coalescer: Optional["CQECoalescer"] = None
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * CQE_BYTES
@@ -142,6 +196,65 @@ class CompletionQueue:
             self._host_phase ^= 1
         return entry
 
+    # device-side interrupt moderation ---------------------------------------
+    @property
+    def coalescing(self) -> bool:
+        return self.coalesce_threshold > 1 or self.coalesce_timeout_ns > 0
+
+    def note_cqe(self, sim, fire: Callable[[], None]) -> None:
+        """Device-side IRQ decision point, called right after
+        :meth:`post_slot`.  Without coalescing configured this calls
+        ``fire`` synchronously — identical to the classic path —
+        otherwise the MSI-X is moderated by threshold + timer."""
+        if self.irq_vector is None:
+            return
+        if not self.coalescing:
+            fire()
+            return
+        if self._coalescer is None:
+            self._coalescer = CQECoalescer(sim, self, fire)
+        self._coalescer.on_cqe()
+
+
+class CQECoalescer:
+    """NVMe interrupt coalescing: MSI-X per N CQEs or per timer tick.
+
+    Lives on the device side of a :class:`CompletionQueue`; created
+    lazily on the first coalesced completion so unconfigured queues add
+    no simulation state at all.
+    """
+
+    def __init__(self, sim, cq: CompletionQueue, fire: Callable[[], None]):
+        self.sim = sim
+        self.cq = cq
+        self.fire = fire
+        self.pending = 0
+        self.fired = 0
+        self.timer_fires = 0
+        self._timer_live = False
+
+    def on_cqe(self) -> None:
+        self.pending += 1
+        if self.cq.checks is not None:
+            self.cq.checks.on_cq_coalesce(self.cq, self.pending)
+        if self.pending >= self.cq.coalesce_threshold:
+            self.pending = 0
+            self.fired += 1
+            self.fire()
+            return
+        if self.cq.coalesce_timeout_ns > 0 and not self._timer_live:
+            self._timer_live = True
+            self.sim.process(self._timer(), name=f"cq{self.cq.cqid}.coalesce")
+
+    def _timer(self):
+        yield self.sim.timeout(self.cq.coalesce_timeout_ns)
+        self._timer_live = False
+        if self.pending:
+            self.pending = 0
+            self.fired += 1
+            self.timer_fires += 1
+            self.fire()
+
 
 @dataclass
 class QueuePair:
@@ -151,3 +264,8 @@ class QueuePair:
     cq: CompletionQueue
     sq_doorbell: int
     cq_doorbell: int
+    #: device-side address/LBA translation for passthrough queues (a
+    #: :class:`repro.core.dma_routing.DMATranslation`, duck-typed here
+    #: so the NVMe layer stays independent of the engine); None for
+    #: every normally attached queue
+    translation: Optional[object] = field(default=None, compare=False)

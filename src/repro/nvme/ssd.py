@@ -171,9 +171,15 @@ class NVMeSSD:
         qp = self._queues.get(qid)
         if qp is None:
             return
-        while not qp.sq.is_empty:
-            addr = qp.sq.consume_addr()
-            self.sim.process(self._execute(qid, qp, addr), name=f"{self.name}.cmd")
+        while True:
+            while not qp.sq.is_empty:
+                addr = qp.sq.consume_addr()
+                self.sim.process(self._execute(qid, qp, addr),
+                                 name=f"{self.name}.cmd")
+            # shadow-doorbell rings re-check after arming the wakeup so
+            # entries published without an MMIO are never stranded
+            if not (qp.sq.shadow_mode and qp.sq.rearm_doorbell()):
+                break
 
     # --------------------------------------------------------------- command
     def _execute(self, qid: int, qp: QueuePair, sqe_addr: int):
@@ -181,8 +187,10 @@ class NVMeSSD:
             yield self._wait_resume()
         self.stats.inflight += 1
         dropped = False
+        tr = qp.translation
         try:
-            sqe = yield self.port.mem_read(sqe_addr, SQE_BYTES)
+            fetch_addr = sqe_addr if tr is None else tr.tag(sqe_addr)
+            sqe = yield self.port.mem_read(fetch_addr, SQE_BYTES)
             if not isinstance(sqe, SQE):
                 raise SimulationError(f"{self.name}: no SQE at {sqe_addr:#x}")
             yield self.sim.timeout(DECODE_NS)
@@ -198,7 +206,7 @@ class NVMeSSD:
             elif qid == 0:
                 status, result = yield from self._admin(sqe)
             else:
-                status, result = yield from self._io(sqe)
+                status, result = yield from self._io(sqe, tr)
         finally:
             self.stats.inflight -= 1
             self._check_drained()
@@ -207,18 +215,34 @@ class NVMeSSD:
         yield from self._complete(qid, qp, sqe, status, result)
 
     def _complete(self, qid: int, qp: QueuePair, sqe: SQE, status: int, result: int):
+        tr = qp.translation
+        if tr is not None and not tr.live:
+            # the translation's device was surprise-removed: a dead
+            # drive's TLPs no longer route anywhere, so the CQE never
+            # lands — only the host driver's timeout recovers
+            return
         cqe = CQE(cid=sqe.cid, status=status, sq_head=qp.sq.head, sqid=qid, result=result)
         if status != int(StatusCode.SUCCESS):
             self.stats.errors += 1
         # DMA the CQE into the completion ring, then make it host-visible.
         target = qp.cq.slot_addr(qp.cq.tail)
+        if tr is not None:
+            target = tr.tag(target)
         yield self.port.mem_write(target, CQE_BYTES, None)
         qp.cq.post_slot(cqe)
         if qp.cq.irq_vector is not None:
-            self.function.msix.raise_vector(self.port, qp.cq.irq_vector)
+            if tr is not None:
+                qp.cq.note_cqe(self.sim, tr.fire_irq(qp.cq))
+            else:
+                qp.cq.note_cqe(self.sim, self._fire_vector(qp.cq))
+
+    def _fire_vector(self, cq):
+        def fire() -> None:
+            self.function.msix.raise_vector(self.port, cq.irq_vector)
+        return fire
 
     # ------------------------------------------------------------------- I/O
-    def _io(self, sqe: SQE):
+    def _io(self, sqe: SQE, translation=None):
         ns = self.namespaces.get(sqe.nsid)
         if ns is None:
             return int(StatusCode.INVALID_NAMESPACE), 0
@@ -230,10 +254,18 @@ class NVMeSSD:
                 span.stamp("ssd_dma", self.sim.now)
             return int(StatusCode.SUCCESS), 0
         nblocks = sqe.num_blocks
-        if not ns.contains(sqe.slba, nblocks):
+        # passthrough queues carry guest LBAs: bound-check against the
+        # translation window, then shift by its base.  The SQE is shared
+        # host state — never mutate it, keep the shifted LBA local.
+        slba = sqe.slba
+        if translation is not None:
+            if slba + nblocks > translation.num_blocks:
+                return int(StatusCode.LBA_OUT_OF_RANGE), 0
+            slba = slba + translation.lba_offset
+        if not ns.contains(slba, nblocks):
             return int(StatusCode.LBA_OUT_OF_RANGE), 0
         length = nblocks * ns.block_bytes
-        pages, prp_list = yield from self._resolve_prps(sqe, length)
+        pages, prp_list = yield from self._resolve_prps(sqe, length, translation)
 
         if self.faults is not None:
             stall = self.faults.media_stall_ns(self.name, span=span)
@@ -252,13 +284,13 @@ class NVMeSSD:
 
         if opcode == int(IOOpcode.READ):
             if self.bad_lbas and any(
-                (sqe.slba + i) in self.bad_lbas for i in range(nblocks)
+                (slba + i) in self.bad_lbas for i in range(nblocks)
             ):
                 # grown media defect: the ECC retry burns time, then fails
                 yield from self.flash.read(length)
                 return int(StatusCode.DATA_TRANSFER_ERROR), 0
             yield from self.flash.read(length)
-            payload = self._load_blocks(sqe.slba, nblocks)
+            payload = self._load_blocks(slba, nblocks)
             yield from self._dma_out(pages, length, payload)
             if span is not None:
                 span.stamp("ssd_dma", self.sim.now)
@@ -271,7 +303,7 @@ class NVMeSSD:
             if sqe.payload is not None:
                 payload = sqe.payload  # authoritative copy from the submitter
             if payload is not None:
-                self._store_blocks(sqe.slba, nblocks, payload)
+                self._store_blocks(slba, nblocks, payload)
             yield from self.flash.write(length)
             if span is not None:
                 span.stamp("ssd_dma", self.sim.now)
@@ -280,19 +312,22 @@ class NVMeSSD:
             return int(StatusCode.SUCCESS), 0
 
         if opcode in (int(IOOpcode.WRITE_ZEROES), int(IOOpcode.DSM)):
-            for lba in range(sqe.slba, sqe.slba + nblocks):
+            for lba in range(slba, slba + nblocks):
                 self._blocks.pop(lba, None)
             return int(StatusCode.SUCCESS), 0
 
         return int(StatusCode.INVALID_OPCODE), 0
 
-    def _resolve_prps(self, sqe: SQE, length: int):
+    def _resolve_prps(self, sqe: SQE, length: int, translation=None):
         npages = len(pages_for(sqe.prp1, length))
         if npages <= 2:
             pages = [sqe.prp1] if npages == 1 else [sqe.prp1, sqe.prp2]
             entry = None
         else:
-            entry = yield self.port.mem_read(sqe.prp2, (npages - 1) * 8)
+            list_addr = sqe.prp2
+            if translation is not None:
+                list_addr = translation.tag(list_addr)
+            entry = yield self.port.mem_read(list_addr, (npages - 1) * 8)
             if not isinstance(entry, PRPList):
                 raise SimulationError(f"{self.name}: bad PRP list at {sqe.prp2:#x}")
             pages = [sqe.prp1, *entry.entries[: npages - 1]]
@@ -301,6 +336,10 @@ class NVMeSSD:
                 pages, length, span=getattr(sqe, "span", None),
                 memory_name=None, where=self.name,
             )
+        if translation is not None:
+            # guest PRPs name host pages: tag each with the function id
+            # so the engine's root space routes the TLPs out the front
+            pages = [translation.tag(p) for p in pages]
         return pages, entry
 
     def _dma_out(self, pages: list[int], length: int, payload: Optional[bytes]):

@@ -151,14 +151,17 @@ class ZNSSSD(NVMeSSD):
         return int(StatusCode.SUCCESS)
 
     # ------------------------------------------------------------------- I/O
-    def _io(self, sqe: SQE):
+    def _io(self, sqe: SQE, translation=None):
+        # zoned namespaces are never mapped through the engine's
+        # passthrough path, so ``translation`` is always None here; the
+        # parameter exists only to match the base signature
         opcode = sqe.opcode
         if opcode == int(IOOpcode.WRITE):
             status = self._check_zoned_write(sqe)
             if status != int(StatusCode.SUCCESS):
                 yield self.sim.timeout(0)
                 return status, 0
-            result = yield from super()._io(sqe)
+            result = yield from super()._io(sqe, translation)
             self._advance_wp(sqe.slba, sqe.num_blocks)
             return result
         if opcode == int(ZNSOpcode.ZONE_APPEND):
@@ -176,8 +179,8 @@ class ZNSSSD(NVMeSSD):
             if zone is None:
                 yield self.sim.timeout(0)
                 return int(StatusCode.LBA_OUT_OF_RANGE), 0
-            return (yield from super()._io(sqe))
-        return (yield from super()._io(sqe))
+            return (yield from super()._io(sqe, translation))
+        return (yield from super()._io(sqe, translation))
 
     def _check_zoned_write(self, sqe: SQE) -> int:
         zone = self.zone_of(sqe.slba)

@@ -37,7 +37,10 @@ class RunSpec:
     rather than a live :class:`FaultPlan`, so a spec can cross a process
     boundary and still arm the identical deterministic plan.  For the
     same reason ``checks`` is a *string* spec ("all", "ring,qos", "off",
-    or ``None`` to follow ``REPRO_CHECKS``), not a live CheckContext.
+    or ``None`` to follow ``REPRO_CHECKS``), not a live CheckContext,
+    and ``policy`` is a submission-policy *spelling* ("shadow",
+    "batched:16", "doorbell=shadow,coalesce=4,...") parsed by
+    :func:`repro.host.policy.parse_policy`, not a live object.
     ``scheme_kwargs`` go to the scheme runner (``num_ssds=4``, ...).
     """
 
@@ -48,12 +51,17 @@ class RunSpec:
     obs_mode: str = "full"
     span_sample: int = 16
     checks: Optional[str] = None
+    policy: Optional[str] = None
     scheme_kwargs: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
         tag = f"{self.scheme}/{self.case}@{self.seed}"
-        return f"{tag}+{self.faults}" if self.faults else tag
+        if self.faults:
+            tag = f"{tag}+{self.faults}"
+        if self.policy:
+            tag = f"{tag}~{self.policy}"
+        return tag
 
 
 def default_workers() -> int:
@@ -85,13 +93,14 @@ def run_one(spec: RunSpec) -> dict[str, Any]:
         kwargs["faults"] = get_preset(spec.faults)
     case = run_case(spec.scheme, fio_spec, seed=spec.seed,
                     obs_mode=spec.obs_mode, span_sample=spec.span_sample,
-                    checks=spec.checks, **kwargs)
+                    checks=spec.checks, policy=spec.policy, **kwargs)
     lat = case.latency
     return {
         "scheme": spec.scheme,
         "case": spec.case,
         "seed": spec.seed,
         "faults": spec.faults,
+        "policy": spec.policy,
         "obs_mode": spec.obs_mode,
         "ios": case.fio.ios,
         "errors": case.errors,
@@ -140,6 +149,7 @@ def run_grid(
     obs_mode: str = "full",
     span_sample: int = 16,
     checks: Optional[str] = None,
+    policy: Optional[str] = None,
     workers: Optional[int] = None,
     **scheme_kwargs: Any,
 ) -> list[dict[str, Any]]:
@@ -148,7 +158,7 @@ def run_grid(
     specs = [
         RunSpec(scheme=scheme, case=case, seed=seed, faults=faults,
                 obs_mode=obs_mode, span_sample=span_sample, checks=checks,
-                scheme_kwargs=dict(scheme_kwargs))
+                policy=policy, scheme_kwargs=dict(scheme_kwargs))
         for case in cases
         for scheme in schemes
     ]

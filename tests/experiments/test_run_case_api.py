@@ -25,7 +25,8 @@ def _tiny_spec():
 # ------------------------------------------------------------- the registry
 def test_schemes_registry_names():
     assert set(SCHEMES) == {
-        "native", "bmstore", "vfio-vm", "bmstore-vm", "spdk-vm",
+        "native", "bmstore", "passthrough", "vfio-vm", "bmstore-vm",
+        "spdk-vm",
     }
 
 

@@ -1,0 +1,190 @@
+"""Doorbell-mode and CQE-coalescing edge cases on the native rig:
+batched flush on ring-full, shadow read-after-wrap, the coalescing
+timer, and checker coverage of the new ring paths."""
+
+from repro.baselines import build_native
+from repro.checks import CheckContext
+from repro.host.driver import NVMeDriver
+from repro.host.environment import Host
+from repro.host.policy import SubmissionPolicy
+from repro.nvme.ssd import NVMeSSD
+from repro.sim import Simulator, StreamFactory
+
+
+def _drain(rig, driver, count, lbas=None):
+    done = []
+
+    def worker(i):
+        info = yield driver.read((lbas[i] if lbas else i) % 64, 1)
+        assert info.ok
+        done.append(i)
+
+    procs = [rig.sim.process(worker(i)) for i in range(count)]
+    rig.sim.run(rig.sim.all_of(procs))
+    return done
+
+
+# ------------------------------------------------------------------ shadow
+def test_shadow_mode_elides_doorbells_while_the_mmio_is_in_flight():
+    # a zero-cost submission lock makes all pushes land back to back:
+    # the first pays the MMIO, everyone racing behind it publishes the
+    # tail for free and the device drains them all on one wakeup
+    sim = Simulator()
+    streams = StreamFactory(root_seed=7)
+    host = Host(sim, streams)
+    ssd = NVMeSSD(sim, host.fabric, streams, name="nvme0")
+    driver = NVMeDriver(host, ssd, num_io_queues=1, lock_ns=0,
+                        contended_lock_ns=0,
+                        policy=SubmissionPolicy(doorbell="shadow"))
+    done = []
+
+    def worker(i):
+        info = yield driver.read(i, 1)
+        assert info.ok
+        done.append(i)
+
+    procs = [sim.process(worker(i)) for i in range(64)]
+    sim.run(sim.all_of(procs))
+    assert len(done) == 64
+    assert driver.stats.completed == 64
+    assert driver.stats.doorbell_elided > 0
+    assert (driver.stats.doorbell_mmio + driver.stats.doorbell_elided) == 64
+
+
+def test_shadow_mode_completes_everything_at_driver_timings():
+    rig = build_native(1, num_io_queues=1,
+                       policy=SubmissionPolicy(doorbell="shadow"))
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 64)) == 64
+    assert driver.stats.completed == 64
+    # every submission either paid an MMIO or was elided — none lost
+    assert (driver.stats.doorbell_mmio + driver.stats.doorbell_elided) == 64
+
+
+def test_shadow_mode_survives_ring_wrap():
+    # 300 commands through an 8-deep ring: the shadow tail wraps the
+    # ring index dozens of times and the device must never miss a push
+    rig = build_native(1, queue_depth=8, num_io_queues=1,
+                       policy=SubmissionPolicy(doorbell="shadow"))
+    driver = rig.driver()
+
+    def flow():
+        for i in range(300):
+            info = yield driver.read(i % 64, 1)
+            assert info.ok
+
+    rig.sim.run(rig.sim.process(flow()))
+    assert driver.stats.completed == 300
+    assert not driver._pending
+
+
+# ----------------------------------------------------------------- batched
+def test_batched_mode_flushes_on_ring_full():
+    # batch_depth larger than the ring and no deadline timer: only the
+    # ring-full flush can make progress.  21 commands through 7 usable
+    # slots = 3 full-ring batches, so completion proves the flush fires
+    # (a count that is not a multiple of 7 would strand the tail, which
+    # is exactly what batch_timeout_ns exists to prevent)
+    rig = build_native(
+        1, queue_depth=8, num_io_queues=1,
+        policy=SubmissionPolicy(doorbell="batched", batch_depth=64,
+                                batch_timeout_ns=0),
+    )
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 21)) == 21
+    assert driver.stats.doorbell_mmio < 21
+    assert driver.stats.doorbell_elided > 0
+    assert not any(driver._unrung.values())  # nothing left stranded
+
+
+def test_batched_mode_deadline_flushes_partial_batch():
+    # a single submission never reaches batch_depth; without the
+    # deterministic deadline it would wait forever
+    rig = build_native(
+        1, num_io_queues=1,
+        policy=SubmissionPolicy(doorbell="batched", batch_depth=64,
+                                batch_timeout_ns=20_000),
+    )
+    driver = rig.driver()
+
+    def flow():
+        info = yield driver.read(0, 1)
+        assert info.ok
+        return info.latency_ns
+
+    latency = rig.sim.run(rig.sim.process(flow()))
+    assert driver.stats.completed == 1
+    # the command sat in the unrung batch until the deadline fired
+    assert latency >= 20_000
+
+
+def test_batched_mode_runs_to_completion_under_load():
+    rig = build_native(
+        1, num_io_queues=1,
+        policy=SubmissionPolicy(doorbell="batched", batch_depth=8,
+                                batch_timeout_ns=20_000),
+    )
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 100)) == 100
+    assert driver.stats.doorbell_mmio < 100
+
+
+# -------------------------------------------------------------- coalescing
+def test_coalescing_timer_fires_before_threshold():
+    # threshold far above the offered load: every IRQ comes from the
+    # aggregation timer, and the last CQEs are never stranded
+    rig = build_native(
+        1, num_io_queues=1,
+        policy=SubmissionPolicy(coalesce_threshold=32,
+                                coalesce_timeout_ns=8_000),
+    )
+    driver = rig.driver()
+
+    def flow():
+        for i in range(3):
+            info = yield driver.read(i, 1)
+            assert info.ok
+
+    rig.sim.run(rig.sim.process(flow()))
+    assert driver.stats.completed == 3
+    coalescers = [qp.cq._coalescer for qp in driver._qps.values()
+                  if qp.cq._coalescer is not None]
+    assert coalescers, "coalescing policy never engaged the CQ coalescer"
+    assert sum(c.timer_fires for c in coalescers) >= 3
+    assert sum(c.fired for c in coalescers) == driver.stats.interrupts
+
+
+def test_coalescing_threshold_batches_interrupts():
+    rig = build_native(
+        1, num_io_queues=1,
+        policy=SubmissionPolicy(coalesce_threshold=4,
+                                coalesce_timeout_ns=50_000),
+    )
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 64)) == 64
+    # 64 completions arrive in far fewer IRQs than completions
+    assert driver.stats.interrupts < 64
+
+
+# ------------------------------------------------------- checker coverage
+def test_ring_checker_shadows_the_batched_and_coalesced_paths():
+    ctx = CheckContext(checkers=["ring"])
+    rig = build_native(
+        1, num_io_queues=1, checks=ctx,
+        policy=SubmissionPolicy(doorbell="batched", batch_depth=4,
+                                batch_timeout_ns=20_000,
+                                coalesce_threshold=4,
+                                coalesce_timeout_ns=8_000),
+    )
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 32)) == 32
+    assert ctx.summary()["ring"] > 0
+
+
+def test_ring_checker_shadows_the_shadow_doorbell_path():
+    ctx = CheckContext(checkers=["ring"])
+    rig = build_native(1, num_io_queues=1, checks=ctx,
+                       policy=SubmissionPolicy(doorbell="shadow"))
+    driver = rig.driver()
+    assert len(_drain(rig, driver, 32)) == 32
+    assert ctx.summary()["ring"] > 0
