@@ -19,7 +19,9 @@ refuses to compare snapshots taken at different scales.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import time
 from typing import Any, Optional, Sequence
 
@@ -27,7 +29,7 @@ from .experiments.common import time_scale
 from .runner import RunSpec, run_one
 
 __all__ = ["BENCH_SCHEMES", "QUICK_BENCH_CASES", "run_bench", "compare",
-           "bench_filename"]
+           "compare_meta", "bench_filename"]
 
 #: schemes the gate tracks: the native fast path, the full engine, and
 #: the engine's I/O-queue passthrough mode
@@ -45,6 +47,21 @@ def bench_filename(stamp: Optional[str] = None) -> str:
     return f"BENCH_{stamp}.json"
 
 
+def _git_sha() -> Optional[str]:
+    """The commit being measured: CI's GITHUB_SHA, else git, else None."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
 def run_bench(
     schemes: Sequence[str] = BENCH_SCHEMES,
     cases: Optional[Sequence[str]] = None,
@@ -52,18 +69,31 @@ def run_bench(
     seed: int = 7,
     obs_mode: str = "counters",
     policy: Optional[str] = None,
+    repeats: int = 1,
 ) -> dict[str, Any]:
-    """Run the benchmark grid sequentially; returns the snapshot dict."""
+    """Run the benchmark grid sequentially; returns the snapshot dict.
+
+    ``repeats`` > 1 runs each cell that many times and keeps the best
+    wall clock: the minimum is the least contaminated by scheduler
+    noise and collector pauses, which is what a regression gate should
+    track (the simulation itself is deterministic, so every repeat
+    produces the identical payload).
+    """
     if cases is None:
         cases = QUICK_BENCH_CASES
+    repeats = max(1, int(repeats))
     runs = []
     for case in cases:
         for scheme in schemes:
             spec = RunSpec(scheme=scheme, case=case, seed=seed,
                            obs_mode=obs_mode, policy=policy)
-            t0 = time.perf_counter()
-            payload = run_one(spec)
-            wall_s = time.perf_counter() - t0
+            wall_s = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                payload = run_one(spec)
+                rep_wall = time.perf_counter() - t0
+                if wall_s is None or rep_wall < wall_s:
+                    wall_s = rep_wall
             events = payload["sim_events"]
             runs.append({
                 "scheme": scheme,
@@ -83,6 +113,8 @@ def run_bench(
         "time_scale": time_scale(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "repeats": repeats,
+        "git_sha": _git_sha(),
         "runs": runs,
         "totals": {
             "wall_s": round(total_wall, 4),
@@ -92,6 +124,26 @@ def run_bench(
             ),
         },
     }
+
+
+def compare_meta(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Environment-mismatch *warnings* (never failures).
+
+    A different interpreter or CPU architecture shifts events/sec
+    wholesale, so the tolerance-based gate is advisory across such a
+    boundary — but the ``sim_events`` drift check in :func:`compare`
+    stays a hard error regardless: event counts are machine-independent.
+    """
+    warnings: list[str] = []
+    for key in ("python", "machine"):
+        cur, base = current.get(key), baseline.get(key)
+        if cur != base:
+            warnings.append(
+                f"{key} mismatch: current {cur!r} vs baseline {base!r}; "
+                "events/sec comparison is advisory (consider refreshing "
+                "the baseline on this environment)"
+            )
+    return warnings
 
 
 def compare(current: dict[str, Any], baseline: dict[str, Any],

@@ -1,0 +1,71 @@
+"""Markdown perf-trend table: ``python -m repro.bench_summary``.
+
+CI's bench job appends this module's output to ``$GITHUB_STEP_SUMMARY``
+so every run shows its per-(scheme, case) events/sec against the
+committed baseline — drift that stays inside the 25% regression cliff
+is still visible as a trend instead of vanishing into a green check.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+from . import bench
+
+__all__ = ["trend_table"]
+
+
+def _sha_label(snapshot: dict[str, Any]) -> str:
+    sha = snapshot.get("git_sha")
+    return sha[:12] if sha else "?"
+
+
+def trend_table(current: dict[str, Any], baseline: dict[str, Any]) -> str:
+    """GitHub-flavoured markdown comparing two bench snapshots."""
+    lines = [
+        f"### Kernel bench trend (`{_sha_label(current)}` vs baseline "
+        f"`{_sha_label(baseline)}`)",
+        "",
+        f"obs={current.get('obs_mode')}, time_scale={current.get('time_scale')}, "
+        f"repeats={current.get('repeats', 1)}",
+        "",
+        "| scheme | case | baseline ev/s | current ev/s | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    base_by_cell = {(r["scheme"], r["case"]): r for r in baseline["runs"]}
+    for run in current["runs"]:
+        base = base_by_cell.get((run["scheme"], run["case"]))
+        if base is None or not base.get("events_per_sec"):
+            base_col, delta = "n/a", "n/a"
+        else:
+            base_col = f"{base['events_per_sec']:,}"
+            delta = f"{run['events_per_sec'] / base['events_per_sec'] - 1:+.1%}"
+        lines.append(
+            f"| {run['scheme']} | {run['case']} | {base_col} | "
+            f"{run['events_per_sec']:,} | {delta} |"
+        )
+    cur_total = current.get("totals", {}).get("events_per_sec")
+    base_total = baseline.get("totals", {}).get("events_per_sec")
+    if cur_total and base_total:
+        lines.append(
+            f"| **total** | | {base_total:,} | {cur_total:,} | "
+            f"{cur_total / base_total - 1:+.1%} |"
+        )
+    for warning in bench.compare_meta(current, baseline):
+        lines.append("")
+        lines.append(f"> :warning: {warning}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: python -m repro.bench_summary CURRENT.json BASELINE.json",
+              file=sys.stderr)
+        return 2
+    sys.stdout.write(trend_table(bench.load(argv[0]), bench.load(argv[1])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

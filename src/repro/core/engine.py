@@ -25,7 +25,7 @@ from typing import Optional
 
 from ..host.environment import Host
 from ..host.memory import BufferPool, HostMemory
-from ..nvme.command import CQE, SQE
+from ..nvme.command import CQE, SQE, alloc_cqe, alloc_sqe
 from ..nvme.namespace import Namespace
 from ..nvme.prp import PRPList, pages_for
 from ..nvme.spec import CQE_BYTES, LBA_BYTES, SQE_BYTES, IOOpcode, StatusCode
@@ -169,6 +169,13 @@ class BMSEngine:
         self.sim: Simulator = host.sim
         self.host = host
         self.name = name
+        # hot-path process names resolved once, not per command
+        self._ptdb_pname = name + ".ptdb"
+        self._fetch_pname = name + ".fetch"
+        self._cmd_pname = name + ".cmd"
+        self._dmaw_pname = name + ".dmaw"
+        self._dmarp_pname = name + ".dmarp"
+        self._cqe_pname = name + ".cqe"
         self.timings = timings
         self.zero_copy = zero_copy
         self.chunk_bytes = chunk_bytes
@@ -510,10 +517,9 @@ class BMSEngine:
         if qid != 0 and fn.passthrough is not None:
             # passthrough: no SQE fetch, no pipeline — just relay the
             # doorbell to the mapped device queue
-            self.sim.process(self._passthrough_db(fn, qid),
-                             name=f"{self.name}.ptdb")
+            self.sim.spawn(self._passthrough_db(fn, qid), name=self._ptdb_pname)
             return
-        self.sim.process(self._fetch_loop(fn, qid, qp), name=f"{self.name}.fetch")
+        self.sim.spawn(self._fetch_loop(fn, qid, qp), name=self._fetch_pname)
 
     def _passthrough_db(self, fn: FrontEndFunction, qid: int):
         yield self.sim.timeout(self.timings.passthrough_db_ns)
@@ -532,11 +538,12 @@ class BMSEngine:
 
     def _fetch_loop(self, fn: FrontEndFunction, qid: int, qp):
         yield self.sim.timeout(self.timings.doorbell_ns)
+        sq = qp.sq
         while True:
-            while not qp.sq.is_empty:
-                addr = qp.sq.consume_addr()
-                self.sim.process(self._process_cmd(fn, qid, addr),
-                                 name=f"{self.name}.cmd")
+            while sq.tail != sq.head:
+                addr = sq.consume_addr()
+                self.sim.spawn(self._process_cmd(fn, qid, addr),
+                               name=self._cmd_pname)
                 yield self.sim.timeout(self.timings.issue_ns)
             # shadow-doorbell rings re-check after arming the wakeup so
             # tails published without an MMIO are never stranded
@@ -548,7 +555,7 @@ class BMSEngine:
         sqe = yield self.front_port.mem_read(sqe_addr, SQE_BYTES)
         if not isinstance(sqe, SQE):
             raise SimulationError(f"{self.name}: no SQE at {sqe_addr:#x}")
-        span = getattr(sqe, "span", None)
+        span = sqe.span
         if span is not None:
             span.stamp("doorbell", t_start)
         yield from self.target_controller.dispatch(fn, qid, sqe)
@@ -558,7 +565,7 @@ class BMSEngine:
         ens = self.namespaces.get(fn.ns_key) if fn.ns_key else None
         if ens is None:
             self.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.INVALID_NAMESPACE), 0,
-                                span=getattr(sqe, "span", None))
+                                span=sqe.span)
             return
 
         # FLUSH fans out to every SSD backing the namespace
@@ -573,7 +580,7 @@ class BMSEngine:
         self._pipeline.release()
         yield self.sim.timeout(self.timings.pipeline_ns)
 
-        span = getattr(sqe, "span", None)
+        span = sqe.span
         # ② LBA mapping
         try:
             extents = ens.table.translate_extent(sqe.slba, nblocks)
@@ -628,7 +635,7 @@ class BMSEngine:
             payload = None
             if sqe.payload is not None:
                 payload = sqe.payload[block_off * LBA_BYTES :][:frag_len]
-            fwd = SQE(
+            fwd = alloc_sqe(
                 opcode=sqe.opcode, cid=0, nsid=1, slba=plba, nlb=cnt - 1,
                 prp1=prp1g, prp2=prp2g, payload=payload,
                 submit_time_ns=self.sim.now,
@@ -648,8 +655,8 @@ class BMSEngine:
         ssd_ids = sorted({ssd_id for ssd_id, _ in ens.chunks})
         state = {"remaining": len(ssd_ids), "status": int(StatusCode.SUCCESS), "lists": []}
         for ssd_id in ssd_ids:
-            fwd = SQE(opcode=int(IOOpcode.FLUSH), cid=0, nsid=1,
-                      submit_time_ns=self.sim.now)
+            fwd = alloc_sqe(opcode=int(IOOpcode.FLUSH), cid=0, nsid=1,
+                            submit_time_ns=self.sim.now)
             self.adaptor.slot_for(ssd_id).forward(
                 fwd, self._make_fanin(fn, qid, sqe, state)
             )
@@ -664,7 +671,7 @@ class BMSEngine:
                     self._prp_pool.put(addr, size)
                 if state["status"] != int(StatusCode.SUCCESS):
                     self._fn_stats[fn.fn_id].errors += 1
-                span = getattr(sqe, "span", None)
+                span = sqe.span
                 if span is not None:
                     span.stamp("backend_done", self.sim.now)
                 self.post_front_cqe(fn, qid, sqe.cid, state["status"], 0,
@@ -700,8 +707,8 @@ class BMSEngine:
         if self._dma_model_by_fn.get(fn_id) == "descriptor":
             self._descriptor_engine().submit_write(host_addr, length, data)
             return
-        self.sim.process(self._route_write_proc(host_addr, length, data),
-                         name=f"{self.name}.dmaw")
+        self.sim.spawn(self._route_write_proc(host_addr, length, data),
+                       name=self._dmaw_pname)
 
     def _route_write_proc(self, host_addr: int, length: int, data):
         if not self.zero_copy:
@@ -734,8 +741,8 @@ class BMSEngine:
         if self._dma_model_by_fn.get(fn_id) == "descriptor":
             return self._descriptor_engine().submit_read(host_addr, length)
         done = self.sim.event(name=f"{self.name}.dmar")
-        self.sim.process(self._route_read_proc(host_addr, length, done),
-                         name=f"{self.name}.dmarp")
+        self.sim.spawn(self._route_read_proc(host_addr, length, done),
+                       name=self._dmarp_pname)
         return done
 
     def _route_read_proc(self, host_addr: int, length: int, done: Event):
@@ -755,9 +762,9 @@ class BMSEngine:
                        status: int, result: int,
                        span: Optional[IOSpan] = None) -> None:
         """Step ⑦: relay the completion into the host CQ + MSI-X."""
-        self.sim.process(
+        self.sim.spawn(
             self._post_cqe_proc(fn, qid, cid, status, result, span),
-            name=f"{self.name}.cqe",
+            name=self._cqe_pname,
         )
 
     def _post_cqe_proc(self, fn, qid, cid, status, result, span=None):
@@ -772,7 +779,7 @@ class BMSEngine:
         qp = fn.queue_pairs.get(qid)
         if qp is None:
             return
-        cqe = CQE(cid=cid, status=status, sqid=qid, sq_head=qp.sq.head, result=result)
+        cqe = alloc_cqe(cid, status, qp.sq.head, qid, result)
         target = qp.cq.slot_addr(qp.cq.tail)
         yield self.front_port.mem_write(target, CQE_BYTES, None)
         qp.cq.post_slot(cqe)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..nvme.command import SQE
+from ..nvme.command import SQE, free_cqe, free_sqe
 from ..nvme.queues import CompletionQueue, SubmissionQueue
 from ..nvme.spec import StatusCode
 from ..nvme.ssd import NVMeSSD
@@ -146,6 +146,7 @@ class BackendSlot:
             cb = self._admin_pending.pop(cqe.cid, None)
             if cb is not None:
                 cb(cqe.status)
+            free_cqe(cqe)
 
     def attach_ssd(self, ssd: NVMeSSD) -> None:
         if self.ssd is not None:
@@ -242,6 +243,11 @@ class BackendSlot:
                 ev, self._drain_event = self._drain_event, None
                 ev.succeed()
             ctx.on_complete(cqe.status)
+            # the forwarded command round-tripped: both ring entries are
+            # consumed and the device-side coroutine has exited, so the
+            # remapped SQE and its CQE can rejoin the free lists
+            free_sqe(ctx.sqe)
+            free_cqe(cqe)
 
 
 @dataclass

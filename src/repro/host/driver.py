@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Optional, Protocol
 
 from ..faults.plan import DriverFaultPolicy
-from ..nvme.command import CQE, SQE
+from ..nvme.command import CQE, SQE, alloc_sqe, free_cqe, free_sqe
 from ..nvme.namespace import Namespace
 from ..nvme.prp import build_prps
 from ..nvme.queues import CompletionQueue, QueuePair, SubmissionQueue
@@ -135,6 +135,9 @@ class NVMeDriver:
             checks.bind_pool(self._pool)
         self._lock = Resource(self.sim, 1, name=f"{name}.sqlock")
         self._pending: dict[tuple[int, int], dict[str, Any]] = {}
+        #: recycled per-I/O context dicts; every key is overwritten on
+        #: reuse, so entries may be returned without clearing
+        self._ctx_pool: list[dict[str, Any]] = []
         self._next_cid: dict[int, int] = {}
         self._qps: dict[int, QueuePair] = {}
         self._slots: dict[int, Resource] = {}
@@ -227,12 +230,12 @@ class NVMeDriver:
     ) -> Event:
         done = self.sim.event(name=self._io_event_name)
         if self.fault_policy is not None:
-            self.sim.process(
+            self.sim.spawn(
                 self._supervised_proc(opcode, lba, nblocks, payload, want_data, done),
                 name=self._iosup_pname,
             )
         else:
-            self.sim.process(
+            self.sim.spawn(
                 self._submit_proc(opcode, lba, nblocks, payload, want_data, done),
                 name=self._submit_pname,
             )
@@ -361,7 +364,7 @@ class NVMeDriver:
         cid = self._next_cid[qid] = (self._next_cid[qid] + 1) % 0xFFFF
         if handle is not None:
             handle["qid"], handle["cid"] = qid, cid
-        sqe = SQE(
+        sqe = alloc_sqe(
             opcode=opcode, cid=cid, nsid=self.nsid,
             slba=lba, nlb=max(0, nblocks - 1),
             prp1=prp1, prp2=prp2, payload=payload,
@@ -370,11 +373,17 @@ class NVMeDriver:
         if span is not None:
             sqe.span = span
         qp.sq.push(sqe)
-        self._pending[(qid, cid)] = {
-            "done": done, "start": start, "buf": buf,
-            "length": length, "want_data": want_data, "qid": qid,
-            "span": span,
-        }
+        pool = self._ctx_pool
+        ctx = pool.pop() if pool else {}
+        ctx["done"] = done
+        ctx["start"] = start
+        ctx["buf"] = buf
+        ctx["length"] = length
+        ctx["want_data"] = want_data
+        ctx["qid"] = qid
+        ctx["span"] = span
+        ctx["sqe"] = sqe
+        self._pending[(qid, cid)] = ctx
         self.stats.submitted += 1
         if self.obs is not None:
             self._c_submitted[qid].inc()
@@ -437,7 +446,7 @@ class NVMeDriver:
         self.stats.interrupts += 1
         if self.obs is not None:
             self._c_interrupts[qid].inc()
-        self.sim.process(self._irq_proc(qid), name=self._irq_pname)
+        self.sim.spawn(self._irq_proc(qid), name=self._irq_pname)
 
     def _irq_proc(self, qid: int):
         yield self.sim.timeout(self.kernel.irq_overhead_ns)
@@ -467,9 +476,12 @@ class NVMeDriver:
     def _finalize(self, qid: int, cqe: CQE):
         ctx = self._pending.pop((qid, cqe.cid), None)
         if ctx is None:
+            free_cqe(cqe)
             return
         self.stats.completed += 1
-        ok = cqe.status == int(StatusCode.SUCCESS)
+        status = cqe.status
+        ok = status == int(StatusCode.SUCCESS)
+        free_cqe(cqe)
         if not ok:
             self.stats.errors += 1
         data = None
@@ -489,7 +501,16 @@ class NVMeDriver:
             if not ok:
                 self._c_errors.inc()
             self._h_latency.observe(latency)
-        ctx["done"].succeed(CompletionInfo(ok, cqe.status, data, latency))
+        # the completed command's SQE is dead: the device fetched it (a
+        # CQE exists) and the consumer is past its ring slot, so it can
+        # rejoin the free list.  Timed-out commands never get here.
+        sqe = ctx.get("sqe")
+        if sqe is not None:
+            free_sqe(sqe)
+        done = ctx["done"]
+        if len(self._ctx_pool) < 256:
+            self._ctx_pool.append(ctx)
+        done.succeed(CompletionInfo(ok, status, data, latency))
 
     # ----------------------------------------------------------------- admin
     def admin(
@@ -519,6 +540,7 @@ class NVMeDriver:
         self._pending[(0, cid)] = {
             "done": done, "start": start, "buf": 0,
             "length": 0, "want_data": False, "qid": 0,
+            "span": None, "sqe": None,
         }
         self.stats.submitted += 1
         yield self.host.fabric.cpu_write(qp.sq_doorbell, 4)

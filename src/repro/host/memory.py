@@ -129,6 +129,10 @@ class HostMemory:
             offset += chunk
 
     def _gather(self, addr: int, length: int) -> Optional[bytes]:
+        if not self._pages:
+            # performance runs never scatter bytes: skip assembling a
+            # zero-filled buffer that would be discarded anyway
+            return None
         out = bytearray()
         offset = 0
         any_backed = False

@@ -4,19 +4,29 @@ These are the structured stand-ins for the 64-byte / 16-byte wire
 formats; the queue layer charges their real wire sizes when they move
 over PCIe.  PRP entries are genuine 64-bit integers so the BMS-Engine's
 global-PRP bit manipulation (paper Fig. 4b) operates on real addresses.
+
+Both entry types are recycled through module-level free lists
+(:func:`alloc_sqe` / :func:`free_sqe` and the CQE pair): the hot I/O
+path allocates one SQE and one CQE per command, and both are dead the
+moment the host driver finalizes the completion, so the ``counters``
+observability mode runs without per-I/O allocation.  Pooling contract:
+an entry may be freed only once, only by the component that finalizes
+it, and never while any ring slot between head and tail still names it
+— a timed-out command's SQE is therefore *never* freed (its stale ring
+entry can still be fetched after a hot-plug replay).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .spec import LBA_BYTES, StatusCode
 
-__all__ = ["SQE", "CQE"]
+__all__ = ["SQE", "CQE", "alloc_sqe", "free_sqe", "alloc_cqe", "free_cqe"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SQE:
     """Submission queue entry (the fields BM-Store routes/rewrites).
 
@@ -37,6 +47,8 @@ class SQE:
     submit_time_ns: int = 0
     cdw10: int = 0  # generic command dword (admin commands)
     cdw11: int = 0
+    #: sampled IOSpan riding on the command (observability only)
+    span: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def num_blocks(self) -> int:
@@ -48,10 +60,13 @@ class SQE:
 
     def remapped(self, slba: int, prp1: int, prp2: int) -> "SQE":
         """A copy with rewritten LBA/PRPs — what the BMS-Engine forwards."""
-        return replace(self, slba=slba, prp1=prp1, prp2=prp2)
+        return SQE(opcode=self.opcode, cid=self.cid, nsid=self.nsid,
+                   slba=slba, nlb=self.nlb, prp1=prp1, prp2=prp2,
+                   payload=self.payload, submit_time_ns=self.submit_time_ns,
+                   cdw10=self.cdw10, cdw11=self.cdw11)
 
 
-@dataclass
+@dataclass(slots=True)
 class CQE:
     """Completion queue entry."""
 
@@ -65,3 +80,61 @@ class CQE:
     @property
     def ok(self) -> bool:
         return self.status == int(StatusCode.SUCCESS)
+
+
+# ---------------------------------------------------------------- free lists
+_SQE_POOL: list = []
+_CQE_POOL: list = []
+_POOL_CAP = 4096
+
+
+def alloc_sqe(opcode: int, cid: int, nsid: int, slba: int = 0, nlb: int = 0,
+              prp1: int = 0, prp2: int = 0, payload: Optional[bytes] = None,
+              submit_time_ns: int = 0, cdw10: int = 0, cdw11: int = 0) -> SQE:
+    """A fully-initialized SQE, recycled from the free list when possible."""
+    if _SQE_POOL:
+        sqe = _SQE_POOL.pop()
+        sqe.opcode = opcode
+        sqe.cid = cid
+        sqe.nsid = nsid
+        sqe.slba = slba
+        sqe.nlb = nlb
+        sqe.prp1 = prp1
+        sqe.prp2 = prp2
+        sqe.payload = payload
+        sqe.submit_time_ns = submit_time_ns
+        sqe.cdw10 = cdw10
+        sqe.cdw11 = cdw11
+        sqe.span = None
+        return sqe
+    return SQE(opcode=opcode, cid=cid, nsid=nsid, slba=slba, nlb=nlb,
+               prp1=prp1, prp2=prp2, payload=payload,
+               submit_time_ns=submit_time_ns, cdw10=cdw10, cdw11=cdw11)
+
+
+def free_sqe(sqe: SQE) -> None:
+    if len(_SQE_POOL) < _POOL_CAP:
+        sqe.payload = None
+        sqe.span = None
+        _SQE_POOL.append(sqe)
+
+
+def alloc_cqe(cid: int, status: int, sq_head: int, sqid: int,
+              result: int = 0) -> CQE:
+    """A CQE ready for :meth:`CompletionQueue.post_slot` (phase stamped there)."""
+    if _CQE_POOL:
+        cqe = _CQE_POOL.pop()
+        cqe.cid = cid
+        cqe.status = status
+        cqe.sq_head = sq_head
+        cqe.sqid = sqid
+        cqe.phase = 1
+        cqe.result = result
+        return cqe
+    return CQE(cid=cid, status=status, sq_head=sq_head, sqid=sqid,
+               result=result)
+
+
+def free_cqe(cqe: CQE) -> None:
+    if len(_CQE_POOL) < _POOL_CAP:
+        _CQE_POOL.append(cqe)

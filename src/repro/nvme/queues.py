@@ -48,6 +48,7 @@ class SubmissionQueue:
         self.db_armed = True
         # producers blocked on a full ring (FIFO; woken on head advance)
         self._space_waiters: list = []
+        self._space_name = f"sq{sqid}.space"
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * SQE_BYTES
@@ -67,12 +68,14 @@ class SubmissionQueue:
     def push(self, sqe: SQE) -> int:
         """Write an entry at the tail; returns the slot address."""
         if self.checks is not None:
-            self.checks.on_sq_push(self, span=getattr(sqe, "span", None))
-        if self.is_full:
+            self.checks.on_sq_push(self, span=sqe.span)
+        depth = self.depth
+        tail = self.tail
+        if (tail + 1) % depth == self.head % depth:
             raise SimulationError(f"SQ{self.sqid} full")
-        addr = self.slot_addr(self.tail)
+        addr = self.base + (tail % depth) * SQE_BYTES
         self.memory.store_obj(addr, sqe)
-        self.tail = (self.tail + 1) % self.depth
+        self.tail = (tail + 1) % depth
         return addr
 
     def wait_space(self, sim):
@@ -86,7 +89,7 @@ class SubmissionQueue:
         driver blocks the request when the ring is full; this is that
         block.
         """
-        ev = sim.event(name=f"sq{self.sqid}.space")
+        ev = sim.pooled_event(name=self._space_name)
         self._space_waiters.append(ev)
         return ev
 
@@ -95,10 +98,11 @@ class SubmissionQueue:
         """Address of the entry at head; advances head."""
         if self.checks is not None:
             self.checks.on_sq_consume(self)
-        if self.is_empty:
+        head = self.head
+        if self.tail == head:
             raise SimulationError(f"SQ{self.sqid} empty")
-        addr = self.slot_addr(self.head)
-        self.head = (self.head + 1) % self.depth
+        addr = self.base + (head % self.depth) * SQE_BYTES
+        self.head = (head + 1) % self.depth
         if self._space_waiters:
             waiters, self._space_waiters = self._space_waiters, []
             for ev in waiters:
@@ -169,29 +173,36 @@ class CompletionQueue:
         """
         if self.checks is not None:
             self.checks.on_cq_post(self, cqe)
-        if self.is_full:
+        depth = self.depth
+        tail = self.tail
+        if (tail + 1) % depth == self.head % depth:
             raise SimulationError(
                 f"CQ{self.cqid} full: completion would overwrite an "
                 f"unconsumed entry (depth {self.depth})"
             )
         cqe.phase = self._device_phase
-        addr = self.slot_addr(self.tail)
+        addr = self.base + (tail % depth) * CQE_BYTES
         self.memory.store_obj(addr, cqe)
-        self.tail = (self.tail + 1) % self.depth
-        if self.tail == 0:
+        self.tail = tail = (tail + 1) % depth
+        if tail == 0:
             self._device_phase ^= 1
         return addr
 
     # host side ----------------------------------------------------------------
     def poll(self) -> Optional[CQE]:
         """Return the next completion if its phase bit matches, else None."""
-        addr = self.slot_addr(self.head)
+        head = self.head
+        addr = self.base + (head % self.depth) * CQE_BYTES
         entry = self.memory.load_obj(addr)
         if not isinstance(entry, CQE) or entry.phase != self._host_phase:
             return None
         if self.checks is not None:
             self.checks.on_cq_poll(self, entry)
-        self.head = (self.head + 1) % self.depth
+        # clear the consumed slot: once the host owns the entry the ring
+        # must not alias it, or recycling the CQE would plant a stale
+        # object a later wrap could mistake for a fresh completion
+        self.memory.pop_obj(addr)
+        self.head = (head + 1) % self.depth
         if self.head == 0:
             self._host_phase ^= 1
         return entry

@@ -23,7 +23,7 @@ from ..pcie.fabric import PCIeFabric, Port
 from ..pcie.function import PCIeFunction
 from ..sim import Event, SimulationError, Simulator, StreamFactory
 from ..sim.units import sec
-from .command import CQE, SQE
+from .command import SQE, alloc_cqe
 from .firmware import FirmwareImage, FirmwareSlots
 from .flash import FlashBackend, FlashProfile, P4510_PROFILE
 from .namespace import Namespace
@@ -101,6 +101,7 @@ class NVMeSSD:
     ):
         self.sim = sim
         self.name = name
+        self._cmd_pname = name + ".cmd"
         self.profile = profile
         self.port: Port = fabric.attach(name, lanes=lanes)
         self.flash = FlashBackend(sim, profile, streams.stream(f"{name}.flash"), name=f"{name}.flash")
@@ -171,11 +172,14 @@ class NVMeSSD:
         qp = self._queues.get(qid)
         if qp is None:
             return
+        sq = qp.sq
+        spawn = self.sim.spawn
         while True:
-            while not qp.sq.is_empty:
-                addr = qp.sq.consume_addr()
-                self.sim.process(self._execute(qid, qp, addr),
-                                 name=f"{self.name}.cmd")
+            # batch-consume every published SQE before touching the
+            # shadow-doorbell state: one doorbell pays for the whole burst
+            while sq.tail != sq.head:
+                addr = sq.consume_addr()
+                spawn(self._execute(qid, qp, addr), name=self._cmd_pname)
             # shadow-doorbell rings re-check after arming the wakeup so
             # entries published without an MMIO are never stranded
             if not (qp.sq.shadow_mode and qp.sq.rearm_doorbell()):
@@ -197,7 +201,7 @@ class NVMeSSD:
             if (
                 qid != 0
                 and self.faults is not None
-                and self.faults.drop_command(self.name, span=getattr(sqe, "span", None))
+                and self.faults.drop_command(self.name, span=sqe.span)
             ):
                 # injected command loss: the drive swallows the command
                 # and never posts a CQE; only a host-side timeout recovers
@@ -221,7 +225,7 @@ class NVMeSSD:
             # drive's TLPs no longer route anywhere, so the CQE never
             # lands — only the host driver's timeout recovers
             return
-        cqe = CQE(cid=sqe.cid, status=status, sq_head=qp.sq.head, sqid=qid, result=result)
+        cqe = alloc_cqe(sqe.cid, status, qp.sq.head, qid, result)
         if status != int(StatusCode.SUCCESS):
             self.stats.errors += 1
         # DMA the CQE into the completion ring, then make it host-visible.
@@ -247,7 +251,7 @@ class NVMeSSD:
         if ns is None:
             return int(StatusCode.INVALID_NAMESPACE), 0
         opcode = sqe.opcode
-        span = getattr(sqe, "span", None)
+        span = sqe.span
         if opcode == int(IOOpcode.FLUSH):
             yield from self.flash.flush()
             if span is not None:
@@ -333,7 +337,7 @@ class NVMeSSD:
             pages = [sqe.prp1, *entry.entries[: npages - 1]]
         if self.checks is not None:
             self.checks.on_prp_chain(
-                pages, length, span=getattr(sqe, "span", None),
+                pages, length, span=sqe.span,
                 memory_name=None, where=self.name,
             )
         if translation is not None:

@@ -131,6 +131,16 @@ class PCIeFabric:
         self._ports: list[Port] = []
         self._root_handler: Optional[AddressHandler] = None
         self._root_vdm_handler: Optional[Callable[[VendorDefinedMessage], None]] = None
+        # addr -> (handler, port) memo: ring slots, doorbells and DMA
+        # buffers hit the same addresses constantly; invalidated when
+        # the window list or root handler changes
+        self._resolve_cache: dict[int, tuple[AddressHandler, Optional[Port]]] = {}
+        # constant event labels (an f-string per transaction is pure
+        # allocation churn on the hot path)
+        self._wr_name = name + ":wr"
+        self._rd_name = name + ":rd"
+        self._cpuwr_name = name + ":cpuwr"
+        self._cpurd_name = name + ":cpurd"
 
     # -- topology ----------------------------------------------------------
     def attach(self, name: str, lanes: int = 4) -> Port:
@@ -148,6 +158,7 @@ class PCIeFabric:
     def set_root_handler(self, handler: AddressHandler) -> None:
         """Claim all unclaimed addresses (host DRAM / engine chip space)."""
         self._root_handler = handler
+        self._resolve_cache.clear()
 
     def set_root_vdm_handler(self, handler: Callable[[VendorDefinedMessage], None]) -> None:
         self._root_vdm_handler = handler
@@ -160,22 +171,32 @@ class PCIeFabric:
                     f"[{existing.base:#x},{existing.end:#x})"
                 )
         self._windows.append(window)
+        self._resolve_cache.clear()
 
     def _resolve(self, addr: int) -> tuple[AddressHandler, Optional[Port]]:
+        cache = self._resolve_cache
+        hit = cache.get(addr)
+        if hit is not None:
+            return hit
         for window in self._windows:
             if window.contains(addr):
-                return window.handler, window.port
-        if self._root_handler is None:
-            raise SimulationError(
-                f"{self.name}: no window claims address {addr:#x} and no root handler"
-            )
-        return self._root_handler, None
+                result = (window.handler, window.port)
+                break
+        else:
+            if self._root_handler is None:
+                raise SimulationError(
+                    f"{self.name}: no window claims address {addr:#x} and no root handler"
+                )
+            result = (self._root_handler, None)
+        if len(cache) < 65536:
+            cache[addr] = result
+        return result
 
     # -- routed transactions -------------------------------------------------
     def _routed_write(self, src: Port, addr: int, length: int, data: Optional[bytes]) -> Event:
         handler, dst_port = self._resolve(addr)
         nbytes = wire_bytes(length)
-        done = self.sim.event(name=f"{self.name}:wr@{addr:#x}")
+        done = self.sim.pooled_event(self._wr_name)
 
         def deliver(_ev: Event) -> None:
             handler.mem_write(addr, length, data)
@@ -194,7 +215,7 @@ class PCIeFabric:
 
     def _routed_read(self, src: Port, addr: int, length: int) -> Event:
         handler, dst_port = self._resolve(addr)
-        done = self.sim.event(name=f"{self.name}:rd@{addr:#x}")
+        done = self.sim.pooled_event(self._rd_name)
         req_bytes = wire_bytes(0)
         cpl_bytes = wire_bytes(length)
 
@@ -240,7 +261,7 @@ class PCIeFabric:
         """MMIO write from the host CPU (e.g. a doorbell)."""
         handler, dst_port = self._resolve(addr)
         nbytes = wire_bytes(length)
-        done = self.sim.event(name=f"{self.name}:cpuwr@{addr:#x}")
+        done = self.sim.pooled_event(self._cpuwr_name)
 
         def deliver(_ev: Event) -> None:
             handler.mem_write(addr, length, data)
@@ -256,7 +277,7 @@ class PCIeFabric:
     def cpu_read(self, addr: int, length: int) -> Event:
         """MMIO/DRAM read from the host CPU."""
         handler, dst_port = self._resolve(addr)
-        done = self.sim.event(name=f"{self.name}:cpurd@{addr:#x}")
+        done = self.sim.pooled_event(self._cpurd_name)
 
         def complete(_ev: Event) -> None:
             done.succeed(handler.mem_read(addr, length))

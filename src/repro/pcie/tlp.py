@@ -34,16 +34,30 @@ TLP_HEADER_BYTES = 24
 MAX_PAYLOAD_BYTES = 256
 
 
+#: wire_bytes is pure and sees the same handful of payload sizes over
+#: and over (ring entries, PRP pages, doorbells); memoize the default-
+#: max-payload results
+_WIRE_CACHE: dict = {}
+
+
 def wire_bytes(payload_len: int, max_payload: int = MAX_PAYLOAD_BYTES) -> int:
     """Bytes occupied on the link by ``payload_len`` bytes of payload.
 
     A zero-length transaction (doorbell write header, read request)
     still costs one header.
     """
+    if max_payload == MAX_PAYLOAD_BYTES:
+        cached = _WIRE_CACHE.get(payload_len)
+        if cached is not None:
+            return cached
     if payload_len <= 0:
-        return TLP_HEADER_BYTES
-    segments = math.ceil(payload_len / max_payload)
-    return payload_len + segments * TLP_HEADER_BYTES
+        result = TLP_HEADER_BYTES
+    else:
+        segments = math.ceil(payload_len / max_payload)
+        result = payload_len + segments * TLP_HEADER_BYTES
+    if max_payload == MAX_PAYLOAD_BYTES and len(_WIRE_CACHE) < 4096:
+        _WIRE_CACHE[payload_len] = result
+    return result
 
 
 class TLPType(enum.Enum):

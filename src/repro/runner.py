@@ -19,6 +19,7 @@ that does not pass one explicitly (experiments, the benchmark suite).
 
 from __future__ import annotations
 
+import gc
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
@@ -91,9 +92,19 @@ def run_one(spec: RunSpec) -> dict[str, Any]:
         from .faults import get_preset
 
         kwargs["faults"] = get_preset(spec.faults)
-    case = run_case(spec.scheme, fio_spec, seed=spec.seed,
-                    obs_mode=spec.obs_mode, span_sample=spec.span_sample,
-                    checks=spec.checks, policy=spec.policy, **kwargs)
+    # the hot path recycles its per-I/O objects through free lists, so
+    # cyclic garbage barely accumulates during a run; pausing the
+    # collector avoids full-heap scans mid-simulation (results are
+    # payload-identical — GC timing never influences event order)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        case = run_case(spec.scheme, fio_spec, seed=spec.seed,
+                        obs_mode=spec.obs_mode, span_sample=spec.span_sample,
+                        checks=spec.checks, policy=spec.policy, **kwargs)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     lat = case.latency
     return {
         "scheme": spec.scheme,

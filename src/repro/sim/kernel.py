@@ -8,32 +8,56 @@ kernel resumes a process when the event it waits on fires.
 Simulated time is an integer number of **nanoseconds**.  Using integers
 keeps event ordering exact and runs reproducible.
 
+Schedulers
+----------
+Two interchangeable event queues implement the same total order
+``(time, seq)``; select with ``REPRO_SCHED=heap|wheel`` (default
+``wheel``) or ``Simulator(sched=...)``:
+
+* ``heap`` — the reference implementation: one binary heap of
+  ``(time, seq, event)`` tuples.  Simple, obviously correct, kept
+  forever as the oracle the wheel is byte-compared against in CI.
+* ``wheel`` — a calendar queue tuned to the simulator's bimodal delay
+  distribution.  Near-term events (pipeline stages, doorbells, link
+  serialization — almost always within a few microseconds) land in
+  128 ns-wide slots inside a bounded calendar window; each occupied
+  slot is one dict bucket, and a small heap of slot numbers replaces
+  the big event heap.  Far-future events (flash service tails,
+  firmware activation timers) overflow into a plain heap and cascade
+  into the window in batches as the clock reaches them.  Ordering is
+  exactly ``(time, seq)``: the slot being drained is kept as a wee
+  heap so same-slot inserts stay ordered.
+
 Fast path
 ---------
 The per-event cost of this loop is the wall-clock of the whole repo, so
 the dispatch machinery is deliberately flat:
 
 * **Now-bucket**: the majority of schedules are zero-delay (completion
-  deliveries, process bootstraps, replays).  Those bypass the heap into
-  a FIFO *bucket for the current instant*; only genuinely future events
-  pay the ``heapq`` push/pop.  Ordering stays exactly ``(time, seq)``:
-  when the heap head shares the current timestamp the dispatcher picks
-  whichever side holds the lower sequence number.
+  deliveries, process bootstraps, replays).  Those bypass the scheduler
+  into a FIFO *bucket for the current instant* holding bare events
+  (the sequence number rides on ``event._seq``); only genuinely future
+  events pay the scheduler insert.
 * **Inlined dispatch**: :meth:`Simulator.run` and
   :meth:`Simulator.step` run callbacks inline rather than bouncing
   through per-event helper calls.
-* **Timeout pooling**: processed :class:`Timeout` objects created via
-  :meth:`Simulator.timeout` are recycled through a free list, so the
-  dominant ``yield sim.timeout(d)`` pattern stops allocating.  Events
-  referenced by conditions or by ``run(until=event)`` are pinned and
-  never recycled.  Holding a timeout object *after* it fired and
-  inspecting it later is not supported for pooled timeouts (pin it
-  with ``t.pin()`` if you must).
+* **Object pooling**: processed :class:`Timeout` objects (the dominant
+  ``yield sim.timeout(d)`` pattern), generic events handed out by
+  :meth:`Simulator.pooled_event` / :meth:`Simulator.fired_event`, and
+  fire-and-forget processes started with :meth:`Simulator.spawn` are
+  all recycled through per-simulator free lists, so steady-state
+  dispatch allocates nothing.  The pooling invariant: **a pooled
+  object must not be referenced after its event is dispatched** — no
+  reading ``.value`` later, no late ``cancel()``, no stashing it in a
+  container that outlives the dispatch.  Events referenced by
+  conditions or by ``run(until=event)`` are pinned and never recycled;
+  call :meth:`Event.pin` to keep one alive for inspection.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -48,8 +72,14 @@ __all__ = [
     "Simulator",
 ]
 
-#: recycled-Timeout free list cap per simulator (bounds idle memory)
+#: recycled-object free list caps per simulator (bound idle memory)
 _TIMEOUT_POOL_CAP = 512
+_EVENT_POOL_CAP = 1024
+_PROCESS_POOL_CAP = 512
+
+#: calendar-queue geometry: 128 ns slots, 4096-slot window (~524 us)
+_WHEEL_SHIFT = 7
+_WHEEL_SLOTS = 4096
 
 
 class SimulationError(Exception):
@@ -77,7 +107,8 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
-                 "_processed", "_defunct", "_pinned", "name")
+                 "_processed", "_defunct", "_pinned", "_recycle", "_seq",
+                 "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -88,6 +119,7 @@ class Event:
         self._processed = False
         self._defunct = False
         self._pinned = False
+        self._recycle = 0
         self.name = name
 
     # -- state ----------------------------------------------------------
@@ -124,13 +156,14 @@ class Event:
         self._triggered = True
         self._value = value
         sim = self.sim
-        sim._seq += 1
         if delay == 0:
-            sim._nowq.append((sim._seq, self))
+            sim._seq = seq = sim._seq + 1
+            self._seq = seq
+            sim._nowq.append(self)
         else:
             if delay < 0:
                 raise SimulationError(f"cannot schedule into the past (delay={delay})")
-            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
+            sim._insert(sim.now + int(delay), self)
         return self
 
     def fail(self, exc: Any, delay: int = 0) -> "Event":
@@ -148,13 +181,14 @@ class Event:
         self._ok = False
         self._value = exc
         sim = self.sim
-        sim._seq += 1
         if delay == 0:
-            sim._nowq.append((sim._seq, self))
+            sim._seq = seq = sim._seq + 1
+            self._seq = seq
+            sim._nowq.append(self)
         else:
             if delay < 0:
                 raise SimulationError(f"cannot schedule into the past (delay={delay})")
-            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
+            sim._insert(sim.now + int(delay), self)
         return self
 
     def cancel(self) -> None:
@@ -210,13 +244,15 @@ class Timeout(Event):
         self._processed = False
         self._defunct = False
         self._pinned = False
+        self._recycle = 1
         self._delay = delay
         self.name = "Timeout"
-        sim._seq += 1
         if delay == 0:
-            sim._nowq.append((sim._seq, self))
+            sim._seq = seq = sim._seq + 1
+            self._seq = seq
+            sim._nowq.append(self)
         else:
-            heapq.heappush(sim._heap, (sim._now + int(delay), sim._seq, self))
+            sim._insert(sim.now + int(delay), self)
 
     @property
     def delay(self) -> int:
@@ -231,7 +267,7 @@ class Process(Event):
     failed, the exception is thrown into the generator.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_rcb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
@@ -239,10 +275,13 @@ class Process(Event):
             raise SimulationError(f"process target {generator!r} is not a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # one bound-method allocation for the lifetime of the process
+        # (every wait re-uses it as the callback)
+        self._rcb = self._resume
         # Bootstrap: resume once at the current time (a pooled
         # zero-delay timeout doubles as the init poke).
         init = sim.timeout(0)
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._rcb)
 
     @property
     def is_alive(self) -> bool:
@@ -255,18 +294,17 @@ class Process(Event):
         waited = self._waiting_on
         if waited is not None and waited.callbacks is not None:
             try:
-                waited.callbacks.remove(self._resume)
+                waited.callbacks.remove(self._rcb)
             except ValueError:
                 pass
         self._waiting_on = None
         poke = Event(self.sim, name="interrupt")
-        poke.callbacks.append(self._resume)
+        poke.callbacks.append(self._rcb)
         poke.fail(Interrupt(cause))
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
         sim = self.sim
-        sim._active_process = self
         try:
             if trigger._ok:
                 target = self._generator.send(trigger._value)
@@ -278,18 +316,15 @@ class Process(Event):
                     )
                 target = self._generator.throw(err)
         except StopIteration as stop:
-            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            sim._active_process = None
             if self.callbacks or not sim.strict:
                 # someone is waiting (or the user opted out of strict
                 # crash-on-unobserved): deliver the failure to them
                 self.fail(exc)
                 return
             raise
-        sim._active_process = None
 
         if not isinstance(target, Event):
             self._generator.close()
@@ -305,11 +340,11 @@ class Process(Event):
             else:
                 poke = Event(sim, name="replay")
                 poke.fail(target._value)
-            poke.callbacks.append(self._resume)
+            poke.callbacks.append(self._rcb)
             self._waiting_on = poke
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._rcb)
 
 
 class _Condition(Event):
@@ -328,7 +363,7 @@ class _Condition(Event):
             if ev.sim is not self.sim:
                 raise SimulationError("condition spans multiple simulators")
             # the condition reads member state after they fire: exempt
-            # them from timeout recycling
+            # them from recycling
             ev._pinned = True
             if ev._processed:
                 self._check(ev)
@@ -382,8 +417,8 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a now-bucket FIFO + a priority queue of
-    (time, sequence, event).
+    """The event loop: a now-bucket FIFO plus a scheduler for future
+    events (calendar queue by default, binary heap as the reference).
 
     Parameters
     ----------
@@ -391,39 +426,109 @@ class Simulator:
         When True (default), an uncaught exception inside a process
         fails the process event instead of propagating, unless nothing
         waits on it.
+    sched:
+        ``"heap"`` or ``"wheel"``; defaults to the ``REPRO_SCHED``
+        environment variable, then ``"wheel"``.
 
     Attributes
     ----------
     events_processed:
         Count of dispatched events since construction — the numerator
         of the ``repro bench`` events/sec figure.
+    now:
+        Current simulated time in nanoseconds (read-only by convention;
+        only the dispatch loop advances it).
     """
 
-    def __init__(self, strict: bool = True):
-        self._now: int = 0
-        self._heap: list[tuple[int, int, Event]] = []
-        #: zero-delay events at the current instant: (seq, event) FIFO
-        self._nowq: deque[tuple[int, Event]] = deque()
+    def __init__(self, strict: bool = True, sched: Optional[str] = None):
+        if sched is None:
+            sched = os.environ.get("REPRO_SCHED", "wheel")
+        if sched not in ("heap", "wheel"):
+            raise SimulationError(
+                f"unknown scheduler {sched!r}; REPRO_SCHED must be 'heap' or 'wheel'"
+            )
+        self.sched = sched
+        self.now: int = 0
+        #: zero-delay events at the current instant, FIFO (seq on event)
+        self._nowq: deque[Event] = deque()
         self._seq = 0
-        self._active_process: Optional[Process] = None
         self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
+        self._process_pool: list[Process] = []
         self.events_processed = 0
         self.strict = strict
         #: bound CheckContext (kernel checker); None = dormant, zero-cost
         self.checks = None
+        if sched == "wheel":
+            #: occupied calendar slots: absolute slot number -> entry list
+            self._buckets: dict[int, list] = {}
+            #: heap of occupied slot numbers (each pushed exactly once)
+            self._slot_heap: list[int] = []
+            #: far-future events beyond the calendar window
+            self._overflow: list[tuple[int, int, Event]] = []
+            #: the slot currently being drained, as a (time, seq, event)
+            #: heap so same-slot inserts keep exact order; persistent
+            #: list object (the run loop holds a local reference)
+            self._active: list[tuple[int, int, Event]] = []
+            self._active_slot = -1
+            self._wheel_limit = _WHEEL_SLOTS
+            self._insert = self._insert_wheel
+            self._heap = None
+        else:
+            self._heap: list[tuple[int, int, Event]] = []
+            self._insert = self._insert_heap
 
+    # `now` is a plain attribute for speed; `_now` remains as a
+    # compatibility alias for checkers and tests
     @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
+    def _now(self) -> int:
+        return self.now
 
-    @property
-    def active_process(self) -> Optional[Process]:
-        return self._active_process
+    @_now.setter
+    def _now(self, value: int) -> None:
+        self.now = value
 
     # -- event factories --------------------------------------------------
     def event(self, name: str = "") -> Event:
         return Event(self, name)
+
+    def pooled_event(self, name: str = "") -> Event:
+        """An :class:`Event` that is recycled after dispatch.
+
+        For kernel-internal and resource-layer use: the caller must
+        guarantee nothing references the event once its callbacks have
+        run (see the module pooling invariant)."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = None
+            ev._ok = True
+            ev._triggered = False
+            ev._processed = False
+            ev.name = name
+            return ev
+        ev = Event(self, name)
+        ev._recycle = 2
+        return ev
+
+    def fired_event(self, value: Any = None, name: str = "") -> Event:
+        """A pooled event already scheduled to succeed at the current
+        instant — the one-call form of ``pooled_event().succeed(v)``."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._ok = True
+            ev.name = name
+        else:
+            ev = Event(self, name)
+            ev._recycle = 2
+        ev._value = value
+        ev._triggered = True
+        ev._processed = False
+        self._seq = seq = self._seq + 1
+        ev._seq = seq
+        self._nowq.append(ev)
+        return ev
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         pool = self._timeout_pool
@@ -431,22 +536,58 @@ class Simulator:
             if delay < 0:
                 raise SimulationError(f"negative timeout delay {delay}")
             t = pool.pop()
+            # minimal reset: pool entries are processed timeouts, so
+            # _ok/_defunct/_pinned/_triggered are already in the right
+            # state and callbacks is already the empty list
             t._value = value
-            t._ok = True
-            t._triggered = True
             t._processed = False
-            t._defunct = False
             t._delay = delay
-            self._seq += 1
             if delay == 0:
-                self._nowq.append((self._seq, t))
+                self._seq = seq = self._seq + 1
+                t._seq = seq
+                self._nowq.append(t)
             else:
-                heapq.heappush(self._heap, (self._now + int(delay), self._seq, t))
+                self._insert(self.now + int(delay), t)
             return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
+
+    def spawn(self, generator: Generator, name: str = "") -> None:
+        """Start a fire-and-forget process whose bookkeeping object is
+        recycled when it finishes.
+
+        Unlike :meth:`process` this returns no handle — by design: the
+        process object goes back to a free list the moment its
+        completion event is dispatched, so no reference may outlive it
+        (no ``interrupt``, no ``yield``-ing it, no reading ``.value``).
+        """
+        pool = self._process_pool
+        if pool:
+            p = pool.pop()
+            p._value = None
+            p._ok = True
+            p._triggered = False
+            p._processed = False
+            p.name = name
+        else:
+            p = Process.__new__(Process)
+            p.sim = self
+            p.callbacks = []
+            p._value = None
+            p._ok = True
+            p._triggered = False
+            p._processed = False
+            p._defunct = False
+            p._pinned = False
+            p._recycle = 3
+            p.name = name
+            p._rcb = p._resume
+        p._generator = generator
+        p._waiting_on = None
+        init = self.timeout(0)
+        init.callbacks.append(p._rcb)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -458,26 +599,102 @@ class Simulator:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
         if delay == 0:
-            self._nowq.append((self._seq, event))
+            self._seq = seq = self._seq + 1
+            event._seq = seq
+            self._nowq.append(event)
         else:
-            heapq.heappush(self._heap, (self._now + int(delay), self._seq, event))
+            self._insert(self.now + int(delay), event)
+
+    def _insert_heap(self, when: int, event: Event) -> None:
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (when, seq, event))
+
+    def _insert_wheel(self, when: int, event: Event) -> None:
+        self._seq = seq = self._seq + 1
+        s = when >> _WHEEL_SHIFT
+        if s <= self._active_slot:
+            # insert into the slot currently being drained: keep order
+            # by pushing into the active mini-heap
+            heapq.heappush(self._active, (when, seq, event))
+        elif s < self._wheel_limit:
+            buckets = self._buckets
+            b = buckets.get(s)
+            if b is None:
+                buckets[s] = [(when, seq, event)]
+                heapq.heappush(self._slot_heap, s)
+            else:
+                b.append((when, seq, event))
+        else:
+            heapq.heappush(self._overflow, (when, seq, event))
+
+    def _refill_wheel(self) -> bool:
+        """Advance to the next occupied calendar slot, cascading a
+        window of overflow events in first if the calendar is empty.
+        Returns False when nothing at all is scheduled."""
+        sh = self._slot_heap
+        if not sh:
+            ov = self._overflow
+            if not ov:
+                return False
+            # cascade: re-anchor the window at the earliest overflow
+            # event and pull everything now inside it into the calendar
+            base = ov[0][0] >> _WHEEL_SHIFT
+            limit = base + _WHEEL_SLOTS
+            self._wheel_limit = limit
+            buckets = self._buckets
+            heappush, heappop = heapq.heappush, heapq.heappop
+            while ov and (ov[0][0] >> _WHEEL_SHIFT) < limit:
+                entry = heappop(ov)
+                s = entry[0] >> _WHEEL_SHIFT
+                b = buckets.get(s)
+                if b is None:
+                    buckets[s] = [entry]
+                    heappush(sh, s)
+                else:
+                    b.append(entry)
+        s = heapq.heappop(sh)
+        active = self._active
+        active += self._buckets.pop(s)
+        heapq.heapify(active)
+        self._active_slot = s
+        return True
 
     def _pop_next(self) -> Optional[Event]:
         """The next live event in (time, seq) order, advancing the
         clock; None when nothing is scheduled.  Defunct events are
         discarded without running their callbacks."""
-        heap, nowq = self._heap, self._nowq
+        nowq = self._nowq
+        if self.sched == "wheel":
+            active = self._active
+            while True:
+                if nowq:
+                    if active and active[0][0] <= self.now and active[0][1] < nowq[0]._seq:
+                        event = heapq.heappop(active)[2]
+                    else:
+                        event = nowq.popleft()
+                elif active:
+                    when = active[0][0]
+                    event = heapq.heappop(active)[2]
+                    self.now = when
+                else:
+                    if not self._refill_wheel():
+                        return None
+                    continue
+                if event._defunct:
+                    continue
+                return event
+        heap = self._heap
         while True:
             if nowq:
-                if heap and heap[0][0] <= self._now and heap[0][1] < nowq[0][0]:
-                    _, _, event = heapq.heappop(heap)
+                if heap and heap[0][0] <= self.now and heap[0][1] < nowq[0]._seq:
+                    event = heapq.heappop(heap)[2]
                 else:
-                    _, event = nowq.popleft()
+                    event = nowq.popleft()
             elif heap:
-                when, _, event = heapq.heappop(heap)
-                self._now = when
+                when = heap[0][0]
+                event = heapq.heappop(heap)[2]
+                self.now = when
             else:
                 return None
             if event._defunct:
@@ -502,15 +719,34 @@ class Simulator:
             event.callbacks = []
             for cb in callbacks:
                 cb(event)
-        if type(event) is Timeout and not event._pinned:
-            pool = self._timeout_pool
-            if len(pool) < _TIMEOUT_POOL_CAP:
-                pool.append(event)
+        r = event._recycle
+        if r and not event._pinned:
+            if r == 1:
+                pool = self._timeout_pool
+                if len(pool) < _TIMEOUT_POOL_CAP:
+                    pool.append(event)
+            elif r == 2:
+                pool = self._event_pool
+                if len(pool) < _EVENT_POOL_CAP:
+                    pool.append(event)
+            else:
+                event._generator = None
+                pool = self._process_pool
+                if len(pool) < _PROCESS_POOL_CAP:
+                    pool.append(event)
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if none is queued."""
         if self._nowq:
-            return self._now
+            return self.now
+        if self.sched == "wheel":
+            if self._active:
+                return self._active[0][0]
+            if self._slot_heap:
+                return min(self._buckets[self._slot_heap[0]])[0]
+            if self._overflow:
+                return self._overflow[0][0]
+            return None
         return self._heap[0][0] if self._heap else None
 
     def run(self, until: Any = None) -> Any:
@@ -528,35 +764,42 @@ class Simulator:
                 stop._pinned = True
             else:
                 horizon = int(until)
-                if horizon < self._now:
+                if horizon < self.now:
                     raise SimulationError(
-                        f"cannot run until {horizon} < now {self._now}"
+                        f"cannot run until {horizon} < now {self.now}"
                     )
 
         # The hot loop.  This is Simulator.step() inlined — every
         # function call removed here is removed a million times per
         # reproduced figure.
-        heap, nowq = self._heap, self._nowq
+        nowq = self._nowq
         heappop = heapq.heappop
-        pool = self._timeout_pool
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        ppool = self._process_pool
         checks = self.checks
+        wheel = self.sched == "wheel"
+        active = self._active if wheel else self._heap
+        refill = self._refill_wheel if wheel else None
+        now = self.now
         dispatched = 0
         try:
             while True:
                 if stop is not None and stop._processed:
                     break
                 if nowq:
-                    head = heap[0] if heap else None
-                    if head is not None and head[0] <= self._now and head[1] < nowq[0][0]:
-                        _, _, event = heappop(heap)
+                    if active and active[0][0] <= now and active[0][1] < nowq[0]._seq:
+                        event = heappop(active)[2]
                     else:
-                        _, event = nowq.popleft()
-                elif heap:
-                    when = heap[0][0]
+                        event = nowq.popleft()
+                elif active:
+                    when = active[0][0]
                     if horizon is not None and when > horizon:
                         break
-                    _, _, event = heappop(heap)
-                    self._now = when
+                    event = heappop(active)[2]
+                    self.now = now = when
+                elif wheel and refill():
+                    continue
                 else:
                     if stop is not None:
                         raise SimulationError(
@@ -574,14 +817,23 @@ class Simulator:
                     event.callbacks = []
                     for cb in callbacks:
                         cb(event)
-                if type(event) is Timeout and not event._pinned:
-                    if len(pool) < _TIMEOUT_POOL_CAP:
-                        pool.append(event)
+                r = event._recycle
+                if r and not event._pinned:
+                    if r == 1:
+                        if len(tpool) < _TIMEOUT_POOL_CAP:
+                            tpool.append(event)
+                    elif r == 2:
+                        if len(epool) < _EVENT_POOL_CAP:
+                            epool.append(event)
+                    else:
+                        event._generator = None
+                        if len(ppool) < _PROCESS_POOL_CAP:
+                            ppool.append(event)
         finally:
             self.events_processed += dispatched
 
         if horizon is not None:
-            self._now = horizon
+            self.now = horizon
             return None
         if stop is not None:
             if stop._ok:

@@ -8,10 +8,15 @@ reproducible and comparable across schemes.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from typing import Optional
 
 __all__ = ["RandomStream", "StreamFactory"]
+
+#: memoized lognormal parameters keyed by (base_ns, cv) — pure math,
+#: shared safely across streams and simulators
+_JITTER_CACHE: dict = {}
 
 
 class RandomStream:
@@ -68,11 +73,18 @@ class RandomStream:
             return 0
         if cv <= 0:
             return int(base_ns)
-        import math
-
-        sigma2 = math.log(1.0 + cv * cv)
-        mu = math.log(base_ns) - sigma2 / 2.0
-        return max(0, int(self._rng.lognormvariate(mu, math.sqrt(sigma2))))
+        # the (mu, sigma) transform is pure math over a handful of
+        # distinct (base, cv) pairs; caching it keeps the RNG stream
+        # untouched while skipping two logs and a sqrt per sample
+        params = _JITTER_CACHE.get((base_ns, cv))
+        if params is None:
+            sigma2 = math.log(1.0 + cv * cv)
+            mu = math.log(base_ns) - sigma2 / 2.0
+            params = (mu, math.sqrt(sigma2))
+            if len(_JITTER_CACHE) < 4096:
+                _JITTER_CACHE[(base_ns, cv)] = params
+        sample = int(self._rng.lognormvariate(params[0], params[1]))
+        return sample if sample > 0 else 0
 
 
 class StreamFactory:

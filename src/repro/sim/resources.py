@@ -62,13 +62,14 @@ class Resource:
         return self._busy_area / (elapsed * self.capacity)
 
     def acquire(self) -> Event:
-        ev = self.sim.event(name=self._acquire_name)
+        # grant events are pooled: callers yield them immediately and
+        # never hold them past dispatch (see kernel pooling invariant)
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1
-            ev.succeed(self)
-        else:
-            self._waiters.append(ev)
+            return self.sim.fired_event(self, name=self._acquire_name)
+        ev = self.sim.pooled_event(name=self._acquire_name)
+        self._waiters.append(ev)
         return ev
 
     def release(self) -> None:
@@ -107,27 +108,27 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        ev = self.sim.event(name=self._put_name)
+        sim = self.sim
         if self._getters:
             self._getters.popleft().succeed(item)
-            ev.succeed(item)
-        elif self.capacity is None or len(self._items) < self.capacity:
+            return sim.fired_event(item, name=self._put_name)
+        if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            ev.succeed(item)
-        else:
-            self._putters.append((ev, item))
+            return sim.fired_event(item, name=self._put_name)
+        ev = sim.pooled_event(name=self._put_name)
+        self._putters.append((ev, item))
         return ev
 
     def get(self) -> Event:
-        ev = self.sim.event(name=self._get_name)
         if self._items:
-            ev.succeed(self._items.popleft())
+            ev = self.sim.fired_event(self._items.popleft(), name=self._get_name)
             if self._putters:
                 put_ev, item = self._putters.popleft()
                 self._items.append(item)
                 put_ev.succeed(item)
-        else:
-            self._getters.append(ev)
+            return ev
+        ev = self.sim.pooled_event(name=self._get_name)
+        self._getters.append(ev)
         return ev
 
 
@@ -160,23 +161,34 @@ class BandwidthLink:
         # Time at which the link becomes free to start a new serialization.
         self._free_at = sim.now
         self._bytes_moved = 0
+        # serialization times repeat over a handful of transfer sizes;
+        # invalidated by set_rate()
+        self._ser_cache: dict[int, int] = {}
 
     @property
     def bytes_moved(self) -> int:
         return self._bytes_moved
 
     def serialization_ns(self, nbytes: int) -> int:
-        # ceiling, not rounding: a transfer must never finish early, or
-        # short transfers would beat the configured line rate
-        return math.ceil(nbytes * 1e9 / self.bytes_per_sec)
+        ns = self._ser_cache.get(nbytes)
+        if ns is None:
+            # ceiling, not rounding: a transfer must never finish early,
+            # or short transfers would beat the configured line rate
+            ns = math.ceil(nbytes * 1e9 / self.bytes_per_sec)
+            self._ser_cache[nbytes] = ns
+        return ns
 
     def transfer(self, nbytes: int, value: Any = None) -> Event:
         """Move ``nbytes`` through the link; event fires at arrival time."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
+        ns = self._ser_cache.get(nbytes)
+        if ns is None:
+            ns = math.ceil(nbytes * 1e9 / self.bytes_per_sec)
+            self._ser_cache[nbytes] = ns
         now = self.sim.now
         start = now if now > self._free_at else self._free_at
-        done_serializing = start + self.serialization_ns(nbytes)
+        done_serializing = start + ns
         self._free_at = done_serializing
         self._bytes_moved += nbytes
         # pooled timeout: a transfer is exactly "fire at T with value",
@@ -199,6 +211,7 @@ class BandwidthLink:
         if bytes_per_sec <= 0:
             raise SimulationError("link bandwidth must be positive")
         self.bytes_per_sec = float(bytes_per_sec)
+        self._ser_cache.clear()
 
     def throughput(self, since: int = 0) -> float:
         """Average bytes/sec moved over [since, now]."""
@@ -258,15 +271,13 @@ class TokenBucket:
         return bool(self._waiters) or self.tokens < amount
 
     def consume(self, amount: float) -> Event:
-        ev = self.sim.event(name=self._tokens_name)
         if self.unlimited:
-            ev.succeed()
-            return ev
+            return self.sim.fired_event(name=self._tokens_name)
         self._refill()
         if not self._waiters and self._tokens >= amount:
             self._tokens -= amount
-            ev.succeed()
-            return ev
+            return self.sim.fired_event(name=self._tokens_name)
+        ev = self.sim.pooled_event(name=self._tokens_name)
         self._waiters.append((ev, amount))
         self._arm_drain()
         return ev
