@@ -20,7 +20,9 @@ checker     invariants (hook points)
             buffer, no double-free (``nvme.ssd``, ``core.engine``,
             ``host.memory.BufferPool``)
 ``lba``     Fig. 4a mapping: chunk-granular translation, 2-bit SSD id,
-            injective valid entries (``core.lba_mapping``)
+            injective valid entries, cleared entries read back as zero
+            (``core.lba_mapping``); CoW refcount shadow: no shared
+            chunk freed while references remain (``core.volumes``)
 ``qos``     Fig. 5 conservation: per-namespace FIFO admission order,
             token non-negativity, buffered = admitted - fast-passed,
             passed accounting (``core.qos``)
@@ -184,6 +186,9 @@ class CheckContext:
         self._lba_fwd: dict[int, dict[int, tuple[int, int]]] = {}
         self._lba_rev: dict[int, dict[tuple[int, int], int]] = {}
         self._lba_objs: list = []
+        #: VolumeManager id -> shadow refcounts (ssd_id, chunk) -> count
+        self._vol_refs: dict[int, dict[tuple[int, int], int]] = {}
+        self._vol_objs: list = []
         self._freed: dict[str, _FreedRanges] = {}
         self._last_now = 0
 
@@ -224,6 +229,11 @@ class CheckContext:
         """Arm one per-namespace QoS stage (called by QoSModule)."""
         if self.qos:
             nsq.checks = self
+
+    def bind_volumes(self, vm) -> None:
+        """Arm one VolumeManager's refcount shadow (lba checker)."""
+        if self.lba:
+            vm.checks = self
 
     def bind_pool(self, pool) -> None:
         if self.prp:
@@ -423,6 +433,59 @@ class CheckContext:
         old = fwd.pop(index, None)
         if old is not None:
             rev.pop(old, None)
+
+    def on_lba_invalid_read(self, table, host_lba: int, raw: int) -> None:
+        """Hook in :meth:`MappingTable.translate` just before the
+        invalid-entry fault: a cleared entry must read back as zero, or
+        a later re-validation of the row resurrects a dead mapping."""
+        self._note("lba")
+        if raw != 0:
+            self._fail("lba",
+                       "invalid mapping entry holds a stale packed value",
+                       host_lba=host_lba, raw=hex(raw))
+
+    # --------------------------------------------- hooks: lba (CoW refcounts)
+    def _vol_shadow(self, vm) -> dict:
+        shadow = self._vol_refs.get(id(vm))
+        if shadow is None:
+            shadow = self._vol_refs[id(vm)] = {}
+            self._vol_objs.append(vm)
+        return shadow
+
+    def on_chunk_incref(self, vm, phys: tuple, count: int) -> None:
+        """Hook after a VolumeManager refcount bump; ``count`` is the
+        manager's new value, which the shadow must agree with."""
+        self._note("lba")
+        shadow = self._vol_shadow(vm)
+        shadow[phys] = shadow.get(phys, 0) + 1
+        if shadow[phys] != count:
+            self._fail("lba", "chunk refcount drifted from shadow on incref",
+                       phys=phys, shadow=shadow[phys], actual=count)
+
+    def on_chunk_decref(self, vm, phys: tuple, count: int) -> None:
+        """Hook before a VolumeManager refcount drop (``count`` = value
+        after the drop)."""
+        self._note("lba")
+        shadow = self._vol_shadow(vm)
+        have = shadow.get(phys, 0)
+        if have <= 0:
+            self._fail("lba", "decref of a chunk with no shadow references",
+                       phys=phys)
+        shadow[phys] = have - 1
+        if shadow[phys] != count:
+            self._fail("lba", "chunk refcount drifted from shadow on decref",
+                       phys=phys, shadow=shadow[phys], actual=count)
+
+    def on_chunk_free(self, vm, phys: tuple) -> None:
+        """Hook when a chunk returns to the engine free list: it must
+        hold zero shadow references — freeing a chunk a snapshot or
+        clone still maps would corrupt that volume."""
+        self._note("lba")
+        shadow = self._vol_shadow(vm)
+        if shadow.get(phys, 0) != 0:
+            self._fail("lba", "shared chunk freed while refcount > 0",
+                       phys=phys, shadow=shadow.get(phys, 0))
+        shadow.pop(phys, None)
 
     def on_lba_translate(self, table, host_lba: int, ssd_id: int,
                          plba: int) -> None:

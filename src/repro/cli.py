@@ -10,6 +10,7 @@ grid --schemes A,B ...     run a (scheme x case) grid, optionally parallel
 bench [--check BASELINE]   kernel events/sec benchmark + regression gate
 faults [--only SUBSTR]     availability under injected faults (--list: presets)
 fleet --servers N ...      datacenter fleet: placement + rolling hot-upgrade
+volumes [--cells N]        snapshot/thin-clone/CoW demo over NVMe-MI
 tco                        print the §VI-C TCO analysis
 check [--static]           static determinism audit + checked reference run
 """
@@ -53,10 +54,12 @@ def _experiment_registry():
         fig14,
         fig15_table9,
         latency_breakdown,
+        migration_vs_evacuation,
         table1,
         table2,
         table6,
         tco_analysis,
+        volumes_demo,
     )
 
     return [
@@ -84,6 +87,11 @@ def _experiment_registry():
          fault_recovery.run),
         ("fleet-scale", "fleet rolling hot-upgrade (beyond Fig. 15)",
          fleet_scale.run),
+        ("volumes", "snapshots, thin clones, CoW faults (beyond §VI)",
+         volumes_demo.run),
+        ("migration-vs-evacuation",
+         "live migration vs drain on surprise hot-removal",
+         migration_vs_evacuation.run),
     ]
 
 
@@ -440,6 +448,11 @@ def _cmd_fleet(args) -> int:
         return 2
     tenants = make_tenants(args.tenants, seed=args.seed)
     config = FleetRunConfig.quick() if args.quick else FleetRunConfig.full()
+    reaction = "migrate" if args.migrate else args.reaction
+    if reaction != "none":
+        import dataclasses
+
+        config = dataclasses.replace(config, reaction=reaction)
     try:
         report = run_fleet(fleet, tenants, policy=args.policy,
                            faults=args.faults, seed=args.seed,
@@ -459,6 +472,25 @@ def _cmd_fleet(args) -> int:
                   f"{len(report['waves'])} waves)")
         return 0
     print(render_report(report))
+    return 0
+
+
+def _cmd_volumes(args) -> int:
+    from .experiments import volumes_demo
+
+    result = volumes_demo.run(seed=args.seed, cells=args.cells,
+                              workers=args.workers)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }, indent=2, sort_keys=True, default=str))
+        return 0
+    print(result.table())
     return 0
 
 
@@ -665,8 +697,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "(results are identical)")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized run (short activation, ~2s simulated)")
+    p.add_argument("--migrate", action="store_true",
+                   help="react to surprise hot-removal with live migration "
+                        "(shorthand for --reaction migrate)")
+    p.add_argument("--reaction", default="none",
+                   choices=("none", "drain", "migrate"),
+                   help="hot-removal reaction: none (ride it out), drain "
+                        "(stop + cold copy), migrate (pre-copy + cutover)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the full fleet report as JSON ('-' = stdout)")
+
+    p = sub.add_parser("volumes",
+                       help="snapshot/thin-clone/CoW demo over NVMe-MI")
+    p.add_argument("--cells", type=int, default=4, metavar="N",
+                   help="independent seeded worlds (each snapshots a golden "
+                        "image and writes through its clones)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="fan cells over N processes (results are identical)")
+    p.add_argument("--json", action="store_true",
+                   help="print the result rows as JSON")
 
     sub.add_parser("tco", help="print the TCO analysis")
 
@@ -692,6 +742,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "faults": _cmd_faults,
         "fleet": _cmd_fleet,
+        "volumes": _cmd_volumes,
         "tco": _cmd_tco,
         "check": _cmd_check,
     }[args.command]

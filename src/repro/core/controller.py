@@ -125,6 +125,10 @@ class BMSController:
         try:
             status, body = yield from self._execute(request)
         except SimulationError as exc:
+            from ..checks.runtime import InvariantViolation
+
+            if isinstance(exc, InvariantViolation):
+                raise  # checker violations surface, never become MI errors
             status, body = MIStatus.INVALID_PARAMETER, {"error": str(exc)}
         response = MIResponse(request.request_id, int(status), body)
         yield self.mctp.send_message(src_eid, MCTP_TYPE_NVME_MI, response.to_bytes())
@@ -204,6 +208,34 @@ class BMSController:
             return MIStatus.SUCCESS, {
                 "reports": [_report_body(r) for r in self.upgrade_reports]
             }
+        if op == int(MIOpcode.CREATE_SNAPSHOT):
+            vm = self.engine.volume_manager()
+            body = vm.create_snapshot(p["volume"], p["snapshot"])
+            return MIStatus.SUCCESS, body
+        if op == int(MIOpcode.CLONE_VOLUME):
+            vm = self.engine.volume_manager()
+            ens = vm.clone_volume(p["source"], p["key"])
+            # provisioning is metadata-only: O(chunks) table writes on
+            # the ARM core, never a data copy
+            yield self.sim.timeout(vm.clone_cost_ns(len(ens.chunks)))
+            if "max_iops" in p or "max_mbps" in p:
+                self.engine.qos.configure(
+                    p["key"],
+                    QoSLimits(
+                        max_iops=p.get("max_iops"),
+                        max_bytes_per_sec=(
+                            p["max_mbps"] * 1e6 if p.get("max_mbps") else None
+                        ),
+                    ),
+                )
+            if p.get("fn") is not None:
+                self.engine.bind_namespace(p["key"], int(p["fn"]))
+            return MIStatus.SUCCESS, vm.volume_stat(p["key"])
+        if op == int(MIOpcode.VOLUME_STAT):
+            vm = self.engine.volume_manager()
+            if p.get("key") is not None:
+                return MIStatus.SUCCESS, vm.volume_stat(p["key"])
+            return MIStatus.SUCCESS, {"volumes": vm.stat_all()}
         if op == int(MIOpcode.GET_FAULT_LOG):
             yield self.sim.timeout(self.engine.timings.monitor_sample_ns)
             slots = [

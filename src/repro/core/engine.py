@@ -81,6 +81,9 @@ class EngineNamespace:
     bound_fn: Optional[int] = None
     #: step-⑤ routing machinery for this namespace's DMA traffic
     dma_model: str = "register"
+    #: host-chunk indices written since the last pre-copy round; None =
+    #: dormant (no migration in progress — one attribute test per write)
+    dirty_chunks: Optional[set] = None
 
 
 @dataclass
@@ -190,6 +193,8 @@ class BMSEngine:
         self.faults = None
         #: bound CheckContext (prp checker arms this); None = dormant
         self.checks = None
+        #: bound VolumeManager (CoW clones/snapshots); None = dormant
+        self.volumes = None
         #: the full CheckContext, kept for binding tables/rings created later
         self._check_ctx = checks
 
@@ -288,6 +293,18 @@ class BMSEngine:
         return len(self.adaptor.slots)
 
     # ---------------------------------------------------------- namespaces
+    def volume_manager(self):
+        """The engine's CoW volume layer, armed on first use.
+
+        Worlds that never call this keep ``self.volumes is None`` and
+        execute byte-identical event sequences to pre-volume builds.
+        """
+        if self.volumes is None:
+            from .volumes import VolumeManager
+
+            self.volumes = VolumeManager(self)
+        return self.volumes
+
     def create_namespace(
         self,
         key: str,
@@ -323,6 +340,8 @@ class BMSEngine:
         self.namespaces[key] = ens
         if limits is not None:
             self.qos.configure(key, limits)
+        if self.volumes is not None:
+            self.volumes.adopt(key)
         return ens
 
     def delete_namespace(self, key: str) -> None:
@@ -334,7 +353,12 @@ class BMSEngine:
             self._dma_model_by_fn.pop(ens.bound_fn, None)
             self.sriov.function_by_id(ens.bound_fn).namespaces.pop(1, None)
             self.sriov.function_by_id(ens.bound_fn).ns_key = None
-        for ssd_id, chunk in ens.chunks:
+        if self.volumes is not None:
+            # chunks still referenced by a snapshot or clone stay allocated
+            freeable = self.volumes.release_namespace(key, ens)
+        else:
+            freeable = ens.chunks
+        for ssd_id, chunk in freeable:
             self._free_chunks[ssd_id].append(chunk)
 
     def bind_namespace(self, key: str, fn_id: int) -> FrontEndFunction:
@@ -504,6 +528,10 @@ class BMSEngine:
                 dev_qid = binding.dev_qids[host_qid]
                 dev_qp = ssd.attach_queue_pair(dev_qid, qp.sq, qp.cq)
                 dev_qp.translation = binding.translation
+                # slots the old drive consumed before it was yanked are
+                # provably dead; recover their leaked (timed-out) SQEs
+                # before the replay kick fetches the live window
+                qp.sq.reclaim_dead_slots()
                 ssd._on_sq_doorbell(dev_qid)
 
     # ------------------------------------------------------------ front path
@@ -581,10 +609,26 @@ class BMSEngine:
         yield self.sim.timeout(self.timings.pipeline_ns)
 
         span = sqe.span
+        if sqe.opcode == int(IOOpcode.WRITE):
+            # CoW: a write to a shared chunk faults (allocate, copy,
+            # remap, decref parent) *before* translation sees the entry
+            if self.volumes is not None:
+                yield from self.volumes.on_write(ens, sqe.slba, nblocks,
+                                                 span=span)
+            # live migration: feed the dirty-chunk bitmap
+            if ens.dirty_chunks is not None:
+                cs = ens.table.chunk_blocks
+                ens.dirty_chunks.update(
+                    range(sqe.slba // cs, (sqe.slba + nblocks - 1) // cs + 1))
+
         # ② LBA mapping
         try:
             extents = ens.table.translate_extent(sqe.slba, nblocks)
-        except SimulationError:
+        except SimulationError as exc:
+            from ..checks.runtime import InvariantViolation
+
+            if isinstance(exc, InvariantViolation):
+                raise  # a checker violation must surface, not complete as EIO
             self._fn_stats[fn.fn_id].errors += 1
             if self.obs is not None:
                 self.obs.counter("ns_errors", ns=fn.ns_key).inc()

@@ -156,6 +156,10 @@ class MappingTable:
             raise SimulationError(f"host LBA {host_lba} beyond mapping table")
         if not self._valid[i] & (1 << j):
             self.faults += 1
+            if self.checks is not None:
+                # a cleared slot must read back as zero (stale packed
+                # bytes could be resurrected by a row re-validation)
+                self.checks.on_lba_invalid_read(self, host_lba, self._table[i][j])
             raise SimulationError(f"host LBA {host_lba} hits invalid mapping entry")
         self.translations += 1
         raw = self._table[i][j]

@@ -111,6 +111,12 @@ class TargetController:
             return True
         if opcode == int(AdminOpcode.GET_LOG_PAGE):
             stats = self.engine.monitor_snapshot(fn.fn_id)
+            volumes = self.engine.volumes
+            if volumes is not None and fn.ns_key is not None:
+                # tenants see their own volume's CoW statistics in the
+                # vendor log page (the host never learns fleet topology)
+                if fn.ns_key in volumes.volumes:
+                    stats["volume"] = volumes.volume_stat(fn.ns_key)
             if sqe.prp1:
                 yield self.engine.front_port.mem_write(sqe.prp1, 512, None)
                 self.engine.host_identify_pages[sqe.prp1] = stats

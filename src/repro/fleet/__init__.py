@@ -11,6 +11,7 @@ Entry points: :func:`build_fleet` + :func:`make_tenants` +
 :func:`run_fleet`, or ``python -m repro fleet`` from the CLI.
 """
 
+from .migration import MigrationArrival, MigrationPlan
 from .orchestrator import FleetRunConfig, plan_waves, render_report, run_fleet
 from .placement import POLICIES, Placement, PlacementError, evacuate, place
 from .server_sim import ServerRunSpec, TenantAssignment, run_server, shifted_preset
@@ -40,6 +41,8 @@ __all__ = [
     "PlacementError",
     "place",
     "evacuate",
+    "MigrationArrival",
+    "MigrationPlan",
     "ServerRunSpec",
     "TenantAssignment",
     "run_server",

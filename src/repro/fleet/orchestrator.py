@@ -24,6 +24,15 @@ from dataclasses import dataclass
 
 from ..runner import parallel_map
 from ..sim.units import MS, sec
+from .migration import (
+    CHUNK_COPY_NS,
+    COLD_CHUNK_COPY_NS,
+    CUTOVER_NS,
+    PRECOPY_ROUND_NS,
+    PRECOPY_ROUNDS,
+    MigrationArrival,
+    MigrationPlan,
+)
 from .placement import Placement, evacuate, place
 from .server_sim import ServerRunSpec, TenantAssignment, run_server
 from .tenants import TenantSpec, make_tenants
@@ -46,6 +55,20 @@ class FleetRunConfig:
     fw_version: str = "FW-NEXT"
     fault_wave: int = 0             # armed preset fires mid this wave
     obs_mode: str = "counters"
+    #: control-plane reaction to a surprise hot-removal: ``"none"``
+    #: (report-only evacuation plan, the legacy behavior), ``"drain"``
+    #: (stop the tenants, cold-copy, serve from the destination), or
+    #: ``"migrate"`` (iterative pre-copy under live I/O + brief cutover,
+    #: plus one warm-standby "prime" round ahead of every upgrade wave)
+    reaction: str = "none"
+    #: fault -> reaction delay; past the watchdog re-seat (~120 ms) so
+    #: pre-copy runs against a serving source
+    detect_ns: int = 150 * MS
+    precopy_rounds: int = PRECOPY_ROUNDS
+    precopy_round_ns: int = PRECOPY_ROUND_NS
+    cutover_ns: int = CUTOVER_NS
+    chunk_copy_ns: int = CHUNK_COPY_NS
+    cold_chunk_copy_ns: int = COLD_CHUNK_COPY_NS
 
     @classmethod
     def quick(cls) -> "FleetRunConfig":
@@ -154,6 +177,63 @@ def run_fleet(
         if not hosting:
             raise ValueError("cannot arm faults on a fleet with no tenants")
         fault_server = hosting[0]
+    fault_at_ns = (config.start_ns
+                   + config.fault_wave * config.spacing_ns
+                   + config.spacing_ns // 2)
+
+    # migration/drain schedules are cut *before* the run, entirely from
+    # the armed fault time and the evacuation plan, so every server
+    # world executes a fixed script — the fan-out stays byte-identical
+    # for any worker count
+    if config.reaction not in ("none", "drain", "migrate"):
+        raise ValueError(
+            f"unknown reaction {config.reaction!r}; "
+            "one of ['drain', 'migrate', 'none']")
+    reaction = config.reaction if fault_server is not None else "none"
+    migrate_out: dict[str, list[MigrationPlan]] = {}
+    migrate_in: dict[str, list[MigrationArrival]] = {}
+    planned_placement: Placement | None = None
+    planned_moves: list[dict] = []
+    if reaction != "none":
+        react_at_ns = fault_at_ns + config.detect_ns
+        planned_placement, planned_moves = evacuate(placement, fault_server)
+        for move in planned_moves:
+            tenant = placement.tenants[move["tenant"]]
+            plan = MigrationPlan(
+                tenant=tenant.name, mode=reaction, dest=move["to"],
+                start_ns=react_at_ns,
+                rounds=config.precopy_rounds,
+                round_ns=config.precopy_round_ns,
+                cutover_ns=config.cutover_ns,
+                chunk_copy_ns=config.chunk_copy_ns,
+                cold_chunk_copy_ns=config.cold_chunk_copy_ns,
+            )
+            migrate_out.setdefault(fault_server, []).append(plan)
+            migrate_in.setdefault(move["to"], []).append(MigrationArrival(
+                tenant=_assignment(tenant),
+                serve_from_ns=plan.handover_ns(tenant.chunks),
+                source=fault_server,
+                mode=reaction,
+            ))
+    if reaction == "migrate":
+        # planned waves get a warm-standby pre-copy round too, so the
+        # ledger can tell planned primes from the unplanned migration
+        departing = {m["tenant"] for m in planned_moves}
+        for server in fleet.servers():
+            up_at = config.start_ns + wave_of[server.name] * config.spacing_ns
+            for t in sorted(placement.tenants_on(server.name),
+                            key=lambda t: t.name):
+                if t.name in departing:
+                    continue
+                migrate_out.setdefault(server.name, []).append(MigrationPlan(
+                    tenant=t.name, mode="prime", dest="",
+                    start_ns=max(0, up_at - config.precopy_round_ns),
+                    rounds=1,
+                    round_ns=config.precopy_round_ns,
+                    cutover_ns=config.cutover_ns,
+                    chunk_copy_ns=config.chunk_copy_ns,
+                    cold_chunk_copy_ns=config.cold_chunk_copy_ns,
+                ))
 
     specs = []
     for idx, server in enumerate(fleet.servers()):
@@ -176,10 +256,10 @@ def run_fleet(
             activation_s=config.activation_s,
             fw_version=config.fw_version,
             faults=armed,
-            fault_at_ns=(config.start_ns
-                         + config.fault_wave * config.spacing_ns
-                         + config.spacing_ns // 2),
+            fault_at_ns=fault_at_ns,
             obs_mode=config.obs_mode,
+            migrate_out=tuple(migrate_out.get(server.name, ())),
+            migrate_in=tuple(migrate_in.get(server.name, ())),
         ))
 
     payloads = parallel_map(run_server, specs, workers=workers)
@@ -205,6 +285,14 @@ def run_fleet(
                                for u in p["upgrades"]),
         })
 
+    # a migrated tenant's truth spans two servers: its source windows
+    # and its destination (arrival) windows merge elementwise, so
+    # availability sees the union of where it was actually served
+    arrival_rows: dict[str, tuple[str, dict]] = {}
+    for payload in payloads:
+        for row in payload["arrivals"]:
+            arrival_rows[row["tenant"]] = (payload["server"], row)
+
     # SLO accounting excludes each server's *planned* maintenance wave
     # (the SRE convention: scheduled upgrades spend no error budget);
     # raw availability still reports the planned dip.
@@ -213,6 +301,18 @@ def run_fleet(
         up_lo = payload["upgrade_at_ns"] // config.window_ns
         up_hi = (payload["upgrade_at_ns"] + config.spacing_ns) // config.window_ns
         for t in payload["tenants"]:
+            home, migrated_from = payload["server"], None
+            dest = arrival_rows.get(t["tenant"])
+            if dest is not None:
+                home, arow = dest
+                migrated_from = payload["server"]
+                windows = [a + b for a, b in zip(t["windows"], arow["windows"])]
+                t = {**t, "windows": windows,
+                     "ios": t["ios"] + arow["ios"],
+                     "errors": t["errors"] + arow["errors"],
+                     "p99_us": max(t["p99_us"], arow["p99_us"]),
+                     "availability": (sum(1 for r in windows if r > 0.0)
+                                      / len(windows)) if windows else 1.0}
             unplanned = [r for i, r in enumerate(t["windows"])
                          if not up_lo <= i < up_hi]
             unplanned_avail = (
@@ -220,9 +320,9 @@ def run_fleet(
                 if unplanned else 1.0)
             budget = 1.0 - t["slo_availability"]
             unavail = 1.0 - unplanned_avail
-            tenant_rows.append({
+            row = {
                 "tenant": t["tenant"],
-                "server": payload["server"],
+                "server": home,
                 "qos": t["qos"],
                 "ios": t["ios"],
                 "errors": t["errors"],
@@ -234,18 +334,50 @@ def run_fleet(
                 "p99_us": t["p99_us"],
                 "slo_p99_us": t["slo_p99_us"],
                 "p99_met": t["p99_us"] <= t["slo_p99_us"],
-            })
+            }
+            if migrated_from is not None:
+                # migrated rows keep their merged window series: the
+                # migrate-vs-drain experiments analyze the dip shape
+                row["migrated_from"] = migrated_from
+                row["windows"] = t["windows"]
+            tenant_rows.append(row)
     tenant_rows.sort(key=lambda r: r["tenant"])
 
-    # control-plane reaction: drain servers whose fault log shows a
-    # surprise removal and re-place their tenants on the residual fleet
+    # control-plane reaction to a surprise removal in the fault logs:
+    # legacy "none" re-places on paper only; "drain"/"migrate" executed
+    # their pre-cut schedules, so the ledger records what actually ran,
+    # with planned primes kept apart from the unplanned migration
     maintenance: dict = {"drained": [], "moves": []}
     current: Placement = placement
-    for payload in payloads:
-        if "hot_remove" in payload["fault_kinds"]:
-            current, moves = evacuate(current, payload["server"])
-            maintenance["drained"].append(payload["server"])
-            maintenance["moves"].extend(moves)
+    if reaction == "none":
+        for payload in payloads:
+            if "hot_remove" in payload["fault_kinds"]:
+                current, moves = evacuate(current, payload["server"])
+                maintenance["drained"].append(payload["server"])
+                maintenance["moves"].extend(moves)
+    else:
+        current = planned_placement
+        protocol = {m["tenant"]: m
+                    for p in payloads for m in p["migrations"]
+                    if m["mode"] != "prime"}
+        maintenance["reaction"] = reaction
+        maintenance["drained"] = [fault_server] if reaction == "drain" else []
+        maintenance["migrated"] = [fault_server] if reaction == "migrate" else []
+        maintenance["planned_primes"] = sum(
+            1 for p in payloads for m in p["migrations"]
+            if m["mode"] == "prime")
+        for mv in planned_moves:
+            move = {**mv, "mode": reaction}
+            stats = protocol.get(mv["tenant"])
+            if stats is not None:
+                move.update(
+                    start_ns=stats["start_ns"],
+                    handover_ns=stats["handover_ns"],
+                    chunks=stats["chunks"],
+                    precopy_rounds=stats["rounds"],
+                    final_dirty=stats["final_dirty"],
+                )
+            maintenance["moves"].append(move)
 
     availabilities = [r["availability"] for r in tenant_rows]
     return {
@@ -277,6 +409,10 @@ def run_fleet(
             "slo_p99_violations": sum(
                 1 for r in tenant_rows if not r["p99_met"]),
             "drained_servers": len(maintenance["drained"]),
+            "migrated_servers": len(maintenance.get("migrated", [])),
+            "migrated_tenants": sum(
+                1 for mv in maintenance["moves"]
+                if mv.get("mode") == "migrate"),
         },
     }
 
@@ -313,5 +449,12 @@ def render_report(report: dict) -> str:
         lines.append(
             f"maintenance: drained {', '.join(m['drained'])} after surprise "
             f"hot-removal; re-placed {len(m['moves'])} tenant(s): "
+            + ", ".join(f"{mv['tenant']}->{mv['to']}" for mv in m["moves"]))
+    if s.get("migrated_servers"):
+        m = report["maintenance"]
+        lines.append(
+            f"maintenance: live-migrated {', '.join(m['migrated'])} after "
+            f"surprise hot-removal ({len(m['moves'])} tenant(s), "
+            f"{m.get('planned_primes', 0)} planned prime round(s)): "
             + ", ".join(f"{mv['tenant']}->{mv['to']}" for mv in m["moves"]))
     return "\n".join(lines)

@@ -172,9 +172,16 @@ def place_qos(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> Placement:
     rest = sorted((t for t in tenants if t.qos != "gold"),
                   key=lambda t: (-t.chunks, -t.demand_iops, t.name))
     _spread_into(placement, gold, iops_cap_fraction=GOLD_HEADROOM)
-    gold_servers = set(placement.assignments.values())
-    for tenant in rest:
-        ordered = sorted(fleet.servers(),
+    _qos_pack_into(placement, rest, set(placement.assignments.values()))
+    return placement
+
+
+def _qos_pack_into(placement: Placement, tenants: list[TenantSpec],
+                   gold_servers: set[str]) -> None:
+    """Best-effort tenants prefer gold-free servers and respect the
+    reduced cap when they do share (the ``qos`` policy's second phase)."""
+    for tenant in tenants:
+        ordered = sorted(placement.fleet.servers(),
                          key=lambda s: (s.name in gold_servers, s.name))
         for server in ordered:
             cap = GOLD_HEADROOM if server.name in gold_servers else 1.0
@@ -184,7 +191,6 @@ def place_qos(fleet: FleetSpec, tenants: tuple[TenantSpec, ...]) -> Placement:
         else:
             raise PlacementError(
                 f"no server can host tenant {tenant.name} under QoS headroom")
-    return placement
 
 
 POLICIES = {
@@ -209,9 +215,11 @@ def evacuate(placement: Placement, server_name: str) -> tuple[Placement, list[di
     """Drain one server: re-place its tenants on the remaining fleet.
 
     The control plane's reaction to a surprise hot-removal — everyone
-    else stays put; the drained server's tenants are re-placed with the
-    spread heuristic against the *residual* capacity.  Returns the new
-    placement and the move list (tenant, from, to).
+    else stays put; the drained server's tenants are re-placed against
+    the *residual* capacity under the placement's own policy (the
+    ``qos`` policy keeps its gold-headroom reservation through the
+    drain).  Returns the new placement and the move list (tenant, from,
+    to).
     """
     placement.fleet.server(server_name)  # KeyError on unknown server
     evacuees = sorted(placement.tenants_on(server_name),
@@ -224,8 +232,20 @@ def evacuate(placement: Placement, server_name: str) -> tuple[Placement, list[di
     out = Placement(residual_fleet, placement.policy)
     for tname, sname in placement.assignments.items():
         if sname != server_name:
-            out.assign(placement.tenants[tname], placement.fleet.server(sname))
-    _spread_into(out, list(evacuees))
+            # look the ServerSpec up in the *residual* fleet: capacity
+            # accounting must never mix the old and new fleet views
+            out.assign(placement.tenants[tname], residual_fleet.server(sname))
+    if placement.policy == "qos":
+        gold = [t for t in evacuees if t.qos == "gold"]
+        rest = [t for t in evacuees if t.qos != "gold"]
+        _spread_into(out, gold, iops_cap_fraction=GOLD_HEADROOM)
+        gold_servers = {
+            out.server_of(t.name) for t in out.tenants.values()
+            if t.qos == "gold"
+        }
+        _qos_pack_into(out, rest, gold_servers)
+    else:
+        _spread_into(out, list(evacuees))
     moves = [
         {"tenant": t.name, "from": server_name, "to": out.server_of(t.name)}
         for t in evacuees

@@ -25,6 +25,7 @@ from ..faults import FaultPlan, get_preset
 from ..obs import MetricsRegistry
 from ..sim import SeriesRecorder
 from ..sim.units import MS
+from .migration import MigrationArrival, MigrationPlan
 
 __all__ = ["TenantAssignment", "ServerRunSpec", "run_server", "shifted_preset"]
 
@@ -63,6 +64,10 @@ class ServerRunSpec:
     faults: str | None = None        # preset name, armed shifted to fault_at_ns
     fault_at_ns: int = 0
     obs_mode: str = "counters"
+    #: tenants scheduled to leave this server (MigrationPlan tuple)
+    migrate_out: tuple = ()
+    #: tenants scheduled to arrive here (MigrationArrival tuple)
+    migrate_in: tuple = ()
 
 
 def shifted_preset(name: str, fault_at_ns: int) -> FaultPlan:
@@ -104,7 +109,11 @@ def run_server(spec: ServerRunSpec) -> dict:
     sim = rig.sim
 
     drivers = {}
-    for tenant in spec.tenants:
+    series = {}
+    stats = {}
+    stop = {}
+
+    def provision_tenant(tenant: TenantAssignment) -> None:
         limits = None
         if tenant.max_iops is not None or tenant.max_mbps is not None:
             limits = QoSLimits(
@@ -114,11 +123,17 @@ def run_server(spec: ServerRunSpec) -> dict:
             )
         fn = rig.provision(tenant.name, tenant.capacity_bytes, limits=limits)
         drivers[tenant.name] = rig.baremetal_driver(fn)
+        series[tenant.name] = SeriesRecorder(sim, window_ns=spec.window_ns)
+        stats[tenant.name] = {"ios": 0, "errors": 0, "lat_ns": []}
+        stop[tenant.name] = False
 
-    series = {t.name: SeriesRecorder(sim, window_ns=spec.window_ns)
-              for t in spec.tenants}
-    stats = {t.name: {"ios": 0, "errors": 0, "lat_ns": []} for t in spec.tenants}
-    stop = {"flag": False}
+    for tenant in spec.tenants:
+        provision_tenant(tenant)
+    # migrated-in tenants are provisioned up front (the destination's
+    # namespace exists from the moment the plan is cut) but stay idle
+    # until their scheduled handover
+    for arrival in spec.migrate_in:
+        provision_tenant(arrival.tenant)
 
     def tenant_worker(tenant: TenantAssignment, tag: int):
         driver = drivers[tenant.name]
@@ -130,7 +145,7 @@ def run_server(spec: ServerRunSpec) -> dict:
         # 10-op cycle read, matching the profile's mix to 10%
         reads = round(tenant.read_fraction * 10)
         k = 0
-        while not stop["flag"]:
+        while not stop[tenant.name]:
             t0 = sim.now
             if k % 10 < reads:
                 info = yield driver.read(lba, blocks)
@@ -147,6 +162,7 @@ def run_server(spec: ServerRunSpec) -> dict:
             yield sim.timeout(spec.pace_ns)
 
     upgrades: list[dict] = []
+    migrations: list[dict] = []
 
     def orchestrate():
         if spec.upgrade_at_ns >= 0:
@@ -158,25 +174,70 @@ def run_server(spec: ServerRunSpec) -> dict:
                 upgrades.append(dict(resp.body))
         if sim.now < spec.run_ns:
             yield sim.timeout(spec.run_ns - sim.now)
-        stop["flag"] = True
+        for name in stop:
+            stop[name] = True
+
+    def migrate_proc(plan: MigrationPlan):
+        """Execute one departure plan against this server's world."""
+        ens = rig.engine.namespaces[plan.tenant]
+        rec = {"tenant": plan.tenant, "mode": plan.mode, "dest": plan.dest,
+               "start_ns": plan.start_ns, "chunks": len(ens.chunks),
+               "rounds": [], "final_dirty": 0, "handover_ns": 0}
+        yield sim.timeout(plan.start_ns)
+        if plan.mode == "drain":
+            # stop-the-world: tenant is dark for the whole cold copy
+            stop[plan.tenant] = True
+            yield sim.timeout(len(ens.chunks) * plan.cold_chunk_copy_ns)
+            rec["handover_ns"] = sim.now
+            migrations.append(rec)
+            return
+        # iterative pre-copy: round 0 copies everything; each later
+        # round re-copies only what the write path dirtied meanwhile
+        ens.dirty_chunks = set(range(len(ens.chunks)))
+        for _ in range(plan.rounds):
+            rec["rounds"].append(len(ens.dirty_chunks))
+            ens.dirty_chunks.clear()
+            yield sim.timeout(plan.round_ns)
+        if plan.mode == "prime":
+            # warm standby ahead of a planned wave: no stop, no dest
+            rec["final_dirty"] = len(ens.dirty_chunks)
+            ens.dirty_chunks = None
+            migrations.append(rec)
+            return
+        stop[plan.tenant] = True
+        rec["final_dirty"] = len(ens.dirty_chunks)
+        ens.dirty_chunks = None
+        yield sim.timeout(plan.cutover_ns)
+        rec["handover_ns"] = sim.now
+        migrations.append(rec)
+
+    def arrival_proc(arrival: MigrationArrival):
+        yield sim.timeout(arrival.serve_from_ns)
+        for tag in range(arrival.tenant.workers):
+            sim.process(tenant_worker(arrival.tenant, tag),
+                        name=f"{arrival.tenant.name}.{tag}")
 
     for tenant in spec.tenants:
         for tag in range(tenant.workers):
             sim.process(tenant_worker(tenant, tag),
                         name=f"{tenant.name}.{tag}")
+    for plan in spec.migrate_out:
+        sim.process(migrate_proc(plan), name=f"{plan.tenant}.migrate")
+    for arrival in spec.migrate_in:
+        sim.process(arrival_proc(arrival), name=f"{arrival.tenant.name}.arrive")
     sim.run(sim.process(orchestrate(), name=f"{spec.server}.orch"))
     # drain in-flight retries so error/latency accounting is complete
     sim.run(until=sim.now + 100 * MS)
 
     nwindows = spec.run_ns // spec.window_ns
-    tenants_out = []
-    for tenant in spec.tenants:
+
+    def tenant_out(tenant: TenantAssignment) -> dict:
         st = stats[tenant.name]
         rates = [rate for t, rate in
                  series[tenant.name].series(0, spec.run_ns)][:nwindows]
         rates += [0.0] * (nwindows - len(rates))
         available = sum(1 for r in rates if r > 0.0)
-        tenants_out.append({
+        return {
             "tenant": tenant.name,
             "qos": tenant.qos,
             "ios": st["ios"],
@@ -186,7 +247,14 @@ def run_server(spec: ServerRunSpec) -> dict:
             "p99_us": _p99_us(st["lat_ns"]),
             "slo_availability": tenant.slo_availability,
             "slo_p99_us": tenant.slo_p99_us,
-        })
+        }
+
+    tenants_out = [tenant_out(t) for t in spec.tenants]
+    arrivals_out = [
+        {**tenant_out(a.tenant), "source": a.source, "mode": a.mode,
+         "serve_from_ns": a.serve_from_ns}
+        for a in spec.migrate_in
+    ]
 
     fault_kinds = sorted({e["kind"] for e in rig.controller.fault_log})
     return {
@@ -196,8 +264,10 @@ def run_server(spec: ServerRunSpec) -> dict:
         "upgrade_at_ns": spec.upgrade_at_ns,
         "upgrades": upgrades,
         "tenants": tenants_out,
-        "ios": sum(t["ios"] for t in tenants_out),
-        "errors": sum(t["errors"] for t in tenants_out),
+        "arrivals": arrivals_out,
+        "migrations": sorted(migrations, key=lambda m: m["tenant"]),
+        "ios": sum(t["ios"] for t in tenants_out + arrivals_out),
+        "errors": sum(t["errors"] for t in tenants_out + arrivals_out),
         "faults": spec.faults,
         "faults_injected": rig.faults.injected if rig.faults is not None else 0,
         "fault_kinds": fault_kinds,

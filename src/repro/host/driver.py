@@ -20,7 +20,7 @@ from ..nvme.command import CQE, SQE, alloc_sqe, free_cqe, free_sqe
 from ..nvme.namespace import Namespace
 from ..nvme.prp import build_prps
 from ..nvme.queues import CompletionQueue, QueuePair, SubmissionQueue
-from ..nvme.spec import AdminOpcode, IOOpcode, StatusCode
+from ..nvme.spec import SQE_BYTES, AdminOpcode, IOOpcode, StatusCode
 from ..obs import IOSpan, MetricsRegistry
 from ..pcie.function import PCIeFunction
 from ..sim import Event, Resource, SimulationError, Simulator, Store
@@ -53,7 +53,7 @@ class DriverStats:
     """Submission/completion/interrupt counters of one bound driver."""
     __slots__ = ("submitted", "completed", "errors", "interrupts",
                  "timeouts", "aborts", "retries", "retries_exhausted",
-                 "doorbell_mmio", "doorbell_elided")
+                 "doorbell_mmio", "doorbell_elided", "sqe_reclaims")
 
     def __init__(self) -> None:
         self.submitted = 0
@@ -64,6 +64,8 @@ class DriverStats:
         self.aborts = 0
         self.retries = 0
         self.retries_exhausted = 0
+        #: leaked SQEs (timed-out commands) recovered by their ring
+        self.sqe_reclaims = 0
         #: MMIO doorbell writes actually issued (shadow/batched modes)
         self.doorbell_mmio = 0
         #: doorbell writes avoided by the shadow/batched machinery
@@ -150,6 +152,7 @@ class NVMeDriver:
     def _make_queue_pair(self, qid: int, depth: int) -> QueuePair:
         mem = self.host.memory
         sq = SubmissionQueue(mem, mem.alloc(depth * 64), depth, sqid=qid, cqid=qid)
+        sq.on_reclaim = self._note_reclaims
         cq = CompletionQueue(mem, mem.alloc(depth * 16), depth, cqid=qid)
         if self.checks is not None:
             self.checks.bind_ring(sq)
@@ -324,6 +327,12 @@ class NVMeDriver:
             if span is not None and self.obs is not None:
                 span.note_fault("host_timeout")
                 self.obs.finish_span(span)
+            # the SQE cannot be freed — its stale ring entry may still
+            # be fetched — but the ring tracks it and recycles it once
+            # the slot is overwritten or the queue is re-attached
+            sqe = ctx.get("sqe")
+            if sqe is not None and ctx.get("slot") is not None:
+                self._qps[qid].sq.note_leaked(ctx["slot"], sqe)
         self.stats.aborts += 1
         if self.obs is not None:
             self.obs.counter("driver_aborts", driver=self.name).inc()
@@ -372,7 +381,7 @@ class NVMeDriver:
         )
         if span is not None:
             sqe.span = span
-        qp.sq.push(sqe)
+        addr = qp.sq.push(sqe)
         pool = self._ctx_pool
         ctx = pool.pop() if pool else {}
         ctx["done"] = done
@@ -383,6 +392,7 @@ class NVMeDriver:
         ctx["qid"] = qid
         ctx["span"] = span
         ctx["sqe"] = sqe
+        ctx["slot"] = (addr - qp.sq.base) // SQE_BYTES
         self._pending[(qid, cid)] = ctx
         self.stats.submitted += 1
         if self.obs is not None:
@@ -442,6 +452,12 @@ class NVMeDriver:
             yield from self._flush_doorbell(qid, self._qps[qid])
 
     # ------------------------------------------------------------- completion
+    def _note_reclaims(self, count: int) -> None:
+        """Ring callback: leaked SQEs just rejoined the free list."""
+        self.stats.sqe_reclaims += count
+        if self.obs is not None:
+            self.obs.counter("sqe_reclaims", driver=self.name).inc(count)
+
     def _on_interrupt(self, qid: int) -> None:
         self.stats.interrupts += 1
         if self.obs is not None:

@@ -108,6 +108,39 @@ class RemoteConsole:
     ) -> Event:
         return self.request(MIOpcode.SET_QOS, key=key, max_iops=max_iops, max_mbps=max_mbps)
 
+    def create_snapshot(self, volume: str, snapshot: str) -> Event:
+        """Freeze ``volume``'s current mapping under ``snapshot``."""
+        return self.request(MIOpcode.CREATE_SNAPSHOT, volume=volume,
+                            snapshot=snapshot)
+
+    def clone_volume(
+        self,
+        source: str,
+        key: str,
+        fn: Optional[int] = None,
+        max_iops: Optional[float] = None,
+        max_mbps: Optional[float] = None,
+    ) -> Event:
+        """Thin-clone ``source`` (volume or snapshot) into ``key``.
+
+        No data is copied; the clone shares the source's physical
+        chunks until first write (CoW).
+        """
+        params: dict[str, Any] = {"source": source, "key": key}
+        if fn is not None:
+            params["fn"] = fn
+        if max_iops is not None:
+            params["max_iops"] = max_iops
+        if max_mbps is not None:
+            params["max_mbps"] = max_mbps
+        return self.request(MIOpcode.CLONE_VOLUME, **params)
+
+    def volume_stat(self, key: Optional[str] = None) -> Event:
+        """Per-volume sharing/CoW statistics (all volumes when no key)."""
+        if key is None:
+            return self.request(MIOpcode.VOLUME_STAT)
+        return self.request(MIOpcode.VOLUME_STAT, key=key)
+
     def hot_upgrade(
         self, ssd: int, version: str, size_bytes: int = 2 * 1024 * 1024,
         activation_s: float = 6.5,

@@ -35,6 +35,9 @@ class MIOpcode(enum.IntEnum):
     HOT_PLUG_REPLACE = 0x31
     GET_UPGRADE_REPORT = 0x32
     GET_FAULT_LOG = 0x33  # injected faults, slot health, recovery count
+    CREATE_SNAPSHOT = 0x40  # CoW volume layer: freeze a volume's mapping
+    CLONE_VOLUME = 0x41  # thin clone from a volume or snapshot
+    VOLUME_STAT = 0x42  # per-volume sharing/CoW statistics
 
 
 class MIStatus(enum.IntEnum):

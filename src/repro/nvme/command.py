@@ -11,9 +11,16 @@ path allocates one SQE and one CQE per command, and both are dead the
 moment the host driver finalizes the completion, so the ``counters``
 observability mode runs without per-I/O allocation.  Pooling contract:
 an entry may be freed only once, only by the component that finalizes
-it, and never while any ring slot between head and tail still names it
-— a timed-out command's SQE is therefore *never* freed (its stale ring
-entry can still be fetched after a hot-plug replay).
+it, and never while any ring slot between head and tail still names it.
+A timed-out command's SQE cannot be freed at abort time (its stale ring
+entry can still be fetched after a hot-plug replay); the driver instead
+parks it in the submission ring's leak ledger
+(:meth:`~repro.nvme.queues.SubmissionQueue.note_leaked`), and the ring
+recycles it at the next provably-safe point — when its slot is
+overwritten by a later push, or when the queue is re-attached/torn down
+and the slot sits outside the live ``[head, tail)`` window.
+:func:`pool_stats` exposes the live-entry high-water mark so soak tests
+can pin that the ledger keeps the pool bounded.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ from typing import Optional
 
 from .spec import LBA_BYTES, StatusCode
 
-__all__ = ["SQE", "CQE", "alloc_sqe", "free_sqe", "alloc_cqe", "free_cqe"]
+__all__ = ["SQE", "CQE", "alloc_sqe", "free_sqe", "alloc_cqe", "free_cqe",
+           "pool_stats"]
 
 
 @dataclass(slots=True)
@@ -86,12 +94,29 @@ class CQE:
 _SQE_POOL: list = []
 _CQE_POOL: list = []
 _POOL_CAP = 4096
+# live SQE accounting (allocs minus frees through this module): the
+# high-water mark is what the leak-reclaim soak tests pin
+_SQE_STATS = {"outstanding": 0, "peak": 0}
+
+
+def pool_stats() -> dict:
+    """Live SQE count, its high-water mark, and free-list sizes."""
+    return {
+        "sqe_outstanding": _SQE_STATS["outstanding"],
+        "sqe_peak": _SQE_STATS["peak"],
+        "sqe_free": len(_SQE_POOL),
+        "cqe_free": len(_CQE_POOL),
+    }
 
 
 def alloc_sqe(opcode: int, cid: int, nsid: int, slba: int = 0, nlb: int = 0,
               prp1: int = 0, prp2: int = 0, payload: Optional[bytes] = None,
               submit_time_ns: int = 0, cdw10: int = 0, cdw11: int = 0) -> SQE:
     """A fully-initialized SQE, recycled from the free list when possible."""
+    stats = _SQE_STATS
+    stats["outstanding"] += 1
+    if stats["outstanding"] > stats["peak"]:
+        stats["peak"] = stats["outstanding"]
     if _SQE_POOL:
         sqe = _SQE_POOL.pop()
         sqe.opcode = opcode
@@ -113,6 +138,8 @@ def alloc_sqe(opcode: int, cid: int, nsid: int, slba: int = 0, nlb: int = 0,
 
 
 def free_sqe(sqe: SQE) -> None:
+    if _SQE_STATS["outstanding"] > 0:
+        _SQE_STATS["outstanding"] -= 1
     if len(_SQE_POOL) < _POOL_CAP:
         sqe.payload = None
         sqe.span = None

@@ -19,7 +19,7 @@ from ..sim import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..host.memory import HostMemory
-from .command import CQE, SQE
+from .command import CQE, SQE, free_sqe
 from .spec import CQE_BYTES, SQE_BYTES
 
 __all__ = ["SubmissionQueue", "CompletionQueue", "QueuePair", "CQECoalescer"]
@@ -49,6 +49,14 @@ class SubmissionQueue:
         # producers blocked on a full ring (FIFO; woken on head advance)
         self._space_waiters: list = []
         self._space_name = f"sq{sqid}.space"
+        # SQEs stranded in the ring by timed-out commands (slot index ->
+        # entry).  The producer records them via note_leaked; they rejoin
+        # the free list when their slot is overwritten (push) or proven
+        # dead at re-attach/teardown (reclaim_dead_slots).
+        self._leaked: dict[int, SQE] = {}
+        self.leak_reclaims = 0
+        #: optional callback fired with the count of reclaimed SQEs
+        self.on_reclaim: Optional[Callable[[int], None]] = None
 
     def slot_addr(self, index: int) -> int:
         return self.base + (index % self.depth) * SQE_BYTES
@@ -73,7 +81,16 @@ class SubmissionQueue:
         tail = self.tail
         if (tail + 1) % depth == self.head % depth:
             raise SimulationError(f"SQ{self.sqid} full")
-        addr = self.base + (tail % depth) * SQE_BYTES
+        slot = tail % depth
+        stale = self._leaked.pop(slot, None)
+        if stale is not None:
+            # overwriting the slot proves nothing can fetch the stale
+            # entry anymore, so it may rejoin the free list
+            free_sqe(stale)
+            self.leak_reclaims += 1
+            if self.on_reclaim is not None:
+                self.on_reclaim(1)
+        addr = self.base + slot * SQE_BYTES
         self.memory.store_obj(addr, sqe)
         self.tail = (tail + 1) % depth
         return addr
@@ -92,6 +109,41 @@ class SubmissionQueue:
         ev = sim.pooled_event(name=self._space_name)
         self._space_waiters.append(ev)
         return ev
+
+    def note_leaked(self, slot: int, sqe: SQE) -> None:
+        """Producer: record a timed-out command's SQE stranded at ``slot``.
+
+        The entry cannot be freed yet — the consumer may still fetch the
+        stale slot (e.g. a doorbell replay after hot-plug) — but it is
+        tracked so the pool recovers it at the next safe point.
+        """
+        self._leaked[slot % self.depth] = sqe
+
+    def reclaim_dead_slots(self) -> int:
+        """Free leaked SQEs whose slots are outside the live window.
+
+        Called at queue teardown or re-attach, *before* any doorbell
+        kick: slots in ``[head, tail)`` may still be fetched by the
+        consumer and must keep their entries; every other leaked slot
+        was consumed before the queue went away and is provably dead.
+        Returns the number of entries reclaimed.
+        """
+        if not self._leaked:
+            return 0
+        depth = self.depth
+        head = self.head % depth
+        live = (self.tail - self.head) % depth
+        freed = 0
+        for slot in sorted(self._leaked):
+            if (slot - head) % depth < live:
+                continue
+            free_sqe(self._leaked.pop(slot))
+            freed += 1
+        if freed:
+            self.leak_reclaims += freed
+            if self.on_reclaim is not None:
+                self.on_reclaim(freed)
+        return freed
 
     # consumer side ---------------------------------------------------------
     def consume_addr(self) -> int:

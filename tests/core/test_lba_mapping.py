@@ -123,6 +123,52 @@ def test_extent_conservation_property(start, count):
         assert (pl % CHUNK_BLOCKS) + c <= CHUNK_BLOCKS
 
 
+def test_extent_ending_exactly_at_final_chunk_boundary():
+    """The last block of the last provisioned chunk is reachable."""
+    table = MappingTable(chunk_blocks=CHUNK_BLOCKS, rows=1)
+    for idx in range(8):
+        table.set_entry(idx, MappingEntry(idx, idx % 4))
+    extents = table.translate_extent(8 * CHUNK_BLOCKS - 4, 4)
+    assert extents == [(3, 7 * CHUNK_BLOCKS + CHUNK_BLOCKS - 4, 4)]
+    # one block past the table still errors
+    with pytest.raises(SimulationError, match="beyond mapping table"):
+        table.translate_extent(8 * CHUNK_BLOCKS - 4, 5)
+
+
+def test_extent_crossing_a_just_cleared_entry_errors_cleanly():
+    """A split extent whose second chunk was just deprovisioned must
+    raise — and the cleared slot must read back as zero, not the stale
+    packed entry (the regression the lba checker's invalid-read hook
+    pins at runtime)."""
+    table = MappingTable(chunk_blocks=CHUNK_BLOCKS)
+    table.set_entry(0, MappingEntry(2, 0))
+    table.set_entry(1, MappingEntry(9, 3))
+    table.clear_entry(1)
+    assert table.raw_entry(1) == 0  # no stale packed value survives
+    with pytest.raises(SimulationError, match="invalid mapping entry"):
+        table.translate_extent(CHUNK_BLOCKS - 10, 30)
+    # the part before the cleared chunk still translates on its own
+    assert table.translate_extent(CHUNK_BLOCKS - 10, 10) == [
+        (0, 2 * CHUNK_BLOCKS + CHUNK_BLOCKS - 10, 10)]
+
+
+def test_cleared_entry_reads_back_zero_under_checker():
+    """clear_entry must zero the packed byte: the runtime checker fails
+    any invalid-entry read that still sees a nonzero raw value."""
+    from repro.checks import CheckContext
+
+    table = MappingTable(chunk_blocks=CHUNK_BLOCKS)
+    ctx = CheckContext(checkers=["lba"])
+    ctx.bind_table(table)
+    table.set_entry(0, MappingEntry(base_chunk=13, ssd_id=2))
+    table.clear_entry(0)
+    # translate hits the invalid entry; the checker inspects the raw
+    # byte via on_lba_invalid_read and would raise InvariantViolation
+    # ("stale packed value") if clear_entry left it nonzero
+    with pytest.raises(SimulationError, match="invalid mapping entry"):
+        table.translate(5)
+
+
 def test_valid_count_tracks_provisioning():
     table = MappingTable(chunk_blocks=CHUNK_BLOCKS)
     assert table.valid_count() == 0

@@ -1,0 +1,208 @@
+"""Live migration: plan timing, pre-copy protocol, report merging.
+
+The contract under test: migration's availability dip is strictly
+smaller than drain's (cutover only, not the whole cold copy), tenant
+I/O keeps flowing through every pre-copy round, the merged report stays
+byte-deterministic across worker counts, and a run without a reaction
+configured is byte-identical to the legacy report shape.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import migration_vs_evacuation
+from repro.fleet import (
+    FleetRunConfig,
+    MigrationArrival,
+    MigrationPlan,
+    ServerRunSpec,
+    TenantAssignment,
+    build_fleet,
+    make_tenants,
+    run_fleet,
+    run_server,
+)
+from repro.sim.units import MS
+
+QUICK = FleetRunConfig(start_ns=100 * MS, spacing_ns=350 * MS,
+                       tail_ns=100 * MS, activation_s=0.05)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+def _config(reaction: str) -> FleetRunConfig:
+    return dataclasses.replace(QUICK, reaction=reaction)
+
+
+def _world():
+    return build_fleet(num_servers=4, num_racks=2), make_tenants(6, seed=7)
+
+
+# --------------------------------------------------------------- plan math
+def test_plan_handover_migrate_is_size_independent():
+    plan = MigrationPlan(tenant="t", mode="migrate", dest="r0s1",
+                         start_ns=100 * MS)
+    assert plan.handover_ns(1) == plan.handover_ns(64)
+    assert plan.handover_ns(4) == (100 * MS + plan.rounds * plan.round_ns
+                                   + plan.cutover_ns)
+
+
+def test_plan_handover_drain_grows_with_volume_size():
+    plan = MigrationPlan(tenant="t", mode="drain", dest="r0s1",
+                         start_ns=100 * MS)
+    assert plan.handover_ns(8) - plan.handover_ns(4) == 4 * plan.cold_chunk_copy_ns
+    # even a one-chunk drain outage exceeds the migrate cutover
+    migrate = MigrationPlan(tenant="t", mode="migrate", dest="r0s1",
+                            start_ns=100 * MS)
+    assert (plan.handover_ns(1) - plan.start_ns) > migrate.cutover_ns
+
+
+def test_run_fleet_rejects_unknown_reaction():
+    fleet, tenants = _world()
+    with pytest.raises(ValueError, match="reaction"):
+        run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                  config=dataclasses.replace(QUICK, reaction="teleport"))
+
+
+# ------------------------------------------------------ single-server runs
+def _spec(**kw) -> ServerRunSpec:
+    tenant = TenantAssignment(name="t000", qos="silver",
+                              capacity_bytes=256 << 20, read_fraction=0.5,
+                              block_bytes=4096, workers=2)
+    base = dict(server="r0s0", rack="r0", seed=42, tenants=(tenant,),
+                run_ns=600 * MS, upgrade_at_ns=-1)
+    base.update(kw)
+    return ServerRunSpec(**base)
+
+
+def test_migrate_out_runs_precopy_then_cutover():
+    plan = MigrationPlan(tenant="t000", mode="migrate", dest="r0s1",
+                         start_ns=200 * MS)
+    payload = run_server(_spec(migrate_out=(plan,)))
+    [m] = payload["migrations"]
+    assert m["mode"] == "migrate" and m["dest"] == "r0s1"
+    # round 0 copies the full volume; later rounds only what writes dirtied
+    assert m["rounds"][0] == m["chunks"]
+    assert all(r <= m["chunks"] for r in m["rounds"][1:])
+    assert m["handover_ns"] == plan.handover_ns(m["chunks"])
+    t = payload["tenants"][0]
+    # the tenant served through pre-copy: windows covering the rounds
+    # are nonzero; after cutover the source serves nothing
+    window_ns = 50 * MS
+    lo = plan.start_ns // window_ns + 1
+    hi = (plan.start_ns + plan.rounds * plan.round_ns) // window_ns
+    assert all(r > 0.0 for r in t["windows"][lo:hi])
+    assert all(r == 0.0 for r in t["windows"][-2:])
+
+
+def test_drain_goes_dark_for_the_whole_cold_copy():
+    plan = MigrationPlan(tenant="t000", mode="drain", dest="r0s1",
+                         start_ns=200 * MS)
+    payload = run_server(_spec(migrate_out=(plan,)))
+    [m] = payload["migrations"]
+    assert m["rounds"] == []  # no pre-copy under drain
+    assert m["handover_ns"] == plan.handover_ns(m["chunks"])
+    t = payload["tenants"][0]
+    window_ns = 50 * MS
+    dark_from = plan.start_ns // window_ns + 1
+    assert all(r == 0.0 for r in t["windows"][dark_from:])
+
+
+def test_migrate_in_tenant_serves_only_after_handover():
+    tenant = TenantAssignment(name="t999", qos="silver",
+                              capacity_bytes=64 << 20, read_fraction=0.5,
+                              block_bytes=4096, workers=1)
+    arrival = MigrationArrival(tenant=tenant, serve_from_ns=300 * MS,
+                               source="r0s0", mode="migrate")
+    payload = run_server(_spec(tenants=(), migrate_in=(arrival,)))
+    [row] = payload["arrivals"]
+    assert row["source"] == "r0s0" and row["serve_from_ns"] == 300 * MS
+    window_ns = 50 * MS
+    first_live = arrival.serve_from_ns // window_ns
+    assert all(r == 0.0 for r in row["windows"][:first_live])
+    assert any(r > 0.0 for r in row["windows"][first_live + 1:])
+    assert payload["ios"] == row["ios"] > 0
+
+
+# ----------------------------------------------------------- fleet reports
+def test_fleet_migrate_beats_drain_on_availability():
+    fleet, tenants = _world()
+    drain = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                      config=_config("drain"))
+    migrate = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                        config=_config("migrate"))
+    assert migrate["maintenance"]["migrated"] == drain["maintenance"]["drained"]
+    assert migrate["summary"]["migrated_servers"] == 1
+    assert migrate["summary"]["migrated_tenants"] >= 1
+    moved = {m["tenant"] for m in migrate["maintenance"]["moves"]}
+    by_name = lambda rep: {t["tenant"]: t for t in rep["tenants"]}
+    for name in moved:
+        m_row, d_row = by_name(migrate)[name], by_name(drain)[name]
+        assert m_row["availability"] > d_row["availability"]
+        assert m_row["migrated_from"] == d_row["migrated_from"]
+        # dark windows: migration's dip is strictly smaller
+        dark = lambda row: sum(1 for r in row["windows"] if r == 0.0)
+        assert dark(m_row) < dark(d_row)
+    assert (migrate["summary"]["fleet_availability"]
+            > drain["summary"]["fleet_availability"])
+
+
+def test_fleet_migrate_keeps_io_flowing_through_precopy():
+    fleet, tenants = _world()
+    report = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                       config=_config("migrate"))
+    config = _config("migrate")
+    window_ns = config.window_ns
+    for move in report["maintenance"]["moves"]:
+        row = next(t for t in report["tenants"]
+                   if t["tenant"] == move["tenant"])
+        lo = -(-move["start_ns"] // window_ns)
+        hi = (move["start_ns"]
+              + config.precopy_rounds * config.precopy_round_ns) // window_ns
+        precopy = row["windows"][lo:hi]
+        assert precopy and all(r > 0.0 for r in precopy)
+        assert move["precopy_rounds"][0] == move["chunks"]
+        assert move["handover_ns"] > move["start_ns"]
+
+
+def test_fleet_migrate_parallel_matches_sequential_bytes():
+    fleet, tenants = _world()
+    seq = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                    workers=1, config=_config("migrate"))
+    par = run_fleet(fleet, tenants, faults="hot-remove", seed=7,
+                    workers=4, config=_config("migrate"))
+    assert _dumps(seq) == _dumps(par)
+    assert seq["summary"]["migrated_servers"] == 1
+
+
+def test_fleet_migrate_clean_parallel_matches_sequential_bytes():
+    """No fault armed: reaction config must not perturb a clean run."""
+    fleet, tenants = _world()
+    seq = run_fleet(fleet, tenants, seed=7, workers=1,
+                    config=_config("migrate"))
+    par = run_fleet(fleet, tenants, seed=7, workers=4,
+                    config=_config("migrate"))
+    none = run_fleet(fleet, tenants, seed=7, workers=1, config=QUICK)
+    assert _dumps(seq) == _dumps(par)
+    assert seq["summary"]["migrated_servers"] == 0
+    # with no fault there is nothing to react to: byte-identical to the
+    # legacy reaction="none" report
+    assert _dumps(seq) == _dumps(none)
+
+
+# ------------------------------------------------------------- experiment
+def test_migration_vs_evacuation_experiment():
+    result = migration_vs_evacuation.run(seed=7)
+    rows = {(r["reaction"], r["tenant"]): r for r in result.rows}
+    drains = [r for r in result.rows if r["reaction"] == "drain"]
+    migrates = [r for r in result.rows if r["reaction"] == "migrate"]
+    assert drains and migrates
+    for mig in migrates:
+        d = rows[("drain", mig["tenant"])]
+        assert mig["dark_windows"] < d["dark_windows"]
+        assert mig["outage_ms"] < d["outage_ms"]
+        assert mig["io_in_every_precopy_window"] is True

@@ -134,6 +134,45 @@ def test_duplicate_tenant_names_rejected():
         place(fleet, (_tenant(0, 1, 1000), _tenant(0, 1, 1000)), "spread")
 
 
+@settings(max_examples=60, deadline=None)
+@given(shape=fleet_shapes, tenants=tenant_lists,
+       policy=st.sampled_from(sorted(POLICIES)))
+def test_evacuate_never_overcommits_the_residual_fleet(shape, tenants, policy):
+    """Pin the evacuation capacity-accounting bug.
+
+    ``evacuate`` used to look stay-put tenants' ServerSpecs up in the
+    *old* fleet, so residual capacity checks compared against stale
+    objects and the drain could overcommit a survivor.  For any
+    placeable mix and any victim: evacuate either refuses or the
+    residual fleet honors both hard capacities (and, under ``qos``, the
+    gold-headroom reservation).
+    """
+    fleet = build_fleet(*shape)
+    try:
+        placement = place(fleet, tenants, policy)
+    except PlacementError:
+        return
+    for victim in fleet.servers():
+        try:
+            after, moves = evacuate(placement, victim.name)
+        except PlacementError:
+            continue  # refusing is the only acceptable alternative
+        assert not after.tenants_on(victim.name)
+        assert {m["tenant"] for m in moves} == {
+            t.name for t in placement.tenants_on(victim.name)}
+        for server in fleet.servers():
+            if server.name == victim.name:
+                continue
+            assert after.chunks_used(server.name) <= server.chunk_capacity
+            assert after.iops_used(server.name) <= server.iops_capacity
+            if policy == "qos" and any(
+                    after.tenants[t].qos == "gold"
+                    for t, s in after.assignments.items()
+                    if s == server.name):
+                assert (after.iops_used(server.name)
+                        <= server.iops_capacity * GOLD_HEADROOM)
+
+
 def test_evacuate_moves_everything_off_and_stays_safe():
     fleet = build_fleet(num_servers=6, num_racks=3)
     tenants = make_tenants(12, seed=5)

@@ -294,6 +294,38 @@ def test_fleet_rejects_bad_inputs(capsys):
     assert main(["fleet", "--servers", "0", "--quick"]) == 2
 
 
+def test_fleet_migrate_flag_reacts_to_hot_removal(capsys):
+    import json
+
+    assert main(["fleet", "--servers", "4", "--racks", "2", "--tenants", "6",
+                 "--quick", "--faults", "hot-remove", "--migrate",
+                 "--json", "-"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["migrated_servers"] == 1
+    assert report["summary"]["migrated_tenants"] >= 1
+    assert report["maintenance"]["reaction"] == "migrate"
+    assert all(m["mode"] == "migrate"
+               for m in report["maintenance"]["moves"])
+    # the rendered report names the migrated server
+    assert main(["fleet", "--servers", "4", "--racks", "2", "--tenants", "6",
+                 "--quick", "--faults", "hot-remove",
+                 "--reaction", "migrate"]) == 0
+    assert "live-migrated" in capsys.readouterr().out
+
+
+def test_volumes_command_runs_and_is_zero_copy(capsys):
+    import json
+
+    assert main(["volumes", "--cells", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["rows"]) == 2
+    for row in payload["rows"]:
+        assert row["cow_faults_pre"] == 0     # cloning copied nothing
+        assert row["cow_faults"] > 0          # first writes faulted
+    assert main(["volumes", "--cells", "1"]) == 0
+    assert "cow_faults" in capsys.readouterr().out
+
+
 def test_bench_check_missing_baseline_errors(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_TIME_SCALE", "0.05")
     out = tmp_path / "bench.json"
