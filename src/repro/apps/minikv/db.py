@@ -44,6 +44,13 @@ class MiniKVConfig:
     sync_writes: bool = True
     #: CPU time per client operation (memtable/index work)
     op_cpu_ns: int = 2_000
+    #: emit a leading on-disk index block per SSTable; mediated point
+    #: probes then read index + data (two commands per candidate)
+    indexed_tables: bool = False
+    #: route point lookups through an installed pushdown chase program
+    #: (one vendor command per lookup); requires :meth:`MiniKV.
+    #: install_pushdown` and falls back to mediated reads on error
+    pushdown_reads: bool = False
 
 
 @dataclass
@@ -56,6 +63,9 @@ class MiniKVStats:
     hits: int = 0
     misses: int = 0
     block_reads: int = 0
+    index_reads: int = 0
+    pushdown_gets: int = 0
+    pushdown_fallbacks: int = 0
     bloom_skips: int = 0
     flushes: int = 0
     compactions: int = 0
@@ -93,6 +103,8 @@ class MiniKV:
         #: MANIFEST role: sequence number fully covered by SSTables —
         #: WAL records at or below it are obsolete after a flush
         self.flushed_through_seq = 0
+        #: set once install_pushdown() succeeds on the device
+        self._push_armed = False
 
     # ------------------------------------------------------------ public API
     def _op_cpu(self):
@@ -122,6 +134,13 @@ class MiniKV:
         if hit is not None:
             value, _ = hit
             return self._found(value)
+        if self._push_armed and self.config.pushdown_reads:
+            done, value = yield from self._get_pushdown(key)
+            if done:
+                if value is None:
+                    self.stats.misses += 1
+                    return None
+                return self._found(value)
         # L0: newest table first (overlapping ranges)
         for table in reversed(self.levels[0]):
             value = yield from self._probe_table(table, key)
@@ -206,6 +225,7 @@ class MiniKV:
         return SSTableWriter(
             self.sim, self.device, self.allocator, self._next_table_id,
             level, expected, carry_data=self.config.carry_data,
+            indexed=self.config.indexed_tables,
         )
 
     # ----------------------------------------------------------- compaction
@@ -266,6 +286,83 @@ class MiniKV:
             self._compacting = True
             self.sim.process(self._compact_l0(), name=f"{self.name}.compact")
 
+    # ------------------------------------------------------------- pushdown
+    def install_pushdown(self):
+        """Process generator: install the SSTable chase program.
+
+        The program's windows cover everything past the WAL ring, so
+        even a buggy program can never reach the durability log; the
+        device must expose the vendor pushdown path
+        (``install_push_program``/``push_exec``).
+        """
+        from ...push import chase_program
+
+        install = getattr(self.device, "install_push_program", None)
+        if install is None:
+            raise SimulationError(f"{self.name}: device has no pushdown path")
+        windows = [[self.config.wal_ring_blocks,
+                    self.device.num_blocks - self.config.wal_ring_blocks]]
+        info = yield install(chase_program(windows))
+        self._push_armed = bool(getattr(info, "ok", False))
+        return info
+
+    def _candidate_tables(self, key: bytes) -> list[SSTable]:
+        """Tables a mediated lookup would probe, in probe order."""
+        tables = list(reversed(self.levels[0]))
+        for level in self.levels[1:]:
+            table = self._level_candidate(level, key)
+            if table is not None:
+                tables.append(table)
+        out = []
+        for table in tables:
+            if not table.bloom.might_contain(key):
+                self.stats.bloom_skips += 1
+                continue
+            if table.block_for(key) is None:
+                continue
+            out.append(table)
+        return out
+
+    def _get_pushdown(self, key: bytes):
+        """Process generator: one vendor command resolves the lookup.
+
+        Returns ``(done, value)``; ``done=False`` means the device
+        refused the command (e.g. mid hot-remove) and the caller must
+        fall back to mediated probes.
+        """
+        carry = self.config.carry_data
+        tables = self._candidate_tables(key)
+        if not tables:
+            return True, None
+        candidates = []
+        for table in tables:
+            cand = {
+                "index_lba": table.extent.lba + table.index_block_for(key),
+                "data_base": table.extent.lba + table.data_block_offset,
+            }
+            if not carry:
+                # shadow mode: precompute the pointer chase outcome so
+                # the engine issues the identical command sequence
+                # without any bytes flowing
+                ptr = table.block_for(key)
+                cand["shadow_ptr"] = ptr
+                cand["hit"] = table.get_from_block(
+                    table.shadow_blocks[ptr], key) is not None
+            candidates.append(cand)
+        info = yield self.device.push_exec(
+            {"carry": carry, "key": key, "candidates": candidates})
+        result = info.data
+        if not info.ok or result is None:
+            self.stats.pushdown_fallbacks += 1
+            return False, None
+        self.stats.pushdown_gets += 1
+        if not result.found:
+            return True, None
+        table = tables[result.candidate]
+        blob = result.block if carry else table.shadow_blocks[result.block_idx]
+        hit = table.get_from_block(blob or b"", key)
+        return True, hit[0] if hit else None
+
     # ---------------------------------------------------------------- reads
     def _level_candidate(self, level: list[SSTable], key: bytes) -> Optional[SSTable]:
         if not level:
@@ -283,14 +380,36 @@ class MiniKV:
         block_idx = table.block_for(key)
         if block_idx is None:
             return None
+        if table.data_block_offset:
+            # indexed table: the mediated path pays the on-disk index
+            # hop a real database would (the pushdown path folds both
+            # hops into one vendor command)
+            block_idx = yield from self._read_index(table, key, block_idx)
         blob = yield from self._read_block(table, block_idx)
         hit = table.get_from_block(blob, key)
         return hit[0] if hit else None
 
+    def _read_index(self, table: SSTable, key: bytes, block_idx: int):
+        from .sstable import lookup_index_block
+
+        self.stats.index_reads += 1
+        info = yield self.device.read(
+            table.extent.lba + table.index_block_for(key), 1,
+            **self._read_kwargs()
+        )
+        if not info.ok:
+            raise SimulationError("SSTable index read failed")
+        if self.config.carry_data:
+            looked = lookup_index_block(info.data or b"", key)
+            if looked is not None:
+                return looked
+        return block_idx
+
     def _read_block(self, table: SSTable, block_idx: int):
         self.stats.block_reads += 1
         info = yield self.device.read(
-            table.extent.lba + block_idx, 1, **self._read_kwargs()
+            table.extent.lba + table.data_block_offset + block_idx, 1,
+            **self._read_kwargs()
         )
         if not info.ok:
             raise SimulationError("SSTable block read failed")

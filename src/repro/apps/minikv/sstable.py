@@ -9,6 +9,7 @@ bloom filter passes; range scans read the covered blocks.
 from __future__ import annotations
 
 import bisect
+import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -19,7 +20,23 @@ from ..blockfs import Extent, ExtentAllocator
 from .bloom import BloomFilter
 from .encoding import decode_records, encode_record
 
-__all__ = ["SSTable", "SSTableWriter"]
+__all__ = ["SSTable", "SSTableWriter", "lookup_index_block"]
+
+
+def lookup_index_block(blob: bytes, key: bytes) -> Optional[int]:
+    """Data-block number from one on-disk index block.
+
+    Index records reuse the data framing with an 8-byte little-endian
+    block number as the value; the answer is the last entry whose first
+    key is <= ``key`` (the same rule :meth:`SSTable.block_for` applies
+    to the in-memory index).
+    """
+    best: Optional[int] = None
+    for first_key, value, _seq in decode_records(blob):
+        if first_key > key:
+            break
+        best = int.from_bytes(value[:8], "little")
+    return best
 
 
 @dataclass
@@ -36,6 +53,11 @@ class SSTable:
     level: int = 0
     #: authoritative block payloads when the store elides device bytes
     shadow_blocks: Optional[list[bytes]] = field(default=None, repr=False)
+    #: leading on-disk index blocks preceding the data blocks; data
+    #: block i lives at ``extent.lba + data_block_offset + i``
+    data_block_offset: int = 0
+    #: first key covered by each on-disk index block (indexed tables)
+    index_first_keys: Optional[list[bytes]] = None
 
     @property
     def num_blocks(self) -> int:
@@ -49,6 +71,12 @@ class SSTable:
         if not (self.min_key <= key <= self.max_key):
             return None
         idx = bisect.bisect_right(self.first_keys, key) - 1
+        return max(0, idx)
+
+    def index_block_for(self, key: bytes) -> int:
+        """Which on-disk index block covers ``key`` (indexed tables)."""
+        assert self.index_first_keys is not None
+        idx = bisect.bisect_right(self.index_first_keys, key) - 1
         return max(0, idx)
 
     def get_from_block(self, blob: bytes, key: bytes) -> Optional[tuple[bytes, int]]:
@@ -71,6 +99,7 @@ class SSTableWriter:
         level: int,
         expected_records: int,
         carry_data: bool = False,
+        indexed: bool = False,
     ):
         self.sim = sim
         self.device = device
@@ -78,6 +107,7 @@ class SSTableWriter:
         self.table_id = table_id
         self.level = level
         self.carry_data = carry_data
+        self.indexed = indexed
         self._blocks: list[bytes] = []
         self._current = bytearray()
         self._first_keys: list[bytes] = []
@@ -106,16 +136,38 @@ class SSTableWriter:
         self._blocks.append(bytes(self._current.ljust(PAGE_SIZE, b"\0")))
         self._current = bytearray()
 
+    def _index_blocks(self) -> tuple[list[bytes], list[bytes]]:
+        """On-disk index: one record per data block (first key -> number)."""
+        blocks: list[bytes] = []
+        block_keys: list[bytes] = []
+        current = bytearray()
+        for number, first_key in enumerate(self._first_keys):
+            rec = encode_record(first_key, struct.pack("<Q", number), 0)
+            if len(current) + len(rec) > PAGE_SIZE and current:
+                blocks.append(bytes(current.ljust(PAGE_SIZE, b"\0")))
+                current = bytearray()
+            if not current:
+                block_keys.append(first_key)
+            current += rec
+        if current:
+            blocks.append(bytes(current.ljust(PAGE_SIZE, b"\0")))
+        return blocks, block_keys
+
     def finish(self):
         """Process generator: write all blocks; returns the SSTable."""
         if self._current:
             self._seal_block()
         if not self._blocks:
             return None
-        extent = self.allocator.alloc(len(self._blocks))
+        index_blocks: list[bytes] = []
+        index_keys: list[bytes] = []
+        if self.indexed:
+            index_blocks, index_keys = self._index_blocks()
+        blocks = index_blocks + self._blocks
+        extent = self.allocator.alloc(len(blocks))
         # one large sequential write, as a file-system append would issue
-        payload = b"".join(self._blocks) if self.carry_data else None
-        info = yield self.device.write(extent.lba, len(self._blocks), payload=payload)
+        payload = b"".join(blocks) if self.carry_data else None
+        info = yield self.device.write(extent.lba, len(blocks), payload=payload)
         if not info.ok:
             raise SimulationError("SSTable write failed")
         return SSTable(
@@ -128,4 +180,6 @@ class SSTableWriter:
             num_records=self._records,
             level=self.level,
             shadow_blocks=None if self.carry_data else list(self._blocks),
+            data_block_offset=len(index_blocks),
+            index_first_keys=index_keys if self.indexed else None,
         )

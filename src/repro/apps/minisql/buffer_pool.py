@@ -56,6 +56,9 @@ class BufferPool:
         #: write-ahead barrier: a generator hook run before any dirty
         #: page reaches the device (the engine syncs redo up to page.lsn)
         self.write_barrier = None
+        #: optional generator hook replacing the miss read — the engine
+        #: points it at an installed pushdown filter program
+        self.pushdown_read = None
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -78,7 +81,10 @@ class BufferPool:
             return page
         self.stats.misses += 1
         yield from self._make_room()
-        info = yield self.device.read(self.store.lba_of(page_id), PAGE_BLOCKS)
+        if self.pushdown_read is not None:
+            info = yield from self.pushdown_read(self.store.lba_of(page_id))
+        else:
+            info = yield self.device.read(self.store.lba_of(page_id), PAGE_BLOCKS)
         if not info.ok:
             raise SimulationError(f"page {page_id} read failed")
         self.stats.reads += 1

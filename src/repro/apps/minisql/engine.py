@@ -39,6 +39,9 @@ class MiniSQLConfig:
     checkpoint_interval_ns: int = 10 * MS
     checkpoint_dirty_fraction: float = 0.25
     max_tablespace_pages: int = 1 << 20
+    #: fetch buffer-pool misses through an installed pushdown filter
+    #: program (requires :meth:`MiniSQL.install_pushdown`)
+    pushdown_reads: bool = False
 
 
 class Transaction:
@@ -157,6 +160,8 @@ class MiniSQL:
         self.committed_txns = 0
         self.total_txn_latency_ns = 0
         self._checkpointer = None
+        self.pushdown_fetches = 0
+        self.pushdown_fallbacks = 0
 
     # ------------------------------------------------------------------ DDL
     def create_table(self, schema: TableSchema) -> Table:
@@ -182,6 +187,38 @@ class MiniSQL:
         result = yield from gen(txn)
         yield from txn.commit()
         return result
+
+    # ------------------------------------------------------------- pushdown
+    def install_pushdown(self):
+        """Process generator: install the page filter program.
+
+        Its windows cover the tablespace only — the redo ring stays
+        outside the sandbox — and buffer-pool misses are then fetched
+        through one vendor command each instead of a mediated read.
+        """
+        from ...push import filter_program
+
+        install = getattr(self.device, "install_push_program", None)
+        if install is None:
+            raise SimulationError(f"{self.name}: device has no pushdown path")
+        windows = [[self.config.redo_ring_blocks,
+                    self.device.num_blocks - self.config.redo_ring_blocks]]
+        info = yield install(filter_program(windows))
+        if getattr(info, "ok", False) and self.config.pushdown_reads:
+            self.pool.pushdown_read = self._pushdown_fetch
+        return info
+
+    def _pushdown_fetch(self, lba: int):
+        """Process generator: one page's blocks via the filter program,
+        falling back to the mediated read if the device refuses."""
+        info = yield self.device.push_exec(
+            {"carry": False, "base_lba": lba, "nblocks": PAGE_BLOCKS})
+        if info.ok:
+            self.pushdown_fetches += 1
+            return info
+        self.pushdown_fallbacks += 1
+        info = yield self.device.read(lba, PAGE_BLOCKS)
+        return info
 
     # -------------------------------------------------------------- WAL rule
     def _write_barrier(self, page: Page):

@@ -28,6 +28,9 @@ checker     invariants (hook points)
             passed accounting (``core.qos``)
 ``kernel``  sim-kernel sanity: clock monotonicity, no event dispatched
             twice (``sim.kernel`` dispatch loop)
+``push``    pushdown sandbox confinement: every backend I/O a program
+            issues stays inside the LBA windows it was installed with
+            and inside the namespace (``push.manager``)
 ==========  ============================================================
 """
 
@@ -48,7 +51,7 @@ __all__ = [
 ]
 
 #: every named checker, in documentation order
-CHECKER_NAMES = ("ring", "prp", "lba", "qos", "kernel")
+CHECKER_NAMES = ("ring", "prp", "lba", "qos", "kernel", "push")
 
 #: spellings of "no checkers" accepted by :func:`resolve_checks`
 _OFF_VALUES = ("", "0", "off", "none", "false")
@@ -173,6 +176,7 @@ class CheckContext:
         self.lba = "lba" in self.enabled
         self.qos = "qos" in self.enabled
         self.kernel = "kernel" in self.enabled
+        self.push = "push" in self.enabled
         self.counts: dict[str, int] = {name: 0 for name in names}
         self.violations = 0
         self._counters = {}
@@ -189,6 +193,11 @@ class CheckContext:
         #: VolumeManager id -> shadow refcounts (ssd_id, chunk) -> count
         self._vol_refs: dict[int, dict[tuple[int, int], int]] = {}
         self._vol_objs: list = []
+        #: PushManager id -> key -> (windows, namespace blocks), recorded
+        #: at install time so the I/O-time check is independent of the
+        #: manager's own (possibly tampered) program copy
+        self._push_progs: dict[int, dict[str, tuple[tuple, int]]] = {}
+        self._push_objs: list = []
         self._freed: dict[str, _FreedRanges] = {}
         self._last_now = 0
 
@@ -234,6 +243,11 @@ class CheckContext:
         """Arm one VolumeManager's refcount shadow (lba checker)."""
         if self.lba:
             vm.checks = self
+
+    def bind_push(self, manager) -> None:
+        """Arm one PushManager's sandbox shadow (called on construction)."""
+        if self.push:
+            manager.checks = self
 
     def bind_pool(self, pool) -> None:
         if self.prp:
@@ -554,6 +568,52 @@ class CheckContext:
         if event._processed:
             self._fail("kernel", "event dispatched twice",
                        event=event.name, now=now)
+
+    # -------------------------------------------------------- hooks: push
+    def _push_shadow(self, manager) -> dict:
+        shadow = self._push_progs.get(id(manager))
+        if shadow is None:
+            shadow = self._push_progs[id(manager)] = {}
+            self._push_objs.append(manager)
+        return shadow
+
+    def on_push_install(self, manager, key: str, program, ns_blocks: int) -> None:
+        """Hook in :meth:`PushManager.install`: snapshot the declared LBA
+        windows so every later program-issued I/O can be replayed against
+        the *installed* confinement, not the manager's live copy."""
+        self._note("push")
+        shadow = self._push_shadow(manager)
+        windows = tuple(tuple(w) for w in program.windows)
+        for start, count in windows:
+            if start < 0 or count < 1 or start + count > ns_blocks:
+                self._fail("push",
+                           f"{key}: installed window escapes the namespace",
+                           window=(start, count), ns_blocks=ns_blocks)
+        shadow[key] = (windows, ns_blocks)
+
+    def on_push_io(self, manager, key: str, lba: int, nblocks: int,
+                   span=None) -> None:
+        """Hook before every backend read/write a pushdown program issues
+        (runs *before* the interpreter's own ``admits`` gate, so either
+        enforcement point catches the removal of the other)."""
+        self._note("push")
+        shadow = self._push_shadow(manager).get(key)
+        if shadow is None:
+            self._fail("push",
+                       f"{key}: program I/O without a recorded install",
+                       span=span, lba=lba, nblocks=nblocks)
+        windows, ns_blocks = shadow
+        if lba < 0 or nblocks < 1 or lba + nblocks > ns_blocks:
+            self._fail("push",
+                       f"{key}: program I/O escapes the namespace",
+                       span=span, lba=lba, nblocks=nblocks,
+                       ns_blocks=ns_blocks)
+        for start, count in windows:
+            if start <= lba and lba + nblocks <= start + count:
+                return
+        self._fail("push",
+                   f"{key}: program I/O outside its declared LBA windows",
+                   span=span, lba=lba, nblocks=nblocks, windows=windows)
 
     # -------------------------------------------------------------- report
     def summary(self) -> dict[str, int]:

@@ -11,6 +11,7 @@ bench [--check BASELINE]   kernel events/sec benchmark + regression gate
 faults [--only SUBSTR]     availability under injected faults (--list: presets)
 fleet --servers N ...      datacenter fleet: placement + rolling hot-upgrade
 volumes [--cells N]        snapshot/thin-clone/CoW demo over NVMe-MI
+push [--cells N]           pushdown ablation: mediated vs in-engine lookups
 tco                        print the §VI-C TCO analysis
 check [--static]           static determinism audit + checked reference run
 """
@@ -55,6 +56,7 @@ def _experiment_registry():
         fig15_table9,
         latency_breakdown,
         migration_vs_evacuation,
+        pushdown_ablation,
         table1,
         table2,
         table6,
@@ -92,6 +94,8 @@ def _experiment_registry():
         ("migration-vs-evacuation",
          "live migration vs drain on surprise hot-removal",
          migration_vs_evacuation.run),
+        ("pushdown", "computational pushdown ablation (beyond §VI)",
+         pushdown_ablation.run),
     ]
 
 
@@ -494,6 +498,25 @@ def _cmd_volumes(args) -> int:
     return 0
 
 
+def _cmd_push(args) -> int:
+    from .experiments import pushdown_ablation
+
+    result = pushdown_ablation.run(seed=args.seed, cells=args.cells,
+                                   workers=args.workers)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }, indent=2, sort_keys=True, default=str))
+        return 0
+    print(result.table())
+    return 0
+
+
 def _cmd_tco(_args) -> int:
     from .experiments import tco_analysis
 
@@ -522,6 +545,37 @@ def _exercise_qos_checker():
     for _ in range(8):
         qos.admit("ns", 4096)
     sim.run()
+    return ctx
+
+
+def _exercise_push_checker():
+    """Drive the push checker through one installed-program lookup.
+
+    Reference cases never install a pushdown program, so a checked run
+    would report zero ``push`` coverage; this micro-world installs a
+    chase program and executes one shadow invocation so ``repro check``
+    proves the sandbox-confinement hooks executed.  Own CheckContext for
+    the same simulator-isolation reason as the qos micro-world.
+    """
+    from .baselines import build_bmstore
+    from .checks import CheckContext
+    from .push import chase_program
+
+    ctx = CheckContext(checkers=["push"])
+    rig = build_bmstore(num_ssds=1, checks=ctx)
+    fn = rig.provision("pushchk", 8 * 1024 * 1024)
+    driver = rig.baremetal_driver(fn)
+
+    def proc():
+        yield driver.install_push_program(chase_program([[0, 64]]))
+        yield driver.push_exec({
+            "carry": False, "key": b"k",
+            "candidates": [{"index_lba": 0, "data_base": 1,
+                            "shadow_ptr": 2, "hit": True}],
+        })
+
+    rig.sim.spawn(proc())
+    rig.sim.run()
     return ctx
 
 
@@ -556,6 +610,9 @@ def _cmd_check(args) -> int:
     qos_ctx = _exercise_qos_checker()
     for name, count in qos_ctx.summary().items():
         coverage[name] = coverage.get(name, 0) + count
+    if "push" in coverage:
+        push_ctx = _exercise_push_checker()
+        coverage["push"] += push_ctx.summary()["push"]
 
     payload.update({
         "scheme": args.scheme,
@@ -718,6 +775,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="print the result rows as JSON")
 
+    p = sub.add_parser("push",
+                       help="pushdown ablation: mediated vs in-engine lookups")
+    p.add_argument("--cells", type=int, default=4, metavar="N",
+                   help="independent seeded worlds (each runs both read "
+                        "paths over the same minikv workload)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="fan cells over N processes (results are identical)")
+    p.add_argument("--json", action="store_true",
+                   help="print the result rows as JSON")
+
     sub.add_parser("tco", help="print the TCO analysis")
 
     p = sub.add_parser("check",
@@ -743,6 +811,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults": _cmd_faults,
         "fleet": _cmd_fleet,
         "volumes": _cmd_volumes,
+        "push": _cmd_push,
         "tco": _cmd_tco,
         "check": _cmd_check,
     }[args.command]

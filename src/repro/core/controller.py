@@ -236,6 +236,18 @@ class BMSController:
             if p.get("key") is not None:
                 return MIStatus.SUCCESS, vm.volume_stat(p["key"])
             return MIStatus.SUCCESS, {"volumes": vm.stat_all()}
+        if op == int(MIOpcode.PUSH_INSTALL):
+            pm = self.engine.push_manager()
+            body = pm.install(p["key"], p["program"])
+            return MIStatus.SUCCESS, body
+        if op == int(MIOpcode.PUSH_UNINSTALL):
+            pm = self.engine.push_manager()
+            return MIStatus.SUCCESS, pm.uninstall(p["key"])
+        if op == int(MIOpcode.PUSH_STAT):
+            pm = self.engine.push_manager()
+            if p.get("key") is not None:
+                return MIStatus.SUCCESS, pm.stat(p["key"])
+            return MIStatus.SUCCESS, {"programs": pm.stat_all()}
         if op == int(MIOpcode.GET_FAULT_LOG):
             yield self.sim.timeout(self.engine.timings.monitor_sample_ns)
             slots = [

@@ -195,6 +195,8 @@ class BMSEngine:
         self.checks = None
         #: bound VolumeManager (CoW clones/snapshots); None = dormant
         self.volumes = None
+        #: bound PushManager (computational pushdown); None = dormant
+        self.push = None
         #: the full CheckContext, kept for binding tables/rings created later
         self._check_ctx = checks
 
@@ -304,6 +306,18 @@ class BMSEngine:
 
             self.volumes = VolumeManager(self)
         return self.volumes
+
+    def push_manager(self):
+        """The engine's pushdown program layer, armed on first use.
+
+        Worlds that never call this keep ``self.push is None`` and
+        execute byte-identical event sequences to pre-pushdown builds.
+        """
+        if self.push is None:
+            from ..push import PushManager
+
+            self.push = PushManager(self)
+        return self.push
 
     def create_namespace(
         self,
@@ -599,6 +613,16 @@ class BMSEngine:
         # FLUSH fans out to every SSD backing the namespace
         if sqe.opcode == int(IOOpcode.FLUSH):
             yield from self._handle_flush(fn, qid, sqe, ens)
+            return
+
+        # vendor pushdown command: hand the whole I/O to the interpreter
+        if sqe.opcode == int(IOOpcode.PUSH_EXEC):
+            if self.push is None:
+                self.post_front_cqe(fn, qid, sqe.cid,
+                                    int(StatusCode.INVALID_OPCODE), 0,
+                                    span=sqe.span)
+                return
+            yield from self.push.execute(fn, qid, sqe, ens)
             return
 
         nblocks = sqe.num_blocks

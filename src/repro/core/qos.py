@@ -13,7 +13,6 @@ and for the QoS on/off ablation.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -165,22 +164,6 @@ class QoSModule:
         """Commands sitting in the namespace's buffer right now."""
         nsq = self._per_ns.get(ns_key)
         return len(nsq.buffer) if nsq else 0
-
-    def buffered_count(self, ns_key: str) -> int:
-        """Deprecated: ambiguous between cumulative and current depth.
-
-        Historically returned the cumulative total while several callers
-        read it as the current depth.  Use :meth:`buffered_total` or
-        :meth:`buffer_depth` explicitly.
-        """
-        warnings.warn(
-            "QoSModule.buffered_count is deprecated; use buffered_total() "
-            "for the cumulative count or buffer_depth() for the current "
-            "buffer occupancy",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.buffered_total(ns_key)
 
     def passed_count(self, ns_key: str) -> int:
         nsq = self._per_ns.get(ns_key)

@@ -134,4 +134,44 @@ class TargetController:
             yield self.engine.sim.timeout(self.engine.timings.pipeline_ns)
             self.engine.post_front_cqe(fn, qid, sqe.cid, int(StatusCode.SUCCESS), 0)
             return True
+        if opcode in (
+            int(AdminOpcode.PUSH_INSTALL),
+            int(AdminOpcode.PUSH_UNINSTALL),
+            int(AdminOpcode.PUSH_STAT),
+        ):
+            yield self.engine.sim.timeout(self.engine.timings.pipeline_ns)
+            yield from self._push_admin(fn, qid, sqe)
+            return True
         return False
+
+    def _push_admin(self, fn: "FrontEndFunction", qid: int, sqe: SQE):
+        """In-band pushdown program management (vendor admin opcodes)."""
+        from ..push import PushValidationError
+
+        engine = self.engine
+        if fn.ns_key is None:
+            engine.post_front_cqe(fn, qid, sqe.cid,
+                                  int(StatusCode.INVALID_NAMESPACE), 0)
+            return
+        opcode = sqe.opcode
+        status = StatusCode.SUCCESS
+        if opcode == int(AdminOpcode.PUSH_INSTALL):
+            try:
+                engine.push_manager().install(fn.ns_key, sqe.payload)
+            except PushValidationError:
+                status = StatusCode.INVALID_FIELD
+        elif opcode == int(AdminOpcode.PUSH_UNINSTALL):
+            push = engine.push
+            if push is None or push.program_for(fn.ns_key) is None:
+                status = StatusCode.INVALID_FIELD
+            else:
+                push.uninstall(fn.ns_key)
+        else:  # PUSH_STAT
+            push = engine.push
+            entry = push.program_for(fn.ns_key) if push is not None else None
+            if entry is None:
+                status = StatusCode.INVALID_FIELD
+            elif sqe.prp1:
+                yield engine.front_port.mem_write(sqe.prp1, 512, None)
+                engine.host_identify_pages[sqe.prp1] = entry.stat()
+        engine.post_front_cqe(fn, qid, sqe.cid, int(status), 0)

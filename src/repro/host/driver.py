@@ -27,7 +27,7 @@ from ..sim import Event, Resource, SimulationError, Simulator, Store
 from .block import CompletionInfo
 from .environment import Host
 from .kernel_profile import KernelProfile
-from .memory import BufferPool
+from .memory import PAGE_SIZE, BufferPool
 from .policy import DEFAULT_POLICY, SubmissionPolicy
 
 __all__ = ["NVMeControllerTarget", "NVMeDriver", "DriverStats"]
@@ -222,6 +222,79 @@ class NVMeDriver:
     def flush(self) -> Event:
         return self._submit_io(int(IOOpcode.FLUSH), 0, 0, None, False)
 
+    # ------------------------------------------------------------- pushdown
+    def install_push_program(self, program: dict) -> Event:
+        """Install a pushdown program on this driver's namespace via the
+        in-band vendor admin path (the engine validates it)."""
+        return self.admin(AdminOpcode.PUSH_INSTALL, payload=program)
+
+    def uninstall_push_program(self) -> Event:
+        return self.admin(AdminOpcode.PUSH_UNINSTALL)
+
+    def push_exec(self, invocation: dict) -> Event:
+        """Run one installed-program invocation at the engine.
+
+        The invocation object rides in a single DMA page; the engine's
+        interpreter parks a :class:`~repro.push.manager.PushResult` back
+        at the same page, returned as ``CompletionInfo.data``.
+        """
+        done = self.sim.event(name=self._io_event_name)
+        self.sim.spawn(self._push_proc(invocation, done),
+                       name=self._submit_pname)
+        return done
+
+    def _push_proc(self, invocation: dict, done: Event):
+        start = self.sim.now
+        span = None
+        if self.obs is not None and self.obs.want_span():
+            span = IOSpan("push", origin=self.name)
+            span.stamp("submit", start)
+        yield self.sim.timeout(self.kernel.submit_overhead_ns + self.extra_submit_ns)
+        qid = self._pick_queue()
+        yield self._slots[qid].acquire()
+
+        length = PAGE_SIZE  # one page carries the invocation + result
+        buf = self._pool.get(length)
+        self.host.memory.store_obj(buf, invocation)
+        prp1, prp2 = build_prps(self.host.memory, buf, length)
+
+        contended = self._lock.in_use > 0 or self._lock.queued > 0
+        yield self._lock.acquire()
+        yield self.sim.timeout(self.contended_lock_ns if contended else self.lock_ns)
+        qp = self._qps[qid]
+        while qp.sq.is_full:
+            self._lock.release()
+            yield qp.sq.wait_space(self.sim)
+            yield self._lock.acquire()
+            yield self.sim.timeout(self.contended_lock_ns)
+        cid = self._next_cid[qid] = (self._next_cid[qid] + 1) % 0xFFFF
+        sqe = alloc_sqe(
+            opcode=int(IOOpcode.PUSH_EXEC), cid=cid, nsid=self.nsid,
+            slba=0, nlb=0, prp1=prp1, prp2=prp2,
+            submit_time_ns=start,
+        )
+        if span is not None:
+            sqe.span = span
+        addr = qp.sq.push(sqe)
+        pool = self._ctx_pool
+        ctx = pool.pop() if pool else {}
+        ctx["done"] = done
+        ctx["start"] = start
+        ctx["buf"] = buf
+        ctx["length"] = length
+        ctx["want_data"] = False
+        ctx["push"] = True
+        ctx["qid"] = qid
+        ctx["span"] = span
+        ctx["sqe"] = sqe
+        ctx["slot"] = (addr - qp.sq.base) // SQE_BYTES
+        self._pending[(qid, cid)] = ctx
+        self.stats.submitted += 1
+        if self.obs is not None:
+            self._c_submitted[qid].inc()
+        self._lock.release()
+        yield from self._ring_doorbell(qid, qp)
+
     # ---------------------------------------------------------------- submit
     def _submit_io(
         self,
@@ -389,6 +462,7 @@ class NVMeDriver:
         ctx["buf"] = buf
         ctx["length"] = length
         ctx["want_data"] = want_data
+        ctx["push"] = False
         ctx["qid"] = qid
         ctx["span"] = span
         ctx["sqe"] = sqe
@@ -501,7 +575,14 @@ class NVMeDriver:
         if not ok:
             self.stats.errors += 1
         data = None
-        if ctx["want_data"] and ctx["length"]:
+        if ctx.get("push"):
+            # the engine parked a PushResult over the invocation object;
+            # always pop it so the recycled buffer never shadows later
+            # byte reads at the same address
+            obj = self.host.memory.pop_obj(ctx["buf"])
+            if ok:
+                data = obj
+        elif ctx["want_data"] and ctx["length"]:
             data = self.host.memory.mem_read(ctx["buf"], ctx["length"])
         if ctx["buf"]:
             self._pool.put(ctx["buf"], ctx["length"])
@@ -555,7 +636,7 @@ class NVMeDriver:
         qp.sq.push(sqe)
         self._pending[(0, cid)] = {
             "done": done, "start": start, "buf": 0,
-            "length": 0, "want_data": False, "qid": 0,
+            "length": 0, "want_data": False, "push": False, "qid": 0,
             "span": None, "sqe": None,
         }
         self.stats.submitted += 1

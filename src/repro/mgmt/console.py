@@ -141,6 +141,24 @@ class RemoteConsole:
             return self.request(MIOpcode.VOLUME_STAT)
         return self.request(MIOpcode.VOLUME_STAT, key=key)
 
+    def install_program(self, key: str, program: dict) -> Event:
+        """Install a pushdown program on ``key``'s namespace (out of band).
+
+        The program dict is validated engine-side before it is armed;
+        a rejected program surfaces as ``INVALID_PARAMETER`` with the
+        validator's reason in the response error text.
+        """
+        return self.request(MIOpcode.PUSH_INSTALL, key=key, program=program)
+
+    def uninstall_program(self, key: str) -> Event:
+        return self.request(MIOpcode.PUSH_UNINSTALL, key=key)
+
+    def push_stat(self, key: Optional[str] = None) -> Event:
+        """Per-program execution statistics (all programs when no key)."""
+        if key is None:
+            return self.request(MIOpcode.PUSH_STAT)
+        return self.request(MIOpcode.PUSH_STAT, key=key)
+
     def hot_upgrade(
         self, ssd: int, version: str, size_bytes: int = 2 * 1024 * 1024,
         activation_s: float = 6.5,

@@ -38,6 +38,9 @@ class MIOpcode(enum.IntEnum):
     CREATE_SNAPSHOT = 0x40  # CoW volume layer: freeze a volume's mapping
     CLONE_VOLUME = 0x41  # thin clone from a volume or snapshot
     VOLUME_STAT = 0x42  # per-volume sharing/CoW statistics
+    PUSH_INSTALL = 0x50  # pushdown: validate + install a program on a namespace
+    PUSH_UNINSTALL = 0x51  # pushdown: remove an installed program
+    PUSH_STAT = 0x52  # pushdown: per-program execution statistics
 
 
 class MIStatus(enum.IntEnum):

@@ -41,6 +41,10 @@ class AdminOpcode(enum.IntEnum):
     FIRMWARE_COMMIT = 0x10
     FIRMWARE_DOWNLOAD = 0x11
     NS_ATTACH = 0x15
+    # vendor-specific (BM-Store pushdown program management, in-band)
+    PUSH_INSTALL = 0xC0
+    PUSH_UNINSTALL = 0xC1
+    PUSH_STAT = 0xC2
 
 
 class IOOpcode(enum.IntEnum):
@@ -50,6 +54,7 @@ class IOOpcode(enum.IntEnum):
     READ = 0x02
     WRITE_ZEROES = 0x08
     DSM = 0x09  # deallocate / TRIM
+    PUSH_EXEC = 0xC8  # vendor-specific: run an installed pushdown program
 
 
 class StatusCode(enum.IntEnum):
@@ -65,3 +70,4 @@ class StatusCode(enum.IntEnum):
     LBA_OUT_OF_RANGE = 0x80
     CAPACITY_EXCEEDED = 0x81
     NAMESPACE_NOT_READY = 0x82
+    PUSH_SANDBOX_FAULT = 0x83  # vendor: pushdown program escaped its sandbox

@@ -14,6 +14,7 @@ stage            where it is stamped                            layer
 ``forward``      back-end command(s) pushed to the adaptor      ``core/engine.py`` (extra stage)
 ``ssd_dma``      back-end SSD finished media + zero-copy DMA    ``nvme/ssd.py``
 ``backend_done``  fan-in: every back-end fragment completed     ``core/engine.py`` (extra stage)
+``push_exec``    pushdown interpreter finished its program      ``push/manager.py`` (extra stage)
 ``complete``     CQE relayed into the host completion queue     ``core/engine.py``
 ``interrupt``    host IRQ path delivered the completion         ``host/driver.py``
 ===============  =============================================  ==================
@@ -52,6 +53,7 @@ STAMP_ORDER = (
     "forward",
     "ssd_dma",
     "backend_done",
+    "push_exec",
     "complete",
     "interrupt",
 )

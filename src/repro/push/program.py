@@ -1,0 +1,164 @@
+"""Pushdown program model, static validator, and cost model.
+
+A *program* is pure JSON-able data — it crosses the NVMe-MI mgmt plane
+(JSON-serialized MCTP payloads) and the in-band vendor admin path
+unchanged.  Three operation kinds cover the lookups the apps need:
+
+``chase``
+    read -> compare -> resubmit pointer chase: follow an on-disk index
+    block to a data block, bounded by ``max_hops`` backend reads.
+``filter``
+    filter/aggregate-on-read over a bounded contiguous range
+    (``max_fanout`` blocks): return matching records or their count.
+``cond_write``
+    key-versioned conditional write: read a block, compare the stored
+    record's sequence number, write only on match.
+
+The **validator** is the sandbox: it rejects any program whose
+reachable LBAs can escape the declared windows (which must sit inside
+the namespace), and any program whose step/fanout bounds are missing,
+non-positive, or above the hard caps.  At run time the interpreter
+re-checks every invocation LBA against the installed windows, so a
+validated program can never read outside what it declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim import SimulationError
+
+__all__ = [
+    "MAX_HOPS",
+    "MAX_FANOUT",
+    "PushValidationError",
+    "PushProgram",
+    "PushCosts",
+    "validate_program",
+    "chase_program",
+    "filter_program",
+    "cond_write_program",
+]
+
+#: hard cap on backend reads one invocation may issue (pointer-chase depth)
+MAX_HOPS = 64
+#: hard cap on blocks one filter/aggregate read may touch
+MAX_FANOUT = 32
+
+PROGRAM_KINDS = ("chase", "filter", "cond_write")
+
+
+class PushValidationError(SimulationError):
+    """The static validator rejected a program."""
+
+
+@dataclass(frozen=True)
+class PushCosts:
+    """Deterministic per-op interpreter latencies (engine ARM/FPGA ns)."""
+
+    dispatch_ns: int = 500  # invocation fetch + program lookup + setup
+    hop_ns: int = 250  # per backend read issued (pointer-deref stage)
+    scan_ns: int = 400  # per data block parsed/filtered in carry mode
+    write_ns: int = 300  # conditional-write commit stage
+
+
+@dataclass(frozen=True)
+class PushProgram:
+    """One validated program: kind, bounds, and LBA confinement."""
+
+    kind: str
+    max_hops: int
+    max_fanout: int
+    #: declared reachable-LBA windows: ((start_lba, nblocks), ...)
+    windows: tuple[tuple[int, int], ...]
+
+    def admits(self, lba: int, nblocks: int) -> bool:
+        """True iff ``[lba, lba+nblocks)`` sits inside one window."""
+        for start, count in self.windows:
+            if lba >= start and lba + nblocks <= start + count:
+                return True
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "max_hops": self.max_hops,
+            "max_fanout": self.max_fanout,
+            "windows": [list(w) for w in self.windows],
+        }
+
+
+def _require_int(raw: Any, what: str) -> int:
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise PushValidationError(f"push program {what} must be an integer, "
+                                  f"got {raw!r}")
+    return raw
+
+
+def validate_program(program: dict, num_blocks: int) -> PushProgram:
+    """Statically validate ``program`` against a namespace of
+    ``num_blocks`` LBAs; returns the frozen :class:`PushProgram`.
+
+    Rejection is the sandbox guarantee: a program passes only if every
+    LBA it can ever reach lies inside its declared windows and those
+    windows lie inside the namespace, and only if its hop/fanout bounds
+    are explicit, positive, and under the hard caps.
+    """
+    if not isinstance(program, dict):
+        raise PushValidationError(f"push program must be a dict, "
+                                  f"got {type(program).__name__}")
+    kind = program.get("kind")
+    if kind not in PROGRAM_KINDS:
+        raise PushValidationError(
+            f"push program kind {kind!r} not one of {PROGRAM_KINDS}")
+    max_hops = _require_int(program.get("max_hops"), "max_hops")
+    if not 1 <= max_hops <= MAX_HOPS:
+        raise PushValidationError(
+            f"max_hops {max_hops} outside [1, {MAX_HOPS}]: unbounded or "
+            "degenerate pointer chases are rejected")
+    max_fanout = _require_int(program.get("max_fanout"), "max_fanout")
+    if not 1 <= max_fanout <= MAX_FANOUT:
+        raise PushValidationError(
+            f"max_fanout {max_fanout} outside [1, {MAX_FANOUT}]")
+    raw_windows = program.get("windows")
+    if not isinstance(raw_windows, (list, tuple)) or not raw_windows:
+        raise PushValidationError("push program needs at least one LBA window")
+    windows: list[tuple[int, int]] = []
+    for raw in raw_windows:
+        if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+            raise PushValidationError(
+                f"window {raw!r} is not a (start_lba, nblocks) pair")
+        start = _require_int(raw[0], "window start_lba")
+        count = _require_int(raw[1], "window nblocks")
+        if start < 0 or count < 1:
+            raise PushValidationError(
+                f"window ({start}, {count}) is empty or negative")
+        if start + count > num_blocks:
+            raise PushValidationError(
+                f"window ({start}, {count}) escapes the namespace "
+                f"({num_blocks} blocks): reachable LBAs must stay inside "
+                "the namespace's extents")
+        windows.append((start, count))
+    return PushProgram(kind=kind, max_hops=max_hops, max_fanout=max_fanout,
+                       windows=tuple(windows))
+
+
+# ----------------------------------------------------------- constructors
+def chase_program(windows, max_hops: int = MAX_HOPS,
+                  max_fanout: int = 1) -> dict:
+    """Pointer-chase program literal (index block -> data block)."""
+    return {"kind": "chase", "max_hops": max_hops, "max_fanout": max_fanout,
+            "windows": [list(w) for w in windows]}
+
+
+def filter_program(windows, max_fanout: int = MAX_FANOUT) -> dict:
+    """Filter/aggregate-on-read program literal."""
+    return {"kind": "filter", "max_hops": 1, "max_fanout": max_fanout,
+            "windows": [list(w) for w in windows]}
+
+
+def cond_write_program(windows) -> dict:
+    """Key-versioned conditional-write program literal."""
+    return {"kind": "cond_write", "max_hops": 2, "max_fanout": 1,
+            "windows": [list(w) for w in windows]}

@@ -24,7 +24,7 @@ def test_check_runtime_reports_full_coverage(capsys):
     assert payload["violation"] is None
     coverage = payload["coverage"]
     # every named checker must have actually executed
-    assert set(coverage) == {"ring", "prp", "lba", "qos", "kernel"}
+    assert set(coverage) == {"ring", "prp", "lba", "qos", "kernel", "push"}
     assert all(count > 0 for count in coverage.values())
 
 

@@ -110,13 +110,15 @@ def test_fixed_admit_passes_checker_in_overtaking_scenario():
     assert ctx.summary()["qos"] == 3
 
 
-def test_buffered_count_deprecated_alias():
+def test_buffered_count_alias_removed():
+    """The deprecated buffered_count shim is gone for good; the two
+    unambiguous accessors cover both readings it conflated."""
     sim = Simulator()
     qos = QoSModule(sim)
     qos.configure("ns", LIMITS)
     drained = [qos.admit("ns", PRIMER), qos.admit("ns", BIG)]  # fast, buffered
     sim.run()
     assert all(g.triggered for g in drained)
-    with pytest.deprecated_call():
-        assert qos.buffered_count("ns") == qos.buffered_total("ns") == 1
+    assert not hasattr(qos, "buffered_count")
+    assert qos.buffered_total("ns") == 1
     assert qos.buffer_depth("ns") == 0

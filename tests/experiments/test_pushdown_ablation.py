@@ -1,0 +1,50 @@
+"""Pushdown ablation: the >=2x command reduction, pinned as a test."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.pushdown_ablation import PushdownCell, run, run_cell
+
+
+def small_cell(hot_remove=False, seed=901):
+    # default key count (enough puts to flush SSTables), few lookups
+    return PushdownCell(name="c", seed=seed, lookups=12,
+                        hot_remove=hot_remove)
+
+
+def test_cell_halves_commands_with_identical_results():
+    payload = run_cell(small_cell())
+    assert payload["command_ratio"] >= 2.0
+    med, push = payload["mediated"], payload["pushdown"]
+    assert med["values_digest"] == push["values_digest"]  # same answers
+    assert med["found"] == push["found"] > 0
+    assert push["program"]["sandbox_faults"] == 0
+    assert push["fallbacks"] == 0
+    # the json-encoded payload is what CI byte-compares across workers
+    assert json.loads(payload["payload"])["cell"] == "c"
+
+
+def test_hot_remove_cell_records_the_failure_deterministically():
+    first = run_cell(small_cell(hot_remove=True))
+    again = run_cell(small_cell(hot_remove=True))
+    assert first["payload"] == again["payload"]
+    assert not first["pushdown"]["remove_ok"]  # vendor cmd failed mid-remove
+    assert not first["mediated"]["remove_ok"]
+    assert first["command_ratio"] >= 2.0
+
+
+def test_run_is_worker_count_invariant():
+    seq = run(seed=31, cells=2, workers=1)
+    par = run(seed=31, cells=2, workers=2)
+    assert seq.rows == par.rows
+    assert all(row["ratio"] >= 2.0 for row in seq.rows)
+
+
+def test_push_command_cli(capsys):
+    assert main(["push", "--cells", "1", "--seed", "3", "--workers", "1",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment_id"] == "pushdown"
+    assert payload["rows"][0]["ratio"] >= 2.0
+    assert main(["push", "--cells", "1", "--seed", "3", "--workers", "1"]) == 0
+    assert "ratio" in capsys.readouterr().out

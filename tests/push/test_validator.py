@@ -1,0 +1,102 @@
+"""Static validator tests: the sandbox is decided before install."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.push import (
+    MAX_FANOUT,
+    MAX_HOPS,
+    PushValidationError,
+    chase_program,
+    cond_write_program,
+    filter_program,
+    validate_program,
+)
+
+NS_BLOCKS = 256
+
+
+def test_accepts_constructor_programs():
+    for literal in (
+        chase_program([[0, 64]], max_hops=8),
+        filter_program([[16, 32]]),
+        cond_write_program([[0, 4], [100, 56]]),
+    ):
+        program = validate_program(literal, NS_BLOCKS)
+        assert program.kind == literal["kind"]
+        assert program.windows
+        # validated programs round-trip through their wire form
+        assert validate_program(program.to_dict(), NS_BLOCKS) == program
+
+
+def test_admits_is_exact_window_containment():
+    program = validate_program(chase_program([[10, 4], [100, 2]]), NS_BLOCKS)
+    assert program.admits(10, 4)
+    assert program.admits(12, 2)
+    assert program.admits(101, 1)
+    assert not program.admits(9, 2)  # straddles the left edge
+    assert not program.admits(13, 2)  # straddles the right edge
+    assert not program.admits(50, 1)  # between windows
+    assert not program.admits(102, 1)  # past the second window
+
+
+@pytest.mark.parametrize("mutation, message", [
+    ({"kind": "exec"}, "kind"),
+    ({"max_hops": 0}, "max_hops"),
+    ({"max_hops": MAX_HOPS + 1}, "max_hops"),
+    ({"max_hops": True}, "integer"),
+    ({"max_hops": None}, "integer"),
+    ({"max_fanout": 0}, "max_fanout"),
+    ({"max_fanout": MAX_FANOUT + 1}, "max_fanout"),
+    ({"windows": []}, "window"),
+    ({"windows": [[0]]}, "window"),
+    ({"windows": [[-1, 4]]}, "negative"),
+    ({"windows": [[0, 0]]}, "empty"),
+    ({"windows": [[0, NS_BLOCKS + 1]]}, "escapes"),
+    ({"windows": [[NS_BLOCKS - 1, 2]]}, "escapes"),
+])
+def test_rejects_malformed_programs(mutation, message):
+    literal = chase_program([[0, 64]], max_hops=8)
+    literal.update(mutation)
+    with pytest.raises(PushValidationError, match=message):
+        validate_program(literal, NS_BLOCKS)
+
+
+def test_rejects_non_dict_program():
+    with pytest.raises(PushValidationError):
+        validate_program("not a program", NS_BLOCKS)
+
+
+# ------------------------------------------------------------------ property
+@given(
+    kind=st.sampled_from(["chase", "filter", "cond_write"]),
+    max_hops=st.integers(min_value=-2, max_value=MAX_HOPS + 4),
+    max_fanout=st.integers(min_value=-2, max_value=MAX_FANOUT + 4),
+    windows=st.lists(
+        st.tuples(st.integers(min_value=-8, max_value=NS_BLOCKS + 8),
+                  st.integers(min_value=-4, max_value=NS_BLOCKS + 8)),
+        min_size=1, max_size=4,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_validator_confines_reachable_lbas(kind, max_hops, max_fanout, windows):
+    """Any program with an out-of-extent reachable LBA (or unbounded /
+    degenerate step bounds) is rejected; everything in-bounds is
+    accepted and can only ever admit in-namespace accesses."""
+    literal = {"kind": kind, "max_hops": max_hops, "max_fanout": max_fanout,
+               "windows": [list(w) for w in windows]}
+    bounds_ok = 1 <= max_hops <= MAX_HOPS and 1 <= max_fanout <= MAX_FANOUT
+    windows_ok = all(
+        start >= 0 and count >= 1 and start + count <= NS_BLOCKS
+        for start, count in windows
+    )
+    if bounds_ok and windows_ok:
+        program = validate_program(literal, NS_BLOCKS)
+        for lba in range(-2, NS_BLOCKS + 4):
+            if program.admits(lba, 1):
+                assert 0 <= lba < NS_BLOCKS
+            if program.admits(lba, 2):
+                assert 0 <= lba and lba + 2 <= NS_BLOCKS
+    else:
+        with pytest.raises(PushValidationError):
+            validate_program(literal, NS_BLOCKS)
