@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ServerConfig", "InstanceShape", "SchemeCost", "TCOModel", "TCOReport"]
+__all__ = [
+    "ServerConfig", "InstanceShape", "SchemeCost", "TCOModel", "TCOReport",
+    "BufferEconomics",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,60 @@ class TCOReport:
     stranded_ssds: int
     server_tco: float
     tco_per_instance: float
+
+
+@dataclass(frozen=True)
+class BufferEconomics:
+    """Tenants-per-rack under stranded vs shared burst buffer.
+
+    The fixed-card design strands buffer DRAM: every tenant must
+    reserve its *peak* (steady + burst) on its own card, even though
+    only a fraction of tenants burst at once.  With the CXL buffer tier
+    and inter-SSD sharing, a tenant reserves only its steady share
+    on-card and bursts are absorbed by a rack-level pool sized for the
+    concurrent-burst fraction — the statistical-multiplexing win the
+    burst-absorption ablation measures per card.
+    """
+
+    #: on-card buffer DRAM per engine card
+    card_buffer_gb: float = 4.0
+    #: buffer a tenant holds at steady state
+    tenant_steady_gb: float = 0.5
+    #: extra buffer a tenant demands while bursting
+    tenant_burst_gb: float = 1.5
+    cards_per_server: int = 4
+    servers_per_rack: int = 16
+    #: shared CXL pool provisioned per rack (shared scheme only)
+    cxl_pool_gb_per_rack: float = 256.0
+    #: fraction of tenants bursting concurrently (multiplexing factor)
+    burst_concurrency: float = 0.25
+
+    @property
+    def cards_per_rack(self) -> int:
+        return self.cards_per_server * self.servers_per_rack
+
+    def tenants_per_rack(self, shared: bool) -> int:
+        if not shared:
+            # stranded: full peak reserved per tenant on its own card
+            per_card = int(self.card_buffer_gb
+                           // (self.tenant_steady_gb + self.tenant_burst_gb))
+            return per_card * self.cards_per_rack
+        per_card = int(self.card_buffer_gb // self.tenant_steady_gb)
+        card_bound = per_card * self.cards_per_rack
+        # the pool must cover the concurrent-burst demand of the rack
+        pool_bound = int(self.cxl_pool_gb_per_rack
+                         // (self.tenant_burst_gb * self.burst_concurrency))
+        return min(card_bound, pool_bound)
+
+    def compare(self) -> dict:
+        stranded = self.tenants_per_rack(shared=False)
+        shared = self.tenants_per_rack(shared=True)
+        return {
+            "stranded_tenants_per_rack": stranded,
+            "shared_tenants_per_rack": shared,
+            "extra_tenants_pct": 100.0 * (shared / stranded - 1.0)
+            if stranded else float("inf"),
+        }
 
 
 class TCOModel:

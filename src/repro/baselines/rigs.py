@@ -201,15 +201,19 @@ def build_bmstore(
     obs: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks=None,
+    chip_memory_bytes: Optional[int] = None,
 ) -> BMStoreRig:
     """A full BM-Store world: host + engine/controller/console + drives."""
     sim, streams, host = _base_world(seed, kernel)
     ctx = resolve_checks(checks, obs)
     if ctx is not None:
         ctx.bind_sim(sim)
+    engine_kwargs = {}
+    if chip_memory_bytes is not None:
+        engine_kwargs["chip_memory_bytes"] = chip_memory_bytes
     engine = BMSEngine(
         host, timings=timings, qos_enabled=qos_enabled, zero_copy=zero_copy,
-        obs=obs, checks=ctx,
+        obs=obs, checks=ctx, **engine_kwargs,
     )
     controller = BMSController(engine, timings=controller_timings)
     console = RemoteConsole(host, engine.front_port.name)

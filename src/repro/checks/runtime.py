@@ -403,18 +403,33 @@ class CheckContext:
                                span=span, entry=hex(entry),
                                freed=(hex(hit[0]), hit[1]))
 
+    @staticmethod
+    def _pool_owner(pool, addr: int) -> str:
+        """The memory a pooled buffer lives in.
+
+        Pools backed by a CXL tier hand out addresses from several
+        memories (chip, CXL window, borrowed slot buffers); freed-range
+        bookkeeping must follow the buffer to its owning space or a
+        spilled double-free would be tracked against the wrong ranges.
+        """
+        owner = getattr(pool, "owner_name", None)
+        if owner is not None:
+            return owner(addr)
+        return pool.memory.name
+
     def on_buffer_alloc(self, pool, addr: int, nbytes: int) -> None:
-        freed = self._freed.get(pool.memory.name)
+        freed = self._freed.get(self._pool_owner(pool, addr))
         if freed is not None:
             freed.alloc(addr)
 
     def on_buffer_free(self, pool, addr: int, nbytes: int) -> None:
         self._note("prp")
-        freed = self._freed.setdefault(pool.memory.name, _FreedRanges())
+        owner = self._pool_owner(pool, addr)
+        freed = self._freed.setdefault(owner, _FreedRanges())
         if not freed.free(addr, nbytes):
             self._fail("prp", "double free of a DMA buffer",
                        addr=hex(addr), nbytes=nbytes,
-                       memory=pool.memory.name)
+                       memory=owner)
 
     # -------------------------------------------------------- hooks: lba
     def _lba_maps(self, table):

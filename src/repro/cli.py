@@ -45,6 +45,7 @@ def _experiment_registry():
         fault_recovery,
         fig1,
         fleet_scale,
+        burst_absorption,
         fig8_table5,
         fig9_table7,
         fig10,
@@ -96,6 +97,9 @@ def _experiment_registry():
          migration_vs_evacuation.run),
         ("pushdown", "computational pushdown ablation (beyond §VI)",
          pushdown_ablation.run),
+        ("burst-absorption",
+         "CXL buffer tier vs fixed DRAM under mixed bursts (beyond §VI)",
+         burst_absorption.run),
     ]
 
 
@@ -517,6 +521,25 @@ def _cmd_push(args) -> int:
     return 0
 
 
+def _cmd_cxl(args) -> int:
+    from .experiments import burst_absorption
+
+    result = burst_absorption.run(seed=args.seed, cells=args.cells,
+                                  workers=args.workers)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }, indent=2, sort_keys=True, default=str))
+        return 0
+    print(result.table())
+    return 0
+
+
 def _cmd_tco(_args) -> int:
     from .experiments import tco_analysis
 
@@ -786,6 +809,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="print the result rows as JSON")
 
+    p = sub.add_parser("cxl",
+                       help="burst-absorption ablation (fixed on-card DRAM "
+                            "vs the CXL buffer tier, clean + hot-remove "
+                            "cells)")
+    p.add_argument("--cells", type=int, default=4,
+                   help="seeded burst cells (odd cells surprise-remove "
+                        "the lending slot mid-burst)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="fan cells over N processes (results are identical)")
+    p.add_argument("--json", action="store_true",
+                   help="print the result rows as JSON")
+
     sub.add_parser("tco", help="print the TCO analysis")
 
     p = sub.add_parser("check",
@@ -812,6 +848,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet": _cmd_fleet,
         "volumes": _cmd_volumes,
         "push": _cmd_push,
+        "cxl": _cmd_cxl,
         "tco": _cmd_tco,
         "check": _cmd_check,
     }[args.command]

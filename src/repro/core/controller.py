@@ -248,6 +248,14 @@ class BMSController:
             if p.get("key") is not None:
                 return MIStatus.SUCCESS, pm.stat(p["key"])
             return MIStatus.SUCCESS, {"programs": pm.stat_all()}
+        if op == int(MIOpcode.CXL_ENABLE):
+            tier = self.engine.cxl_tier()
+            return MIStatus.SUCCESS, tier.stat()
+        if op == int(MIOpcode.CXL_STAT):
+            tier = self.engine.cxl
+            if tier is None:
+                return MIStatus.UNSUPPORTED, {"error": "CXL buffer tier is dormant"}
+            return MIStatus.SUCCESS, tier.stat()
         if op == int(MIOpcode.GET_FAULT_LOG):
             yield self.sim.timeout(self.engine.timings.monitor_sample_ns)
             slots = [

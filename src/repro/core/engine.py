@@ -136,16 +136,27 @@ class _BackendRootSpace:
         if is_global_prp(addr):
             self.engine._route_dma_write(addr, length, data)
             return
+        cxl = self.engine.cxl
+        if cxl is not None and cxl.contains(addr):
+            cxl.owner_memory(addr).mem_write(addr, length, data)
+            return
         self.engine.chip_memory.mem_write(addr, length, data)
         self.engine.adaptor.notice_write(addr)
 
     def mem_read(self, addr: int, length: int):
         # only reached for local reads via the sync path
+        cxl = self.engine.cxl
+        if cxl is not None and cxl.contains(addr):
+            return cxl.owner_memory(addr).mem_read(addr, length)
         return self.engine.chip_memory.mem_read(addr, length)
 
     def mem_read_async(self, addr: int, length: int) -> Event:
         if is_global_prp(addr):
             return self.engine._route_dma_read(addr, length)
+        cxl = self.engine.cxl
+        if cxl is not None and cxl.contains(addr):
+            # tier-resident PRP list: pay the CXL link + media latency
+            return cxl.window_read(addr, length)
         ev = self.engine.sim.event(name="chipread")
         ev.succeed(self.engine.chip_memory.mem_read(addr, length))
         return ev
@@ -197,6 +208,8 @@ class BMSEngine:
         self.volumes = None
         #: bound PushManager (computational pushdown); None = dormant
         self.push = None
+        #: bound CXLBufferTier (buffer spill/borrow extension); None = dormant
+        self.cxl = None
         #: the full CheckContext, kept for binding tables/rings created later
         self._check_ctx = checks
 
@@ -318,6 +331,19 @@ class BMSEngine:
 
             self.push = PushManager(self)
         return self.push
+
+    def cxl_tier(self, timings=None):
+        """The engine's CXL-extended buffer tier, armed on first use.
+
+        Worlds that never call this keep ``self.cxl is None`` and
+        execute byte-identical event sequences to fixed-DRAM builds.
+        """
+        if self.cxl is None:
+            from .cxl import CXLBufferTier
+
+            self.cxl = CXLBufferTier(self, timings)
+            self._prp_pool.tier = self.cxl
+        return self.cxl
 
     def create_namespace(
         self,
@@ -736,6 +762,14 @@ class BMSEngine:
             state["remaining"] -= 1
             if state["remaining"] == 0:
                 for addr, size in state["lists"]:
+                    # drop the PRPList object before the buffer recycles:
+                    # page-rounded buckets can hand this address to a
+                    # data read, whose mem_read must see bytes, not a
+                    # stale object
+                    mem = self.chip_memory
+                    if self.cxl is not None:
+                        mem = self.cxl.owner_memory(addr)
+                    mem.pop_obj(addr)
                     self._prp_pool.put(addr, size)
                 if state["status"] != int(StatusCode.SUCCESS):
                     self._fn_stats[fn.fn_id].errors += 1
@@ -756,7 +790,10 @@ class BMSEngine:
             return gp[0], gp[1], None
         size = (len(gp) - 1) * 8
         list_addr = self._prp_pool.get(size)
-        self.chip_memory.store_obj(list_addr, PRPList(list_addr, gp[1:]))
+        mem = self.chip_memory
+        if self.cxl is not None:
+            mem = self.cxl.owner_memory(list_addr)  # spilled lists live off-card
+        mem.store_obj(list_addr, PRPList(list_addr, gp[1:]))
         return gp[0], list_addr, list_addr
 
     # ----------------------------------------------------- DMA request routing
@@ -951,6 +988,9 @@ class BMSEngine:
                 if binding.ssd_id == ssd_id:
                     for dev_qid in binding.dev_qids.values():
                         removed.detach_queue_pair(dev_qid)
+        if self.cxl is not None:
+            # the drive's DRAM left with it: its borrow grants die now
+            self.cxl.on_slot_removed(ssd_id)
         if self.obs is not None:
             self.obs.counter("engine_surprise_removes", slot=str(ssd_id)).inc()
         return removed

@@ -68,6 +68,9 @@ class ServerRunSpec:
     migrate_out: tuple = ()
     #: tenants scheduled to arrive here (MigrationArrival tuple)
     migrate_in: tuple = ()
+    #: arm the engine's CXL buffer tier on this server (0 = dormant,
+    #: keeping the payload byte-identical to pre-CXL builds)
+    cxl: bool = False
 
 
 def shifted_preset(name: str, fault_at_ns: int) -> FaultPlan:
@@ -107,6 +110,8 @@ def run_server(spec: ServerRunSpec) -> dict:
     rig = build_bmstore(num_ssds=spec.num_ssds, seed=spec.seed, obs=obs,
                         faults=plan)
     sim = rig.sim
+    if spec.cxl:
+        rig.engine.cxl_tier()
 
     drivers = {}
     series = {}
@@ -257,7 +262,13 @@ def run_server(spec: ServerRunSpec) -> dict:
     ]
 
     fault_kinds = sorted({e["kind"] for e in rig.controller.fault_log})
+    payload_extra = {}
+    if spec.cxl:
+        # only armed servers grow the key: dormant payloads must stay
+        # byte-identical to pre-CXL builds
+        payload_extra["cxl"] = rig.engine.cxl.stat()
     return {
+        **payload_extra,
         "server": spec.server,
         "rack": spec.rack,
         "seed": spec.seed,

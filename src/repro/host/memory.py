@@ -23,30 +23,108 @@ __all__ = ["HostMemory", "BufferPool", "PAGE_SIZE"]
 class BufferPool:
     """Recycling DMA-buffer allocator over a :class:`HostMemory`.
 
-    Buckets freed buffers by size so long simulations do not exhaust
-    the bump allocator.
+    Buckets freed buffers by page-multiple size class: the backing bump
+    allocator never reclaims, so exact-size buckets would fragment long
+    mixed-size runs into spurious out-of-memory (a 24-byte PRP list and
+    a 56-byte one could never share a buffer).  Rounding both the bucket
+    key and the allocation to the next page multiple lets every small
+    request recycle the same buffers, bounding ``memory.allocated`` by
+    the peak working set instead of the sum of distinct sizes.
+
+    When a :class:`~repro.core.cxl.CXLBufferTier` is attached (``tier``
+    non-None), chip-memory exhaustion spills into the tier instead of
+    raising, and on-card buffers are always preferred so the hot set
+    stays on-card; the dormant path (``tier is None``) is one pointer
+    test away from the historical behavior.
     """
 
     def __init__(self, memory: "HostMemory"):
         self.memory = memory
         self._free: dict[int, list[int]] = {}
+        #: spilled (tier-resident) free buckets, only populated when armed
+        self._free_tier: dict[int, list[int]] = {}
         #: bound CheckContext (prp checker); None = dormant, zero-cost
         self.checks = None
+        #: bound CXLBufferTier (spill/borrow); None = dormant, zero-cost
+        self.tier = None
+
+    @staticmethod
+    def bucket_size(nbytes: int) -> int:
+        """The page-multiple size class a request is served from."""
+        return -(-nbytes // PAGE_SIZE) * PAGE_SIZE
+
+    def owner_name(self, addr: int) -> str:
+        """Name of the memory ``addr`` lives in (checker bookkeeping
+        follows buffers across tiers by this key)."""
+        if self.tier is not None and not self.memory.contains(addr):
+            return self.tier.owner_name(addr)
+        return self.memory.name
 
     def get(self, nbytes: int) -> int:
-        bucket = self._free.get(nbytes)
+        size = self.bucket_size(nbytes)
+        bucket = self._free.get(size)
+        onchip = True
         if bucket:
             addr = bucket.pop()
         else:
-            addr = self.memory.alloc(nbytes)
+            try:
+                addr = self.memory.alloc(size)
+            except SimulationError:
+                if self.tier is None:
+                    raise
+                tbucket = self._free_tier.get(size)
+                if tbucket:
+                    addr = tbucket.pop()
+                else:
+                    addr = self.tier.spill(size)
+                onchip = False
+        if self.tier is not None:
+            self.tier.note_get(size, onchip,
+                               idle_spilled=self._free_tier.get(size))
         if self.checks is not None:
-            self.checks.on_buffer_alloc(self, addr, nbytes)
+            self.checks.on_buffer_alloc(self, addr, size)
         return addr
 
     def put(self, addr: int, nbytes: int) -> None:
+        size = self.bucket_size(nbytes)
         if self.checks is not None:
-            self.checks.on_buffer_free(self, addr, nbytes)
-        self._free.setdefault(nbytes, []).append(addr)
+            self.checks.on_buffer_free(self, addr, size)
+        if self.memory.contains(addr):
+            bucket = self._free.setdefault(size, [])
+        elif self.tier is not None and self.tier.contains(addr):
+            if self.tier.absorb_revoked(addr):
+                return  # the lender vanished while this buffer was in flight
+            bucket = self._free_tier.setdefault(size, [])
+        else:
+            # inline guard (independent of any bound checker): a foreign
+            # address would be handed to the next get as if it were a
+            # valid DMA buffer
+            raise SimulationError(
+                f"{self.memory.name}: foreign address {addr:#x} "
+                "returned to pool"
+            )
+        if addr in bucket:
+            # inline guard: same-addr re-free while still pooled would
+            # hand one buffer to two owners on the next two gets
+            raise SimulationError(
+                f"{self.memory.name}: double free of pooled buffer "
+                f"{addr:#x} ({size} bytes)"
+            )
+        bucket.append(addr)
+
+    def drop_addresses(self, dead: set) -> set:
+        """Purge revoked addresses from the free buckets.
+
+        Returns the subset actually found pooled; the rest are in
+        flight and get absorbed by ``put`` later.
+        """
+        purged = set()
+        for bucket in self._free_tier.values():
+            hit = [a for a in bucket if a in dead]
+            if hit:
+                purged.update(hit)
+                bucket[:] = [a for a in bucket if a not in dead]
+        return purged
 
 
 class HostMemory:

@@ -159,6 +159,15 @@ class RemoteConsole:
             return self.request(MIOpcode.PUSH_STAT)
         return self.request(MIOpcode.PUSH_STAT, key=key)
 
+    def enable_cxl(self) -> Event:
+        """Arm the engine's CXL buffer tier out of band (idempotent)."""
+        return self.request(MIOpcode.CXL_ENABLE)
+
+    def cxl_stat(self) -> Event:
+        """CXL tier spill/promote/borrow statistics (UNSUPPORTED when
+        the tier is dormant)."""
+        return self.request(MIOpcode.CXL_STAT)
+
     def hot_upgrade(
         self, ssd: int, version: str, size_bytes: int = 2 * 1024 * 1024,
         activation_s: float = 6.5,

@@ -41,6 +41,8 @@ class MIOpcode(enum.IntEnum):
     PUSH_INSTALL = 0x50  # pushdown: validate + install a program on a namespace
     PUSH_UNINSTALL = 0x51  # pushdown: remove an installed program
     PUSH_STAT = 0x52  # pushdown: per-program execution statistics
+    CXL_ENABLE = 0x60  # arm the CXL buffer tier (spill/borrow extension)
+    CXL_STAT = 0x61  # CXL tier spill/promote/borrow statistics
 
 
 class MIStatus(enum.IntEnum):

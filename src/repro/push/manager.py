@@ -309,6 +309,9 @@ class PushManager:
             block_off += cnt
         status = yield done
         for addr, size in lists:
+            # drop the PRPList object before the buffer recycles (a
+            # later data read at this address must see bytes)
+            self._list_memory(addr).pop_obj(addr)
             engine._prp_pool.put(addr, size)
         data = None
         if status == int(StatusCode.SUCCESS) and opcode == int(IOOpcode.READ):
@@ -330,9 +333,16 @@ class PushManager:
 
         size = (len(pages) - 1) * 8
         list_addr = self.engine._prp_pool.get(size)
-        self.engine.chip_memory.store_obj(list_addr,
-                                          PRPList(list_addr, pages[1:]))
+        self._list_memory(list_addr).store_obj(list_addr,
+                                               PRPList(list_addr, pages[1:]))
         return pages[0], list_addr, list_addr
+
+    def _list_memory(self, addr: int):
+        """The memory a pooled PRP-list buffer lives in (spilled lists
+        live off-card when the CXL tier is armed)."""
+        if self.engine.cxl is not None:
+            return self.engine.cxl.owner_memory(addr)
+        return self.engine.chip_memory
 
     # ---------------------------------------------------------------- ops
     def _run_chase(self, fn, ens, entry, inv, result: PushResult, span):

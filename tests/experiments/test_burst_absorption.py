@@ -1,0 +1,60 @@
+"""Burst absorption: fixed DRAM dies, the CXL tier completes, pinned."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.burst_absorption import BurstCell, run, run_cell
+
+
+def small_cell(hot_remove=False, seed=901):
+    # a smaller burst than the default cell, with a window shrunk to
+    # match so it still overflows into borrowed slot buffer
+    return BurstCell(name="c", seed=seed, hot_remove=hot_remove,
+                     window_kib=32, slot_buffer_kib=80,
+                     kv_workers=32, kv_ops=6, sql_workers=16, sql_ops=8,
+                     steady_workers=4, steady_ops=8)
+
+
+def test_fixed_arm_dies_and_cxl_arm_completes():
+    payload = run_cell(small_cell())
+    fixed, cxl = payload["fixed"], payload["cxl"]
+    assert not fixed["completed"]
+    assert "out of memory" in fixed["error"]
+    assert cxl["completed"] and cxl["errors"] == 0
+    assert cxl["ios"] == 32 * 6 + 16 * 8 + 4 * 8
+    tier = cxl["tier"]
+    assert tier["spills"] > 0
+    assert cxl["borrowed_peak_bytes"] > 0
+    assert tier["promotes"] > 0                    # steady phase handed back
+    assert tier["borrowed_bytes"] < cxl["borrowed_peak_bytes"]
+    assert 0.0 < tier["hit_ratio"] < 1.0
+
+
+def test_hot_remove_cell_revokes_the_lenders_grants():
+    first = run_cell(small_cell(hot_remove=True))
+    again = run_cell(small_cell(hot_remove=True))
+    assert first["payload"] == again["payload"]    # deterministic end to end
+    cxl = first["cxl"]
+    assert cxl["completed"]
+    assert cxl["removed_lender"]
+    assert cxl["tier"]["revocations"] > 0
+
+
+def test_run_is_worker_count_invariant():
+    seq = run(seed=41, cells=2, workers=1)
+    par = run(seed=41, cells=2, workers=2)
+    assert seq.rows == par.rows
+    assert any(row["hot_remove"] for row in seq.rows)
+    assert all(not row["fixed_completed"] and row["cxl_completed"]
+               for row in seq.rows)
+
+
+def test_cxl_command_cli(capsys):
+    assert main(["cxl", "--cells", "1", "--seed", "3", "--workers", "1",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment_id"] == "burst-absorption"
+    row = payload["rows"][0]
+    assert row["cxl_completed"] and not row["fixed_completed"]
+    assert main(["cxl", "--cells", "1", "--seed", "3", "--workers", "1"]) == 0
+    assert "spills" in capsys.readouterr().out

@@ -97,6 +97,80 @@ def test_buffer_pool_recycles():
     assert b != a
 
 
+def test_put_rejects_foreign_address():
+    """Regression: the old ``put`` pooled any address unchecked, handing
+    garbage to the next ``get`` as if it were a valid DMA buffer."""
+    mem = HostMemory(Simulator(), 1 << 20, base=0x1000_0000)
+    pool = BufferPool(mem)
+    with pytest.raises(SimulationError, match="foreign address"):
+        pool.put(0xdead_beef_0000, 4096)
+
+
+def test_put_rejects_double_free_while_pooled():
+    """Regression: the old ``put`` appended the same address twice, so
+    two later ``get`` calls shared one buffer."""
+    mem = make_mem()
+    pool = BufferPool(mem)
+    a = pool.get(4096)
+    pool.put(a, 4096)
+    with pytest.raises(SimulationError, match="double free"):
+        pool.put(a, 4096)
+
+
+def test_refree_after_realloc_is_a_legal_recycle():
+    # free -> get -> free again is the normal recycle cycle, not a
+    # double free; the inline guard must only fire while still pooled
+    mem = make_mem()
+    pool = BufferPool(mem)
+    a = pool.get(4096)
+    pool.put(a, 4096)
+    assert pool.get(4096) == a
+    pool.put(a, 4096)
+
+
+def test_mixed_size_requests_share_page_buckets():
+    """Regression: exact-size buckets allocated fresh memory for every
+    distinct request size; page-multiple rounding recycles across them."""
+    mem = make_mem()
+    pool = BufferPool(mem)
+    # a long serial run of distinct PRP-list sizes (3..52 pages worth)
+    for i in range(200):
+        size = 8 * (i % 50 + 3)
+        addr = pool.get(size)
+        pool.put(addr, size)
+    assert mem.allocated == PAGE_SIZE  # one recycled buffer served all
+
+
+def test_allocated_stabilizes_on_mixed_fio_grid_soak():
+    """Soak: a fio-grid-style stream of mixed transfer sizes must not
+    grow ``chip_memory.allocated`` once the working set is warm (the
+    bump allocator never reclaims, so unbounded growth means a long
+    mixed run eventually dies on spurious out-of-memory)."""
+    from repro.baselines import build_bmstore
+    from repro.sim.units import MIB
+
+    rig = build_bmstore(num_ssds=2, seed=11)
+    fn = rig.provision("soak", 64 * MIB)
+    driver = rig.baremetal_driver(fn)
+    chip = rig.engine.chip_memory
+    marks = []
+
+    def proc():
+        # rounds cycle through ever-new block counts (3..62 pages), the
+        # exact pattern that fragmented exact-size buckets forever
+        for round_no in range(6):
+            for step in range(10):
+                nblocks = 3 + round_no * 10 + step
+                yield driver.read((step * 131) % 1024, nblocks)
+            marks.append(chip.allocated)
+
+    rig.sim.run(rig.sim.process(proc(), name="soak"))
+    assert len(marks) == 6
+    # warm after the first round: later rounds introduce 50 new sizes
+    # but must not allocate another byte
+    assert marks[1:] == [marks[0]] * 5
+
+
 # --------------------------------------------------------------------- CPU
 def test_cpu_dedication_accounting():
     cpu = HostCPU(Simulator(), num_cores=8)
